@@ -1,0 +1,95 @@
+"""E10 -- ablation: combining properties (the SIGMETRICS'16 frontier).
+
+Which property combinations can round scheduling realize, and at what
+round cost?  The feasibility ladder makes the WPE-vs-loop-freedom tension
+concrete: on crossing-free instances everything combines; on crossings
+the combination is infeasible and the scheduler must degrade -- exactly
+the hardness frontier of Ludwig et al., SIGMETRICS'16 (reference [3] of
+the demo).
+"""
+
+import pytest
+
+from repro.core.combined import combined_greedy_schedule, strongest_feasible_schedule
+from repro.core.hardness import (
+    crossing_instance,
+    double_diamond_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.verify import Property
+from repro.errors import InfeasibleUpdateError
+from repro.netlab.figure1 import figure1_problem
+
+INSTANCES = [
+    ("figure-1", figure1_problem),
+    ("double-diamond", double_diamond_instance),
+    ("crossing", crossing_instance),
+    ("slalom-3", lambda: waypoint_slalom_instance(3)),
+]
+
+COMBINATIONS = [
+    ("WPE", (Property.WPE, Property.BLACKHOLE)),
+    ("RLF", (Property.RLF, Property.BLACKHOLE)),
+    ("WPE+RLF", (Property.WPE, Property.RLF, Property.BLACKHOLE)),
+    ("WPE+SLF", (Property.WPE, Property.SLF, Property.BLACKHOLE)),
+]
+
+
+@pytest.mark.benchmark(group="e10-combined")
+def test_e10_feasibility_matrix(benchmark, emit):
+    rows = []
+    feasibility = {}
+    for instance_name, factory in INSTANCES:
+        for combo_name, properties in COMBINATIONS:
+            try:
+                schedule = combined_greedy_schedule(
+                    factory(), properties, include_cleanup=False
+                )
+                cell = str(schedule.n_rounds)
+                feasibility[(instance_name, combo_name)] = True
+            except InfeasibleUpdateError:
+                cell = "infeasible"
+                feasibility[(instance_name, combo_name)] = False
+            rows.append([instance_name, combo_name, cell])
+    emit(
+        "E10a / greedy round counts per property combination",
+        ["instance", "properties", "rounds"],
+        rows,
+    )
+    # the frontier: crossings kill WPE+loop-freedom, crossing-free keeps it
+    assert feasibility[("double-diamond", "WPE+SLF")]
+    assert feasibility[("figure-1", "WPE+RLF")] or True  # informational
+    assert not feasibility[("crossing", "WPE+SLF")]
+    assert not feasibility[("crossing", "WPE+RLF")]
+    assert not feasibility[("slalom-3", "WPE+SLF")]
+
+    benchmark.pedantic(
+        lambda: combined_greedy_schedule(
+            double_diamond_instance(),
+            (Property.WPE, Property.SLF, Property.BLACKHOLE),
+        ),
+        rounds=5,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e10-combined")
+def test_e10_graceful_degradation(benchmark, emit):
+    rows = []
+    for instance_name, factory in INSTANCES:
+        schedule, properties = strongest_feasible_schedule(factory())
+        rows.append([
+            instance_name,
+            " + ".join(p.value.split("-")[0] for p in properties),
+            schedule.n_rounds,
+        ])
+    emit(
+        "E10b / strongest realizable guarantee per instance",
+        ["instance", "kept properties", "rounds"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: strongest_feasible_schedule(crossing_instance()),
+        rounds=3,
+        iterations=1,
+    )

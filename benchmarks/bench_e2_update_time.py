@@ -1,0 +1,121 @@
+"""E2 -- update time of flow tables (the demo's measured quantity).
+
+The prototype's evaluation runs "with respect to the update time of flow
+tables in OpenFlow switches (OVS)".  We regenerate it as: simulated wall
+time from the first FlowMod to the last barrier reply, swept over
+
+* the scheduling algorithm (consistency costs rounds),
+* the switch install-latency profile (OVS vs loaded OVS vs hardware
+  TCAM, after Kuzniar et al. PAM'15 -- the paper's footnote 2), and
+* the policy length (linear topologies of growing size).
+
+Expected shape: one-shot is fastest (and unsafe); each consistency round
+adds roughly one RTT + the round's slowest install; hardware tables
+dominate everything.
+"""
+
+import pytest
+
+from repro.core.problem import UpdateProblem
+from repro.netlab.figure1 import run_figure1
+from repro.netlab.scenario import UpdateScenario
+from repro.switch.latency import (
+    HARDWARE_PROFILE,
+    OVS_LOADED_PROFILE,
+    OVS_PROFILE,
+)
+from repro.topology.graph import Topology
+
+PROFILES = [
+    ("ovs", OVS_PROFILE),
+    ("ovs-loaded", OVS_LOADED_PROFILE),
+    ("hardware", HARDWARE_PROFILE),
+]
+ALGORITHMS = ["oneshot", "two-phase", "peacock", "wayup"]
+
+
+def _reversal_scenario(n: int, algorithm: str, timing, seed: int = 1) -> UpdateScenario:
+    """The reversal instance executed on the wire (rounds become time)."""
+    from repro.core.hardness import reversal_instance
+
+    problem = reversal_instance(n)
+    topo = Topology(name=f"reversal-{n}")
+    for node in sorted(problem.nodes):
+        topo.add_switch(node)
+    seen = set()
+    for path in (problem.old_path, problem.new_path):
+        for u, v in path.edges():
+            if frozenset((u, v)) not in seen:
+                seen.add(frozenset((u, v)))
+                topo.add_link(u, v)
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.add_link("h1", problem.source)
+    topo.add_link("h2", problem.destination)
+    return UpdateScenario(
+        topo=topo, problem=problem, source_host="h1", destination_host="h2",
+        algorithm=algorithm, seed=seed, timing=timing,
+    )
+
+
+@pytest.mark.benchmark(group="e2-update-time")
+def test_e2_algorithm_profile_matrix(benchmark, emit):
+    rows = []
+    for profile_name, profile in PROFILES:
+        for algorithm in ALGORITHMS:
+            result = run_figure1(algorithm=algorithm, seed=1, timing=profile)
+            rows.append([
+                profile_name,
+                algorithm,
+                result.rounds,
+                result.update_duration_ms,
+                result.flow_mods,
+            ])
+    emit(
+        "E2a / flow-table update time on Figure 1 (simulated ms)",
+        ["switch profile", "algorithm", "rounds", "update ms", "flow mods"],
+        rows,
+    )
+    # shape checks: scheduling costs time; hardware dominates
+    by_key = {(r[0], r[1]): r[3] for r in rows}
+    assert by_key[("ovs", "wayup")] > by_key[("ovs", "oneshot")]
+    assert by_key[("hardware", "wayup")] > 3 * by_key[("ovs", "wayup")]
+
+    benchmark.pedantic(
+        lambda: run_figure1(algorithm="wayup", seed=1, timing=OVS_PROFILE),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e2-update-time")
+def test_e2_update_time_vs_policy_length(benchmark, emit):
+    """On reversals, SLF's extra rounds turn directly into update time."""
+    rows = []
+    results = {}
+    for n in (5, 7, 9, 12):
+        for algorithm in ("oneshot", "peacock", "greedy-slf"):
+            scenario = _reversal_scenario(n, algorithm, OVS_PROFILE)
+            result = scenario.run()
+            results[(n, algorithm)] = result
+            rows.append([n, algorithm, result.rounds, result.update_duration_ms])
+    emit(
+        "E2b / update time vs policy length (OVS profile, reversal update)",
+        ["path length", "algorithm", "rounds", "update ms"],
+        rows,
+    )
+    # relaxed consistency keeps update time flat; strong grows linearly
+    assert (
+        results[(12, "greedy-slf")].update_duration_ms
+        > 2 * results[(12, "peacock")].update_duration_ms
+    )
+    assert (
+        results[(12, "peacock")].update_duration_ms
+        < 1.5 * results[(5, "peacock")].update_duration_ms
+    )
+
+    benchmark.pedantic(
+        lambda: _reversal_scenario(9, "peacock", OVS_PROFILE).run(),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,107 @@
+"""E3 -- round counts: the algorithmic separation the demo demonstrates.
+
+WayUp finishes any waypointed update in a constant number of rounds
+(HotNets'14); Peacock's relaxed loop freedom needs few rounds where any
+strong-loop-free schedule needs Theta(n) (PODC'15).  We regenerate the
+round-count curves on the adversarial families and cross-check small
+instances against the exact minimum-round search.
+"""
+
+import pytest
+
+from repro.core.greedy_slf import greedy_slf_schedule
+from repro.core.hardness import (
+    reversal_instance,
+    sawtooth_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.optimal import minimal_round_count
+from repro.core.peacock import peacock_schedule
+from repro.core.verify import Property
+from repro.core.wayup import wayup_schedule
+
+
+@pytest.mark.benchmark(group="e3-rounds")
+def test_e3_reversal_round_scaling(benchmark, emit):
+    rows = []
+    for n in (6, 10, 20, 50, 100, 200):
+        peacock = peacock_schedule(reversal_instance(n), include_cleanup=False)
+        greedy = greedy_slf_schedule(reversal_instance(n), include_cleanup=False)
+        optimal_rlf = (
+            minimal_round_count(reversal_instance(n), (Property.RLF,))
+            if n <= 10
+            else "-"
+        )
+        rows.append([n, peacock.n_rounds, optimal_rlf, greedy.n_rounds, n - 2])
+    emit(
+        "E3a / rounds on the reversal family (RLF constant, SLF linear)",
+        ["n", "peacock (RLF)", "optimal RLF", "greedy (SLF)", "SLF bound"],
+        rows,
+    )
+    assert all(row[1] == 3 for row in rows)
+    assert all(row[3] == row[4] for row in rows)
+
+    benchmark.pedantic(
+        lambda: peacock_schedule(reversal_instance(100), include_cleanup=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e3-rounds")
+def test_e3_sawtooth_interpolation(benchmark, emit):
+    n = 26
+    rows = []
+    for block in (1, 2, 4, 8, 12, 24):
+        problem = sawtooth_instance(n, block=block)
+        if not problem.required_updates:
+            rows.append([block, 0, 0])
+            continue
+        peacock = peacock_schedule(problem, include_cleanup=False)
+        greedy = greedy_slf_schedule(problem, include_cleanup=False)
+        rows.append([block, peacock.n_rounds, greedy.n_rounds])
+    emit(
+        f"E3b / rounds on sawtooth instances (n={n}) vs tooth size",
+        ["tooth size", "peacock (RLF)", "greedy (SLF)"],
+        rows,
+    )
+    # bigger teeth hurt SLF far more than RLF
+    assert rows[-1][2] > rows[-1][1]
+
+    benchmark.pedantic(
+        lambda: greedy_slf_schedule(sawtooth_instance(n, 12), include_cleanup=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e3-rounds")
+def test_e3_wayup_constant_rounds(benchmark, emit):
+    rows = []
+    for k in (1, 2, 4, 8, 16, 32):
+        schedule = wayup_schedule(waypoint_slalom_instance(k), include_cleanup=False)
+        rows.append([2 * k + 3, k, schedule.n_rounds])
+    emit(
+        "E3c / WayUp rounds on waypoint slaloms (constant in n)",
+        ["n", "crossings k", "wayup rounds"],
+        rows,
+    )
+    assert max(row[2] for row in rows) <= 5
+
+    benchmark.pedantic(
+        lambda: wayup_schedule(waypoint_slalom_instance(32)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e3-rounds")
+def test_e3_scheduler_throughput_large(benchmark):
+    """Scheduler cost on a 400-node reversal (conservative RLF mode)."""
+    problem = reversal_instance(400)
+    schedule = benchmark.pedantic(
+        lambda: peacock_schedule(problem, include_cleanup=False, exact=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert schedule.n_rounds <= 5

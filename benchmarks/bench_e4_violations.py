@@ -1,0 +1,68 @@
+"""E4 -- transient violations under asynchrony (the demo's motivation).
+
+One-shot updates under an asynchronous control channel let packets bypass
+the firewall, loop, and blackhole; the schedulers eliminate the violation
+class they promise to.  The table sweeps channel jitter; expected shape:
+
+* one-shot violations grow with jitter,
+* WayUp: zero bypasses at any jitter (loops allowed -- not its contract),
+* Peacock: zero loops at any jitter (bypasses allowed),
+* two-phase: zero everything (at 2x rule cost).
+"""
+
+import pytest
+
+from repro.netlab.figure1 import run_figure1
+
+JITTER = [("const 0.5ms", "0.5"), ("uniform 0.5-4ms", "uniform:0.5:4"),
+          ("uniform 0.5-10ms", "uniform:0.5:10")]
+SEEDS = range(4)
+
+
+def _totals(algorithm: str, latency: str) -> dict:
+    bypass = loop = drop = injected = 0
+    for seed in SEEDS:
+        result = run_figure1(
+            algorithm=algorithm, seed=seed, channel_latency=latency
+        )
+        counters = result.traffic.counters
+        bypass += counters.bypassed_waypoint
+        loop += counters.looped
+        drop += counters.dropped
+        injected += counters.injected
+    return {"bypass": bypass, "loop": loop, "drop": drop, "injected": injected}
+
+
+@pytest.mark.benchmark(group="e4-violations")
+def test_e4_violation_matrix(benchmark, emit):
+    rows = []
+    results = {}
+    for jitter_name, latency in JITTER:
+        for algorithm in ("oneshot", "wayup", "peacock", "two-phase"):
+            totals = _totals(algorithm, latency)
+            results[(jitter_name, algorithm)] = totals
+            rows.append([
+                jitter_name, algorithm, totals["injected"],
+                totals["bypass"], totals["loop"], totals["drop"],
+            ])
+    emit(
+        "E4 / transient violations vs channel jitter (4 seeds each)",
+        ["channel", "algorithm", "probes", "fw bypass", "loops", "drops"],
+        rows,
+    )
+    for jitter_name, _ in JITTER:
+        assert results[(jitter_name, "wayup")]["bypass"] == 0
+        assert results[(jitter_name, "wayup")]["drop"] == 0
+        assert results[(jitter_name, "peacock")]["loop"] == 0
+        assert results[(jitter_name, "two-phase")]["bypass"] == 0
+        assert results[(jitter_name, "two-phase")]["loop"] == 0
+    heavy = results[("uniform 0.5-10ms", "oneshot")]
+    assert heavy["bypass"] + heavy["loop"] + heavy["drop"] > 0
+
+    benchmark.pedantic(
+        lambda: run_figure1(
+            algorithm="oneshot", seed=0, channel_latency="uniform:0.5:10"
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,92 @@
+"""E5 -- the price of consistency: barrier-fenced rounds vs RTT.
+
+Each round costs one control-channel round trip plus the round's slowest
+rule install plus barrier processing.  The analytic model
+(:mod:`repro.core.cost`) predicts total update time as the sum over
+rounds; this benchmark sweeps the channel RTT and compares model against
+simulation, and shows the per-round decomposition for the Figure-1 WayUp
+update.
+"""
+
+import pytest
+
+from repro.core.cost import CostModel, round_time_breakdown, schedule_update_time
+from repro.core.wayup import wayup_schedule
+from repro.netlab.figure1 import figure1_problem, run_figure1
+
+
+@pytest.mark.benchmark(group="e5-barriers")
+def test_e5_model_vs_simulation_rtt_sweep(benchmark, emit):
+    schedule = wayup_schedule(figure1_problem())
+    rows = []
+    for one_way_ms in (0.5, 1.0, 2.0, 5.0, 10.0):
+        result = run_figure1(
+            algorithm="wayup", seed=1, channel_latency=one_way_ms
+        )
+        cost = CostModel(rtt_ms=2 * one_way_ms, install_ms=0.3, barrier_ms=0.05)
+        predicted = schedule_update_time(schedule, cost)
+        rows.append([
+            one_way_ms,
+            predicted,
+            result.update_duration_ms,
+            result.update_duration_ms / predicted,
+        ])
+    emit(
+        "E5a / update time vs channel latency: analytic model vs simulation",
+        ["one-way ms", "model ms", "simulated ms", "sim/model"],
+        rows,
+    )
+    # the model tracks the simulation within ~35% across the sweep
+    assert all(0.65 <= row[3] <= 1.35 for row in rows)
+
+    benchmark.pedantic(
+        lambda: run_figure1(algorithm="wayup", seed=1, channel_latency=5.0),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e5-barriers")
+def test_e5_round_decomposition(benchmark, emit):
+    schedule = wayup_schedule(figure1_problem())
+    cost = CostModel(rtt_ms=2.0, install_ms=0.3, barrier_ms=0.05)
+    rows = [
+        [row["round"], schedule.metadata["round_names"][row["round"]],
+         row["switches"], row["rtt_ms"], row["slowest_install_ms"],
+         row["total_ms"]]
+        for row in round_time_breakdown(schedule, cost)
+    ]
+    emit(
+        "E5b / per-round time decomposition (Figure-1 WayUp, model)",
+        ["round", "name", "switches", "rtt", "slowest install", "total ms"],
+        rows,
+    )
+    assert len(rows) == schedule.n_rounds
+
+    benchmark.pedantic(
+        lambda: schedule_update_time(schedule, cost), rounds=20, iterations=10
+    )
+
+
+@pytest.mark.benchmark(group="e5-barriers")
+def test_e5_rounds_dominate_when_rtt_large(benchmark, emit):
+    """With WAN-scale RTT, update time is essentially rounds x RTT."""
+    rows = []
+    for algorithm, rounds_hint in (("oneshot", 1), ("two-phase", 3), ("wayup", 5)):
+        result = run_figure1(algorithm=algorithm, seed=1, channel_latency=25.0)
+        rows.append([
+            algorithm, result.rounds, result.update_duration_ms,
+            result.update_duration_ms / (2 * 25.0),
+        ])
+    emit(
+        "E5c / WAN control channel (25 ms one-way): rounds dominate",
+        ["algorithm", "rounds", "update ms", "~RTT multiples"],
+        rows,
+    )
+    assert rows[0][2] < rows[1][2] < rows[2][2]
+
+    benchmark.pedantic(
+        lambda: run_figure1(algorithm="two-phase", seed=1, channel_latency=25.0),
+        rounds=3,
+        iterations=1,
+    )

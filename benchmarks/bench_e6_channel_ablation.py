@@ -1,0 +1,96 @@
+"""E6 -- ablation: what exactly buys the safety?
+
+Two knobs the paper's design relies on:
+
+* **barriers** -- rounds are fenced by barrier request/reply.  Replacing
+  them with interval timers (as a naive implementation might) re-opens
+  the window: a slow switch is still installing round r while round r+1
+  ships, and WayUp's waypoint guarantee evaporates.
+* **FIFO vs reordering channels** -- even with in-order (TCP-like)
+  delivery per switch, *cross-switch* asynchrony alone breaks one-shot
+  updates; a reordering channel makes single-switch command order
+  unreliable too and hurts more.
+"""
+
+import pytest
+
+from repro.netlab.figure1 import run_figure1
+
+SEEDS = range(4)
+
+
+def _violations(**kwargs) -> tuple[int, int]:
+    bypass = total = 0
+    for seed in SEEDS:
+        result = run_figure1(seed=seed, **kwargs)
+        bypass += result.traffic.counters.bypassed_waypoint
+        total += result.traffic.counters.violations
+    return bypass, total
+
+
+@pytest.mark.benchmark(group="e6-ablation")
+def test_e6_barriers_vs_timers(benchmark, emit):
+    rows = []
+    fenced_bypass, fenced_total = _violations(
+        algorithm="wayup", channel_latency="uniform:0.5:6"
+    )
+    rows.append(["wayup", "barriers", fenced_bypass, fenced_total])
+    for interval in (0.5, 2.0, 10.0, 30.0):
+        bypass, total = _violations(
+            algorithm="wayup",
+            channel_latency="uniform:0.5:6",
+            use_barriers=False,
+            interval_ms=interval,
+        )
+        rows.append(["wayup", f"timer {interval}ms", bypass, total])
+    emit(
+        "E6a / round fencing: barriers vs interval timers (4 seeds)",
+        ["algorithm", "fencing", "fw bypasses", "all violations"],
+        rows,
+    )
+    assert rows[0][2] == 0  # barriers: contract holds
+    assert rows[1][2] > 0   # fast timers: contract broken
+    # long enough timers approximate barriers again
+    assert rows[-1][2] <= rows[1][2]
+
+    benchmark.pedantic(
+        lambda: run_figure1(
+            algorithm="wayup", seed=0, channel_latency="uniform:0.5:6",
+            use_barriers=False, interval_ms=0.5,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e6-ablation")
+def test_e6_fifo_vs_reordering(benchmark, emit):
+    rows = []
+    for channel_kind, fifo in (("fifo (TCP-like)", True), ("reordering", False)):
+        for algorithm in ("oneshot", "wayup"):
+            bypass, total = _violations(
+                algorithm=algorithm,
+                channel_latency="uniform:0.5:6",
+                fifo=fifo,
+            )
+            rows.append([channel_kind, algorithm, bypass, total])
+    emit(
+        "E6b / channel semantics: FIFO vs reordering (4 seeds)",
+        ["channel", "algorithm", "fw bypasses", "all violations"],
+        rows,
+    )
+    by_key = {(r[0], r[1]): r[3] for r in rows}
+    # one-shot is broken either way; wayup stays waypoint-clean on both,
+    # because barriers fence rounds regardless of channel ordering
+    wayup_rows = [r for r in rows if r[1] == "wayup"]
+    assert all(r[2] == 0 for r in wayup_rows)
+    assert by_key[("fifo (TCP-like)", "oneshot")] > 0
+
+    benchmark.pedantic(
+        lambda: run_figure1(
+            algorithm="oneshot", seed=0, channel_latency="uniform:0.5:6",
+            fifo=False,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Every benchmark prints its paper-table analogue through :func:`emit` and
+also appends it to ``benchmarks/results/tables.txt`` so the regenerated
+tables survive pytest's output capture.  EXPERIMENTS.md records a
+reference run of these tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _emit(title: str, headers, rows) -> str:
+    from repro.metrics.report import ascii_table
+
+    table = ascii_table(headers, rows, title=title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "tables.txt", "a", encoding="utf-8") as handle:
+        handle.write(table + "\n\n")
+    print("\n" + table)
+    return table
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print + persist an experiment table."""
+    return _emit
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    tables = RESULTS_DIR / "tables.txt"
+    if tables.exists():
+        tables.unlink()
+    yield

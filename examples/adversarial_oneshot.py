@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why scheduling matters: one-shot updates under channel asynchrony.
+
+Replays the same Figure-1 policy change with four strategies while the
+control channel gets progressively more asynchronous, and counts what the
+probe traffic experiences: firewall bypasses, loops, blackholes.  This is
+the motivation experiment of the demo (and benchmark E4) as a narrative.
+
+Run: ``python examples/adversarial_oneshot.py``
+"""
+
+from repro.metrics import ascii_table
+from repro.netlab import run_figure1
+
+CHANNELS = [
+    ("synchronous-ish", "0.5"),
+    ("mild jitter", "uniform:0.5:3"),
+    ("heavy jitter", "uniform:0.5:10"),
+    ("heavy tail", "lognormal:2:1.0"),
+]
+
+ALGORITHMS = ["oneshot", "wayup", "peacock", "two-phase"]
+
+
+def main() -> None:
+    rows = []
+    for channel_name, latency_spec in CHANNELS:
+        for algorithm in ALGORITHMS:
+            totals = {"bypass": 0, "loop": 0, "drop": 0, "n": 0}
+            for seed in range(5):
+                result = run_figure1(
+                    algorithm=algorithm, seed=seed, channel_latency=latency_spec
+                )
+                counters = result.traffic.counters
+                totals["bypass"] += counters.bypassed_waypoint
+                totals["loop"] += counters.looped
+                totals["drop"] += counters.dropped
+                totals["n"] += counters.injected
+            rows.append([
+                channel_name,
+                algorithm,
+                totals["n"],
+                totals["bypass"],
+                totals["loop"],
+                totals["drop"],
+            ])
+    print(ascii_table(
+        ["channel", "algorithm", "probes", "fw bypasses", "loops", "drops"],
+        rows,
+        title="Transient violations during the Figure-1 update (5 seeds)",
+    ))
+    print(
+        "\nReading: one-shot updates blackhole/bypass under asynchrony;\n"
+        "WayUp never bypasses the firewall (its contract); Peacock never\n"
+        "loops (its contract); two-phase is clean at the cost of extra\n"
+        "rules. The schedulers turn asynchrony from a security problem\n"
+        "into a latency line-item."
+    )
+
+
+if __name__ == "__main__":
+    main()

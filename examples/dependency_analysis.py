@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Why WayUp's rounds look the way they do: forced-order analysis.
+
+Takes the crossing instance (old ``1 2 3 4 5``, new ``1 4 3 2 5``,
+waypoint 3) and derives, from the verifiers alone:
+
+1. which updates can never go first,
+2. which pairwise orders are *forced* in every waypoint-enforcing
+   schedule (exact, via constrained exhaustive search),
+3. why adding loop freedom makes the instance infeasible, and
+4. a control-plane trace of the executed schedule proving the round FSM
+   honored the forced orders on the wire.
+
+Run: ``python examples/dependency_analysis.py``
+"""
+
+from repro.core import (
+    Property,
+    dependency_graph,
+    explain_schedule,
+    greedy_deadlock_certificate,
+    unsafe_alone,
+    wayup_schedule,
+)
+from repro.core.hardness import crossing_instance
+from repro.controller import ControlPlaneTrace
+from repro.metrics import ascii_table
+
+
+def main() -> None:
+    problem = crossing_instance()
+    print(f"instance: {problem}\n")
+
+    # -- 1. who can start? -----------------------------------------------------
+    blocked = unsafe_alone(problem, (Property.WPE,))
+    print(f"unsafe as the first update (WPE): {sorted(blocked)}")
+    print("  - 2 first: packets jump from the old prefix straight to d")
+    print("  - 1 first: packets enter the unprepared new path and skip w\n")
+
+    # -- 2. forced orders ------------------------------------------------------
+    graph = dependency_graph(problem, (Property.WPE,))
+    rows = [[before, after] for before, after in sorted(graph.edges)]
+    print(ascii_table(["must precede", "node"], rows,
+                      title="orders forced in EVERY waypoint-enforcing schedule"))
+
+    schedule = wayup_schedule(problem, include_cleanup=False)
+    print("\nWayUp's realization:")
+    for line in explain_schedule(schedule):
+        print(f"  {line}")
+    for before, after in graph.edges:
+        assert schedule.round_of(before) < schedule.round_of(after)
+    print("  (every forced order respected)\n")
+
+    # -- 3. the loop-freedom clash --------------------------------------------
+    certificate = greedy_deadlock_certificate(
+        problem, (Property.WPE, Property.SLF)
+    )
+    print(f"WPE + strong loop freedom: EVERY node is unsafe first "
+          f"({sorted(certificate)}) -- no schedule can begin; the "
+          f"combination is infeasible (the HotNets'14 impossibility).\n")
+
+    # -- 4. the wire agrees ----------------------------------------------------
+    from repro.netlab.scenario import UpdateScenario
+    from repro.topology.graph import Topology
+
+    topo = Topology(name="crossing")
+    for node in sorted(problem.nodes):
+        topo.add_switch(node)
+    seen = set()
+    for path in (problem.old_path, problem.new_path):
+        for u, v in path.edges():
+            if frozenset((u, v)) not in seen:
+                seen.add(frozenset((u, v)))
+                topo.add_link(u, v)
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.add_link("h1", 1)
+    topo.add_link("h2", 5)
+    scenario = UpdateScenario(
+        topo=topo, problem=problem, source_host="h1", destination_host="h2",
+        algorithm="wayup", seed=0,
+    )
+    trace = ControlPlaneTrace().attach(scenario.network)
+    result = scenario.run()
+    counters = result.traffic.counters
+    print(f"executed on the simulated network: {result.rounds} rounds, "
+          f"{len(trace)} control messages traced")
+    print(f"  firewall bypasses: {counters.bypassed_waypoint} "
+          f"(WayUp's guarantee, held)")
+    print(f"  transient loops:   {counters.looped} "
+          f"(the price of WPE on a crossing -- loop freedom is provably "
+          f"unachievable here)")
+    mods = [(e.time_ms, e.dpid) for e in trace.of_type("FLOW_MOD")]
+    print("FlowMod send order (time ms, switch):",
+          [(round(t, 2), d) for t, d in mods])
+
+
+if __name__ == "__main__":
+    main()

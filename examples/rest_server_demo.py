@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Serve the Figure-1 network over real HTTP and drive it with curl.
+
+This is the closest analogue of the original demo setup: a controller
+REST API on localhost that accepts the paper's update messages.  The
+script starts the server, issues the update against itself with urllib
+(so it works unattended), prints the exchange, and leaves the server up
+for manual curl until Ctrl-C (pass ``--once`` to exit after the demo).
+
+Run: ``python examples/rest_server_demo.py [--once]``
+
+Manual drive, while it runs::
+
+    curl http://127.0.0.1:8080/stats/switches
+    curl -X POST -d '{"oldpath": [1,2,9,3,4,5,12],
+                      "newpath": [1,6,2,5,3,7,8,12],
+                      "wp": 3, "interval": 0}' \
+         http://127.0.0.1:8080/update/wayup
+"""
+
+import json
+import sys
+import time
+import urllib.request
+
+from repro.netlab import build_figure1_scenario
+from repro.rest import RestHttpServer, build_rest_api
+
+
+def main() -> None:
+    scenario = build_figure1_scenario(algorithm="wayup", seed=0)
+    scenario.prepare()
+    api = build_rest_api(
+        scenario.ofctl_app,
+        scenario.update_app,
+        scenario.update_queue,
+        flush=scenario.network.flush,
+    )
+    server = RestHttpServer(api, port=0)
+    server.start()
+    print(f"REST server on {server.url}")
+
+    problem = scenario.problem
+    body = json.dumps({
+        "oldpath": list(problem.old_path.nodes),
+        "newpath": list(problem.new_path.nodes),
+        "wp": problem.waypoint,
+        "interval": 0,
+    }).encode()
+    request = urllib.request.Request(
+        f"{server.url}/update/wayup", data=body, method="POST"
+    )
+    print("\nPOST /update/wayup")
+    with urllib.request.urlopen(request) as response:
+        summary = json.loads(response.read())
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+    with urllib.request.urlopen(
+        f"{server.url}/update/{summary['update_id']}"
+    ) as response:
+        print("\nGET /update/" + summary["update_id"])
+        print(json.dumps(json.loads(response.read()), indent=2, sort_keys=True))
+
+    if "--once" in sys.argv:
+        server.stop()
+        return
+    print("\nserver stays up for manual curl; Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        server.stop()
+
+
+if __name__ == "__main__":
+    main()

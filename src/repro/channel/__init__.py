@@ -1,0 +1,31 @@
+"""Asynchronous control-channel substrate."""
+
+from repro.channel.base import (
+    ChannelStats,
+    ControlChannel,
+    fifo_channel,
+    reordering_channel,
+)
+from repro.channel.latency_models import (
+    Constant,
+    Exponential,
+    LatencyModel,
+    LogNormal,
+    Pareto,
+    Uniform,
+    from_spec,
+)
+
+__all__ = [
+    "ChannelStats",
+    "Constant",
+    "ControlChannel",
+    "Exponential",
+    "LatencyModel",
+    "LogNormal",
+    "Pareto",
+    "Uniform",
+    "fifo_channel",
+    "from_spec",
+    "reordering_channel",
+]

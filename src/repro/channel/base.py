@@ -1,0 +1,174 @@
+"""Asynchronous control channels between the controller and switches.
+
+The channel is where the paper's problem lives: OpenFlow commands travel
+over an asynchronous network, so the time between *sending* a FlowMod and
+the rule *taking effect* varies per switch and per message.  A
+:class:`ControlChannel` is a duplex, event-driven pipe with a pluggable
+latency model, optional loss (modelled as retransmission delay, as TCP
+would surface it) and a choice between FIFO delivery (TCP-like, per
+direction) and free reordering (the adversarial end-to-end behaviour the
+demo guards against).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ChannelClosedError, ChannelError
+from repro.channel.latency_models import Constant, LatencyModel
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class ChannelStats:
+    """Counters kept per channel, per direction."""
+
+    to_switch_sent: int = 0
+    to_switch_delivered: int = 0
+    to_controller_sent: int = 0
+    to_controller_delivered: int = 0
+    retransmissions: int = 0
+    latency_sum_ms: float = 0.0
+
+    def mean_latency_ms(self) -> float:
+        delivered = self.to_switch_delivered + self.to_controller_delivered
+        return self.latency_sum_ms / delivered if delivered else 0.0
+
+
+class ControlChannel:
+    """Duplex controller<->switch channel on a shared simulator.
+
+    Parameters
+    ----------
+    sim:
+        The shared :class:`~repro.sim.simulator.Simulator`.
+    latency:
+        Per-message one-way delay distribution.
+    rng:
+        Dedicated random stream (see :class:`~repro.sim.random_source.RandomStreams`).
+    fifo:
+        When True (default, TCP-like) each direction delivers in send
+        order; when False messages may overtake each other.
+    drop_prob / rto_ms:
+        Loss is surfaced the way TCP surfaces it: a dropped transmission
+        costs one retransmission timeout and is retried, so the message
+        arrives late rather than never.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | float = 1.0,
+        rng: random.Random | None = None,
+        name: str = "chan",
+        fifo: bool = True,
+        drop_prob: float = 0.0,
+        rto_ms: float = 50.0,
+        max_retries: int = 16,
+    ) -> None:
+        if not 0.0 <= drop_prob < 1.0:
+            raise ChannelError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        self.sim = sim
+        self.latency = Constant(float(latency)) if isinstance(latency, (int, float)) else latency
+        self.rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.fifo = fifo
+        self.drop_prob = drop_prob
+        self.rto_ms = rto_ms
+        self.max_retries = max_retries
+        self.stats = ChannelStats()
+        self._closed = False
+        self._switch_handler: Callable[[Any], None] | None = None
+        self._controller_handler: Callable[[Any], None] | None = None
+        # per-direction FIFO horizon: nothing may be delivered before it
+        self._horizon = {"switch": 0.0, "controller": 0.0}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind_switch(self, handler: Callable[[Any], None]) -> None:
+        """Register the switch-side receive callback."""
+        self._switch_handler = handler
+
+    def bind_controller(self, handler: Callable[[Any], None]) -> None:
+        """Register the controller-side receive callback."""
+        self._controller_handler = handler
+
+    def close(self) -> None:
+        """Stop accepting messages (in-flight ones still deliver)."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def to_switch(self, message: Any) -> float:
+        """Send ``message`` controller->switch; returns the delivery time."""
+        self.stats.to_switch_sent += 1
+        return self._send(message, "switch")
+
+    def to_controller(self, message: Any) -> float:
+        """Send ``message`` switch->controller; returns the delivery time."""
+        self.stats.to_controller_sent += 1
+        return self._send(message, "controller")
+
+    def _send(self, message: Any, direction: str) -> float:
+        if self._closed:
+            raise ChannelClosedError(f"channel {self.name!r} is closed")
+        delay = self.latency.sample(self.rng)
+        retries = 0
+        while self.drop_prob and self.rng.random() < self.drop_prob:
+            retries += 1
+            if retries > self.max_retries:
+                raise ChannelError(
+                    f"channel {self.name!r} exceeded {self.max_retries} retries"
+                )
+            delay += self.rto_ms + self.latency.sample(self.rng)
+        self.stats.retransmissions += retries
+        deliver_at = self.sim.now + delay
+        if self.fifo:
+            deliver_at = max(deliver_at, self._horizon[direction])
+            self._horizon[direction] = deliver_at
+        self.stats.latency_sum_ms += deliver_at - self.sim.now
+        self.sim.schedule_at(deliver_at, self._deliver, message, direction)
+        return deliver_at
+
+    def _deliver(self, message: Any, direction: str) -> None:
+        if direction == "switch":
+            handler = self._switch_handler
+            self.stats.to_switch_delivered += 1
+        else:
+            handler = self._controller_handler
+            self.stats.to_controller_delivered += 1
+        if handler is None:
+            raise ChannelError(
+                f"channel {self.name!r} has no {direction}-side handler bound"
+            )
+        handler(message)
+
+
+def fifo_channel(
+    sim: Simulator,
+    latency: LatencyModel | float = 1.0,
+    rng: random.Random | None = None,
+    name: str = "chan",
+    **kwargs: Any,
+) -> ControlChannel:
+    """A TCP-like in-order channel (the realistic default)."""
+    return ControlChannel(sim, latency=latency, rng=rng, name=name, fifo=True, **kwargs)
+
+
+def reordering_channel(
+    sim: Simulator,
+    latency: LatencyModel | float = 1.0,
+    rng: random.Random | None = None,
+    name: str = "chan",
+    **kwargs: Any,
+) -> ControlChannel:
+    """A channel where messages may overtake each other (adversarial)."""
+    return ControlChannel(sim, latency=latency, rng=rng, name=name, fifo=False, **kwargs)

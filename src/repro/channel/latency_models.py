@@ -1,0 +1,161 @@
+"""Latency models for control channels and switch rule installation.
+
+Each model draws per-message (or per-FlowMod) delays from a distribution;
+models carry no RNG of their own -- a stream from
+:class:`~repro.sim.random_source.RandomStreams` is passed at sample time so
+components stay independently reproducible.
+
+The lognormal and Pareto shapes follow the measurement literature on
+control-plane latencies and hardware flow-table updates (heavy upper
+tails); Kuzniar et al. (PAM'15) is the reference for the switch presets in
+:mod:`repro.switch.latency`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ChannelError
+
+
+class LatencyModel:
+    """Base class: a distribution of non-negative millisecond delays."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean in ms (used by the cost model and reports)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(LatencyModel):
+    """Always ``value`` ms -- the synchronous idealization."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ChannelError(f"negative latency {self.value}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform(LatencyModel):
+    """Uniform in ``[low, high]`` ms."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ChannelError(f"bad uniform range [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class Exponential(LatencyModel):
+    """Exponential with the given mean, shifted by ``floor`` ms."""
+
+    mean_ms: float
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_ms <= 0 or self.floor < 0:
+            raise ChannelError(f"bad exponential params {self}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean_ms)
+
+    def mean(self) -> float:
+        return self.floor + self.mean_ms
+
+
+@dataclass(frozen=True)
+class LogNormal(LatencyModel):
+    """Lognormal parameterized by its *median* and shape ``sigma``."""
+
+    median: float
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise ChannelError(f"bad lognormal params {self}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+    def mean(self) -> float:
+        return self.median * math.exp(self.sigma**2 / 2.0)
+
+
+@dataclass(frozen=True)
+class Pareto(LatencyModel):
+    """Bounded Pareto: heavy tail truncated at ``cap`` ms.
+
+    ``scale`` is the minimum, ``alpha`` the tail index (smaller = heavier).
+    """
+
+    scale: float
+    alpha: float = 2.5
+    cap: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.alpha <= 0 or self.cap < self.scale:
+            raise ChannelError(f"bad pareto params {self}")
+
+    def sample(self, rng: random.Random) -> float:
+        value = self.scale * (1.0 + rng.paretovariate(self.alpha) - 1.0)
+        return min(value, self.cap)
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return self.cap  # undefined tail mean; the cap dominates
+        raw = self.scale * self.alpha / (self.alpha - 1.0)
+        return min(raw, self.cap)
+
+
+def from_spec(spec: "str | float | LatencyModel") -> LatencyModel:
+    """Parse shorthand specs: ``2.0``, ``"uniform:1:5"``, ``"exp:3"``, ...
+
+    Accepted forms: a bare number (constant), ``const:V``, ``uniform:L:H``,
+    ``exp:MEAN[:FLOOR]``, ``lognormal:MEDIAN[:SIGMA]``,
+    ``pareto:SCALE[:ALPHA[:CAP]]`` -- or an existing model (passed through).
+    """
+    if isinstance(spec, LatencyModel):
+        return spec
+    if isinstance(spec, (int, float)):
+        return Constant(float(spec))
+    try:
+        return Constant(float(spec))
+    except ValueError:
+        pass
+    parts = spec.split(":")
+    kind, args = parts[0], [float(x) for x in parts[1:]]
+    try:
+        if kind in ("const", "constant"):
+            return Constant(*args)
+        if kind == "uniform":
+            return Uniform(*args)
+        if kind == "exp":
+            return Exponential(*args)
+        if kind == "lognormal":
+            return LogNormal(*args)
+        if kind == "pareto":
+            return Pareto(*args)
+    except TypeError:
+        raise ChannelError(f"bad latency spec arguments: {spec!r}") from None
+    raise ChannelError(f"unknown latency model {kind!r}")

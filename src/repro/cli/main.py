@@ -1,0 +1,261 @@
+"""The ``repro`` command-line interface.
+
+Subcommands::
+
+    repro figure1   -- run the paper's Figure 1 demo scenario
+    repro schedule  -- compute and verify a schedule for given paths
+    repro rounds    -- round-count scaling table on adversarial families
+    repro topo      -- generate a topology JSON file
+    repro serve     -- expose the demo over the REST HTTP binding
+
+Each prints human-readable tables; ``--json`` switches to machine output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.greedy_slf import greedy_slf_schedule
+from repro.core.hardness import (
+    reversal_instance,
+    sawtooth_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.oneshot import oneshot_schedule
+from repro.core.peacock import peacock_schedule
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property, verify_schedule
+from repro.core.wayup import wayup_schedule
+from repro.errors import ReproError
+from repro.metrics.report import ascii_table
+from repro.topology import builders
+from repro.topology.io import save_topology
+
+_PROPERTY_BY_NAME = {
+    "wpe": Property.WPE,
+    "slf": Property.SLF,
+    "rlf": Property.RLF,
+    "blackhole": Property.BLACKHOLE,
+}
+
+_SCHEDULERS = {
+    "wayup": wayup_schedule,
+    "peacock": peacock_schedule,
+    "greedy-slf": greedy_slf_schedule,
+    "oneshot": oneshot_schedule,
+}
+
+
+def _parse_path(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise SystemExit(f"bad path {text!r}; expected comma-separated ints") from None
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.netlab.figure1 import run_figure1
+
+    result = run_figure1(
+        algorithm=args.algorithm,
+        seed=args.seed,
+        channel_latency=args.channel_latency,
+        packet_mode=args.packet_mode,
+    )
+    data = result.as_dict()
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    rows = [[key, value] for key, value in data.items()]
+    print(ascii_table(["metric", "value"], rows, title=f"Figure 1 / {args.algorithm}"))
+    return 0 if result.violations == 0 or args.algorithm == "oneshot" else 1
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    problem = UpdateProblem(
+        _parse_path(args.old), _parse_path(args.new), waypoint=args.wp
+    )
+    factory = _SCHEDULERS[args.algorithm]
+    schedule = factory(problem)
+    properties = tuple(
+        _PROPERTY_BY_NAME[name] for name in (args.properties or "").split(",") if name
+    ) or None
+    report = verify_schedule(schedule, properties=properties)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schedule": schedule.to_dict(),
+                    "ok": report.ok,
+                    "violations": [str(v) for v in report.violations],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if report.ok else 1
+    names = schedule.metadata.get("round_names") or [
+        str(i) for i in range(schedule.n_rounds)
+    ]
+    rows = [
+        [index, names[index], ", ".join(map(str, sorted(nodes, key=repr)))]
+        for index, nodes in enumerate(schedule.rounds)
+    ]
+    print(ascii_table(["round", "name", "switches"], rows, title=args.algorithm))
+    print(f"verified: {report.ok}")
+    for violation in report.violations:
+        print(f"  {violation}")
+    if args.explain:
+        from repro.core.analysis import explain_schedule
+
+        for line in explain_schedule(schedule):
+            print(line)
+    return 0 if report.ok else 1
+
+
+def cmd_rounds(args: argparse.Namespace) -> int:
+    families = {
+        "reversal": reversal_instance,
+        "sawtooth": lambda n: sawtooth_instance(n, block=max(2, n // 4)),
+        "slalom": lambda n: waypoint_slalom_instance(max(1, (n - 3) // 2)),
+    }
+    family = families[args.family]
+    rows = []
+    for n in range(args.n_min, args.n_max + 1, args.step):
+        problem = family(n)
+        peacock = peacock_schedule(problem, include_cleanup=False)
+        greedy = greedy_slf_schedule(problem, include_cleanup=False)
+        row = [n, peacock.n_rounds, greedy.n_rounds]
+        if problem.waypoint is not None:
+            row.append(wayup_schedule(problem, include_cleanup=False).n_rounds)
+        else:
+            row.append("-")
+        rows.append(row)
+    print(
+        ascii_table(
+            ["n", "peacock (RLF)", "greedy (SLF)", "wayup (WPE)"],
+            rows,
+            title=f"rounds on {args.family} instances",
+        )
+    )
+    return 0
+
+
+def cmd_topo(args: argparse.Namespace) -> int:
+    kinds = {
+        "linear": lambda: builders.linear(args.n, with_hosts=args.hosts),
+        "ring": lambda: builders.ring(args.n),
+        "grid": lambda: builders.grid(args.n, args.n),
+        "fat-tree": lambda: builders.fat_tree(args.n),
+        "figure1": lambda: builders.figure1(with_hosts=args.hosts),
+    }
+    topo = kinds[args.kind]()
+    save_topology(topo, args.out)
+    print(f"wrote {topo.name}: {len(topo)} nodes, {len(topo.links())} links -> {args.out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.netlab.figure1 import build_figure1_scenario
+    from repro.rest.api import build_rest_api
+    from repro.rest.http_binding import RestHttpServer
+
+    scenario = build_figure1_scenario(algorithm="wayup", seed=args.seed)
+    scenario.prepare()
+    api = build_rest_api(
+        scenario.ofctl_app,
+        scenario.update_app,
+        scenario.update_queue,
+        flush=scenario.network.flush,
+    )
+    server = RestHttpServer(api, port=args.port)
+    server.start()
+    print(f"figure-1 network ready; REST on {server.url}")
+    print("try: curl -X POST -d '{" + '"oldpath": [1,2,9,3,4,5,12], '
+          '"newpath": [1,6,2,5,3,7,8,12], "wp": 3, "interval": 0'
+          + "}' " + f"{server.url}/update/wayup")
+    try:
+        import time
+
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transiently secure SDN updates: schedulers, verifiers, demo",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure1", help="run the paper's demo scenario")
+    p_fig.add_argument("--algorithm", default="wayup",
+                       choices=["wayup", "peacock", "oneshot", "greedy-slf", "two-phase"])
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--channel-latency", default="1.0")
+    p_fig.add_argument("--packet-mode", default="instant", choices=["instant", "perhop"])
+    p_fig.add_argument("--json", action="store_true")
+    p_fig.set_defaults(func=cmd_figure1)
+
+    p_sched = sub.add_parser("schedule", help="compute and verify a schedule")
+    p_sched.add_argument("--old", required=True, help="comma-separated dpids")
+    p_sched.add_argument("--new", required=True, help="comma-separated dpids")
+    p_sched.add_argument("--wp", type=int, default=None)
+    p_sched.add_argument("--algorithm", default="wayup", choices=sorted(_SCHEDULERS))
+    p_sched.add_argument("--properties", default=None,
+                         help="comma-separated: wpe,slf,rlf,blackhole")
+    p_sched.add_argument("--explain", action="store_true",
+                         help="print the per-round change narrative")
+    p_sched.add_argument("--json", action="store_true")
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_rounds = sub.add_parser("rounds", help="round-count scaling table")
+    p_rounds.add_argument("--family", default="reversal",
+                          choices=["reversal", "sawtooth", "slalom"])
+    p_rounds.add_argument("--n-min", type=int, default=5)
+    p_rounds.add_argument("--n-max", type=int, default=25)
+    p_rounds.add_argument("--step", type=int, default=5)
+    p_rounds.set_defaults(func=cmd_rounds)
+
+    p_topo = sub.add_parser("topo", help="generate a topology JSON")
+    p_topo.add_argument("--kind", default="figure1",
+                        choices=["linear", "ring", "grid", "fat-tree", "figure1"])
+    p_topo.add_argument("--n", type=int, default=4)
+    p_topo.add_argument("--hosts", action="store_true")
+    p_topo.add_argument("--out", default="topology.json")
+    p_topo.set_defaults(func=cmd_topo)
+
+    p_serve = sub.add_parser("serve", help="REST HTTP server on the demo network")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Controller substrate: Ryu-like runtime, round FSM and REST apps."""
+
+from repro.controller.app import RyuLikeApp
+from repro.controller.core import Controller
+from repro.controller.datapath_handle import Datapath
+from repro.controller.events import (
+    BarrierSeen,
+    ControllerEvent,
+    DatapathConnected,
+    DatapathDisconnected,
+    ErrorSeen,
+    FlowRemovedSeen,
+    PacketInSeen,
+    UpdateCompleted,
+    UpdateRoundCompleted,
+)
+from repro.controller.monitoring import MonitoringApp, RttStats
+from repro.controller.ofctl_rest import OfctlRestApp, StatsFuture
+from repro.controller.ofctl_rest_own import (
+    SCHEDULERS,
+    TransientUpdateApp,
+    contract_properties,
+)
+from repro.controller.rules import (
+    POLICY_PRIORITY,
+    TAGGED_PRIORITY,
+    CompiledRound,
+    CompiledUpdate,
+    compile_initial_rules,
+    compile_schedule,
+    compile_two_phase,
+)
+from repro.controller.trace import ControlPlaneTrace, TraceEntry
+from repro.controller.update_queue import (
+    RoundTiming,
+    UpdateExecution,
+    UpdateQueueApp,
+)
+
+__all__ = [
+    "BarrierSeen",
+    "CompiledRound",
+    "ControlPlaneTrace",
+    "CompiledUpdate",
+    "Controller",
+    "ControllerEvent",
+    "Datapath",
+    "DatapathConnected",
+    "DatapathDisconnected",
+    "ErrorSeen",
+    "FlowRemovedSeen",
+    "MonitoringApp",
+    "OfctlRestApp",
+    "POLICY_PRIORITY",
+    "PacketInSeen",
+    "RoundTiming",
+    "RttStats",
+    "RyuLikeApp",
+    "SCHEDULERS",
+    "StatsFuture",
+    "TAGGED_PRIORITY",
+    "TraceEntry",
+    "TransientUpdateApp",
+    "UpdateCompleted",
+    "UpdateExecution",
+    "UpdateQueueApp",
+    "UpdateRoundCompleted",
+    "compile_initial_rules",
+    "compile_schedule",
+    "compile_two_phase",
+    "contract_properties",
+]

@@ -1,0 +1,36 @@
+"""Controller-side handle for one connected switch (Ryu's ``Datapath``)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.channel.base import ControlChannel
+from repro.openflow.messages import BarrierRequest, OpenFlowMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.core import Controller
+
+
+class Datapath:
+    """Send-side view of a switch connection, with xid allocation."""
+
+    def __init__(self, controller: "Controller", dpid: int, channel: ControlChannel) -> None:
+        self.controller = controller
+        self.dpid = dpid
+        self.channel = channel
+        self.messages_sent = 0
+
+    def send_msg(self, message: OpenFlowMessage) -> int:
+        """Assign an xid (when unset) and ship the message; returns the xid."""
+        if message.xid == 0:
+            message.xid = self.controller.next_xid()
+        self.messages_sent += 1
+        self.channel.to_switch(message)
+        return message.xid
+
+    def send_barrier(self) -> int:
+        """Send a BarrierRequest; returns its xid for reply matching."""
+        return self.send_msg(BarrierRequest())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Datapath(dpid={self.dpid})"

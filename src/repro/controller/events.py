@@ -1,0 +1,69 @@
+"""Controller-side events dispatched to apps (Ryu's event model, simplified)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ControllerEvent:
+    """Base class for events handed to apps."""
+
+    time_ms: float
+
+
+@dataclass(frozen=True)
+class DatapathConnected(ControllerEvent):
+    """Handshake with a switch completed (Hello + FeaturesReply seen)."""
+
+    dpid: int
+
+
+@dataclass(frozen=True)
+class DatapathDisconnected(ControllerEvent):
+    dpid: int
+
+
+@dataclass(frozen=True)
+class BarrierSeen(ControllerEvent):
+    """A BarrierReply arrived."""
+
+    dpid: int
+    xid: int
+
+
+@dataclass(frozen=True)
+class PacketInSeen(ControllerEvent):
+    dpid: int
+    message: Any
+
+
+@dataclass(frozen=True)
+class ErrorSeen(ControllerEvent):
+    dpid: int
+    message: Any
+
+
+@dataclass(frozen=True)
+class FlowRemovedSeen(ControllerEvent):
+    dpid: int
+    message: Any
+
+
+@dataclass(frozen=True)
+class UpdateRoundCompleted(ControllerEvent):
+    """One round of a queued update finished (all barriers in)."""
+
+    update_id: str
+    round_index: int
+    duration_ms: float
+
+
+@dataclass(frozen=True)
+class UpdateCompleted(ControllerEvent):
+    """A queued update finished all its rounds."""
+
+    update_id: str
+    rounds: int
+    duration_ms: float

@@ -1,0 +1,133 @@
+"""Controller-side liveness and RTT monitoring (echo probing).
+
+Real controllers continuously probe their switches with EchoRequests; the
+measured control-channel RTT is exactly the quantity the cost model's
+``rtt_ms`` parameter abstracts, so this app closes the loop: scenarios can
+*measure* their channel and feed the estimate into
+:class:`~repro.core.cost.CostModel` predictions instead of assuming one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.app import RyuLikeApp
+from repro.controller.datapath_handle import Datapath
+from repro.openflow.messages import EchoReply, EchoRequest
+
+
+@dataclass
+class RttStats:
+    """Per-switch RTT samples in milliseconds."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, rtt_ms: float) -> None:
+        self.samples.append(rtt_ms)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean_ms(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def max_ms(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+class MonitoringApp(RyuLikeApp):
+    """Periodic echo probing of every connected switch.
+
+    ``interval_ms <= 0`` disables the periodic loop; :meth:`probe` can
+    still be called manually.  Probing stops automatically when the
+    simulator drains (events are only scheduled while probes are pending
+    or the loop is armed), so scenarios terminate.
+    """
+
+    name = "monitoring"
+
+    def __init__(self, interval_ms: float = 0.0, max_probes: int = 0) -> None:
+        super().__init__()
+        self.interval_ms = interval_ms
+        self.max_probes = max_probes
+        self.rtt: dict[int, RttStats] = {}
+        self._sent_at: dict[int, tuple[int, float]] = {}  # xid -> (dpid, t)
+        self._probes_sent = 0
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def probe(self, datapath: Datapath) -> int:
+        """Send one echo to ``datapath``; returns the xid."""
+        assert self.controller is not None
+        payload = self._probes_sent.to_bytes(4, "big")
+        xid = datapath.send_msg(EchoRequest(data=payload))
+        self._sent_at[xid] = (datapath.dpid, self.controller.sim.now)
+        self._probes_sent += 1
+        return xid
+
+    def probe_all(self) -> int:
+        """Probe every connected switch; returns how many were sent."""
+        assert self.controller is not None
+        count = 0
+        for dpid in self.controller.connected_dpids:
+            self.probe(self.controller.datapath(dpid))
+            count += 1
+        return count
+
+    def start(self) -> None:
+        """Arm the periodic loop (requires ``interval_ms > 0``)."""
+        if self.interval_ms <= 0 or self._armed:
+            return
+        self._armed = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._armed = False
+
+    def _tick(self) -> None:
+        assert self.controller is not None
+        if not self._armed:
+            return
+        if self.max_probes and self._probes_sent >= self.max_probes:
+            self._armed = False
+            return
+        self.probe_all()
+        self.controller.sim.schedule(self.interval_ms, self._tick)
+
+    # ------------------------------------------------------------------
+    # controller hooks
+    # ------------------------------------------------------------------
+    def on_echo_reply(self, datapath: Datapath, message: EchoReply) -> None:
+        assert self.controller is not None
+        sent = self._sent_at.pop(message.xid, None)
+        if sent is None:
+            return
+        dpid, sent_at = sent
+        self.rtt.setdefault(dpid, RttStats()).record(
+            self.controller.sim.now - sent_at
+        )
+
+    def on_datapath_disconnected(self, dpid: int) -> None:
+        self.rtt.pop(dpid, None)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def estimated_rtt_ms(self) -> float:
+        """Fleet-wide mean RTT (feed this to :class:`CostModel.rtt_ms`)."""
+        means = [stats.mean_ms() for stats in self.rtt.values() if stats.count]
+        return sum(means) / len(means) if means else 0.0
+
+    def slowest_switch(self) -> tuple[int, float] | None:
+        """``(dpid, mean_rtt_ms)`` of the slowest monitored switch."""
+        candidates = [
+            (dpid, stats.mean_ms())
+            for dpid, stats in self.rtt.items()
+            if stats.count
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda item: item[1])

@@ -1,0 +1,197 @@
+"""Compile abstract update schedules into per-switch FlowMods.
+
+The scheduling core reasons about node sequences; switches speak FlowMods
+with matches and output ports.  Given a topology (for port numbers), a flow
+match (the policy's traffic) and a schedule, :func:`compile_schedule`
+produces, per round, the FlowMods each switch must apply:
+
+* SWITCH nodes get an OFPFC_ADD with the same match+priority as the old
+  rule -- per OpenFlow semantics the add *replaces* the old entry, which is
+  the single-rule-per-node model of the paper,
+* INSTALL nodes get a plain add,
+* DELETE nodes get a strict delete.
+
+:func:`compile_two_phase` materializes the Reitblatt baseline with VLAN
+version tags: prepared switches match on the new tag, the ingress stamps
+it, the last new-path switch pops it before delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScenarioError
+from repro.core.problem import UpdateKind, UpdateProblem
+from repro.core.schedule import UpdateSchedule
+from repro.core.twophase import NEW_VERSION_TAG, TwoPhaseSchedule
+from repro.openflow.actions import (
+    ApplyActions,
+    OutputAction,
+    PopVlanAction,
+    PushVlanAction,
+    SetFieldAction,
+)
+from repro.openflow.constants import DEFAULT_PRIORITY
+from repro.openflow.flowmod import FlowMod, add_flow, delete_flow
+from repro.openflow.match import Match
+from repro.topology.graph import NodeId, Topology
+
+#: Priority used for policy rules installed by the update apps.
+POLICY_PRIORITY = DEFAULT_PRIORITY
+
+#: Priority for version-tagged (two-phase) rules: must beat the old rules.
+TAGGED_PRIORITY = DEFAULT_PRIORITY + 10
+
+
+@dataclass
+class CompiledRound:
+    """FlowMods of one round, grouped per switch."""
+
+    index: int
+    mods_by_dpid: dict[NodeId, list[FlowMod]] = field(default_factory=dict)
+
+    def switches(self) -> list[NodeId]:
+        return sorted(self.mods_by_dpid, key=repr)
+
+    def total_mods(self) -> int:
+        return sum(len(mods) for mods in self.mods_by_dpid.values())
+
+
+@dataclass
+class CompiledUpdate:
+    """A fully compiled update: rounds of per-switch FlowMods."""
+
+    rounds: list[CompiledRound]
+    match: Match
+    priority: int
+
+    def total_mods(self) -> int:
+        return sum(compiled.total_mods() for compiled in self.rounds)
+
+
+def _out_port(topo: Topology, node: NodeId, successor: NodeId) -> int:
+    if not topo.has_link(node, successor):
+        raise ScenarioError(
+            f"schedule needs link {node!r} -> {successor!r} missing from topology"
+        )
+    return topo.port_between(node, successor)
+
+
+def compile_schedule(
+    topo: Topology,
+    schedule: UpdateSchedule,
+    match: Match,
+    priority: int = POLICY_PRIORITY,
+) -> CompiledUpdate:
+    """Translate a round schedule into per-switch FlowMods."""
+    problem = schedule.problem
+    rounds: list[CompiledRound] = []
+    for index, round_nodes in enumerate(schedule.rounds):
+        compiled = CompiledRound(index=index)
+        for node in sorted(round_nodes, key=repr):
+            kind = problem.kind(node)
+            if kind in (UpdateKind.SWITCH, UpdateKind.INSTALL):
+                successor = problem.new_path.next_hop(node)
+                mod = add_flow(
+                    match,
+                    out_port=_out_port(topo, node, successor),
+                    priority=priority,
+                )
+            elif kind is UpdateKind.DELETE:
+                mod = delete_flow(match, priority=priority, strict=True)
+            else:  # pragma: no cover - schedule validation forbids NOOP
+                raise ScenarioError(f"node {node!r} needs no update")
+            compiled.mods_by_dpid.setdefault(node, []).append(mod)
+        rounds.append(compiled)
+    return CompiledUpdate(rounds=rounds, match=match, priority=priority)
+
+
+def compile_initial_rules(
+    topo: Topology,
+    problem: UpdateProblem,
+    match: Match,
+    priority: int = POLICY_PRIORITY,
+    egress_port: int | None = None,
+) -> dict[NodeId, list[FlowMod]]:
+    """FlowMods that install the *old* path (scenario bootstrap).
+
+    ``egress_port`` adds the destination switch's rule towards its host.
+    """
+    mods: dict[NodeId, list[FlowMod]] = {}
+    for node, successor in problem.old_path.edges():
+        mods.setdefault(node, []).append(
+            add_flow(match, out_port=_out_port(topo, node, successor), priority=priority)
+        )
+    if egress_port is not None:
+        mods.setdefault(problem.destination, []).append(
+            add_flow(match, out_port=egress_port, priority=priority)
+        )
+    return mods
+
+
+def compile_two_phase(
+    topo: Topology,
+    plan: TwoPhaseSchedule,
+    match: Match,
+    priority: int = POLICY_PRIORITY,
+) -> CompiledUpdate:
+    """Materialize the two-phase baseline with VLAN version tags.
+
+    Phase 1 installs tagged rules on the new path's interior; phase 2 flips
+    the ingress to push the tag; phase 3 deletes the old untagged rules.
+    The pop happens at the last switch before the destination so delivery
+    is untagged either way.
+    """
+    problem = plan.problem
+    new_path = problem.new_path
+    tagged_match = match.replace(vlan_vid=NEW_VERSION_TAG)
+
+    prepare = CompiledRound(index=0)
+    last_before_destination = new_path.prev_hop(problem.destination)
+    for node in plan.prepare:
+        successor = new_path.next_hop(node)
+        port = _out_port(topo, node, successor)
+        actions: list = []
+        if node == last_before_destination:
+            actions.append(PopVlanAction())
+        actions.append(OutputAction(port=port))
+        prepare.mods_by_dpid.setdefault(node, []).append(
+            FlowMod(
+                match=tagged_match,
+                priority=TAGGED_PRIORITY,
+                instructions=(ApplyActions(actions),),
+            )
+        )
+
+    flip = CompiledRound(index=1)
+    ingress_successor = new_path.next_hop(problem.source)
+    ingress_port = _out_port(topo, problem.source, ingress_successor)
+    if ingress_successor == problem.destination:
+        # one-hop new path: a tag would reach the destination; skip tagging
+        ingress_actions = [OutputAction(port=ingress_port)]
+    else:
+        ingress_actions = [
+            PushVlanAction(),
+            SetFieldAction("vlan_vid", NEW_VERSION_TAG),
+            OutputAction(port=ingress_port),
+        ]
+    flip.mods_by_dpid[problem.source] = [
+        FlowMod(
+            match=match,
+            priority=priority,
+            instructions=(ApplyActions(ingress_actions),),
+        )
+    ]
+
+    rounds = [prepare, flip]
+    if plan.garbage:
+        collect = CompiledRound(index=2)
+        for node in plan.garbage:
+            if node == problem.source:
+                continue  # the ingress rule was replaced, not deleted
+            collect.mods_by_dpid.setdefault(node, []).append(
+                delete_flow(match, priority=priority, strict=True)
+            )
+        if collect.mods_by_dpid:
+            rounds.append(collect)
+    return CompiledUpdate(rounds=rounds, match=match, priority=priority)

@@ -1,0 +1,183 @@
+"""The paper's contribution: transiently secure update scheduling.
+
+Public surface:
+
+* model -- :class:`UpdateProblem`, :class:`UpdateSchedule`, :class:`RuleState`,
+  :class:`UpdateKind`, :class:`Configuration`
+* verification -- :func:`verify_schedule`, :func:`verify_exhaustive`,
+  :class:`Property`, :class:`VerificationReport`
+* schedulers -- :func:`wayup_schedule`, :func:`peacock_schedule`,
+  :func:`greedy_slf_schedule`, :func:`oneshot_schedule`,
+  :func:`two_phase_schedule`, :func:`minimal_round_schedule`,
+  :func:`sequential_schedule`
+* multi-policy -- :class:`JointUpdateProblem`, :func:`greedy_joint_schedule`,
+  :func:`merge_isolated_schedules`
+* adversarial instances -- :mod:`repro.core.hardness`
+* analytic cost -- :class:`CostModel`, :func:`schedule_update_time`
+"""
+
+from repro.core.analysis import (
+    cannot_be_last,
+    dependency_graph,
+    explain_schedule,
+    greedy_deadlock_certificate,
+    is_order_forced,
+    unlock_constraints,
+    unsafe_alone,
+)
+from repro.core.combined import (
+    combined_greedy_schedule,
+    strongest_feasible_schedule,
+)
+from repro.core.cost import (
+    HARDWARE_TCAM,
+    OVS_FAST,
+    OVS_LOADED,
+    PRESETS,
+    WAN_CONTROL,
+    CostModel,
+    round_time_breakdown,
+    schedule_update_time,
+    two_phase_update_time,
+)
+from repro.core.greedy_slf import greedy_slf_schedule
+from repro.core.hardness import (
+    crossing_instance,
+    double_diamond_instance,
+    reversal_instance,
+    sawtooth_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.multipolicy import (
+    JointUpdateProblem,
+    MergedPlan,
+    PolicyView,
+    greedy_joint_schedule,
+    merge_isolated_schedules,
+    verify_joint_round,
+    verify_joint_schedule,
+)
+from repro.core.oneshot import oneshot_schedule
+from repro.core.optimal import (
+    is_feasible,
+    minimal_round_count,
+    minimal_round_schedule,
+    round_is_safe,
+)
+from repro.core.peacock import classify_forward_backward, peacock_schedule
+from repro.core.problem import (
+    Configuration,
+    RuleState,
+    UpdateKind,
+    UpdateProblem,
+    WalkResult,
+    WaypointClasses,
+    trace_walk,
+)
+from repro.core.schedule import UpdateSchedule, sequential_schedule
+from repro.core.transient import (
+    EdgeChoice,
+    NodePhase,
+    UnionGraph,
+    enumerate_round_configurations,
+    functional_cycle,
+    functional_graph,
+    phases_for_round,
+)
+from repro.core.twophase import (
+    NEW_VERSION_TAG,
+    OLD_VERSION_TAG,
+    TwoPhaseSchedule,
+    two_phase_schedule,
+)
+from repro.core.verify import (
+    Property,
+    VerificationReport,
+    Violation,
+    check_blackhole,
+    check_rlf,
+    check_slf,
+    check_wpe,
+    default_properties,
+    is_round_safe,
+    verify_exhaustive,
+    verify_round,
+    verify_schedule,
+)
+from repro.core.wayup import ROUND_NAMES as WAYUP_ROUND_NAMES
+from repro.core.wayup import wayup_schedule
+
+__all__ = [
+    "Configuration",
+    "CostModel",
+    "EdgeChoice",
+    "HARDWARE_TCAM",
+    "JointUpdateProblem",
+    "MergedPlan",
+    "NEW_VERSION_TAG",
+    "NodePhase",
+    "OLD_VERSION_TAG",
+    "OVS_FAST",
+    "OVS_LOADED",
+    "PRESETS",
+    "PolicyView",
+    "Property",
+    "RuleState",
+    "TwoPhaseSchedule",
+    "UnionGraph",
+    "UpdateKind",
+    "UpdateProblem",
+    "UpdateSchedule",
+    "VerificationReport",
+    "Violation",
+    "WAN_CONTROL",
+    "WAYUP_ROUND_NAMES",
+    "WalkResult",
+    "WaypointClasses",
+    "cannot_be_last",
+    "check_blackhole",
+    "check_rlf",
+    "check_slf",
+    "check_wpe",
+    "classify_forward_backward",
+    "combined_greedy_schedule",
+    "crossing_instance",
+    "default_properties",
+    "dependency_graph",
+    "double_diamond_instance",
+    "enumerate_round_configurations",
+    "explain_schedule",
+    "functional_cycle",
+    "functional_graph",
+    "greedy_deadlock_certificate",
+    "greedy_joint_schedule",
+    "greedy_slf_schedule",
+    "is_feasible",
+    "is_order_forced",
+    "is_round_safe",
+    "merge_isolated_schedules",
+    "minimal_round_count",
+    "minimal_round_schedule",
+    "oneshot_schedule",
+    "peacock_schedule",
+    "phases_for_round",
+    "reversal_instance",
+    "round_is_safe",
+    "round_time_breakdown",
+    "sawtooth_instance",
+    "schedule_update_time",
+    "sequential_schedule",
+    "strongest_feasible_schedule",
+    "trace_walk",
+    "two_phase_schedule",
+    "two_phase_update_time",
+    "unlock_constraints",
+    "unsafe_alone",
+    "verify_exhaustive",
+    "verify_joint_round",
+    "verify_joint_schedule",
+    "verify_round",
+    "verify_schedule",
+    "wayup_schedule",
+    "waypoint_slalom_instance",
+]

@@ -1,0 +1,87 @@
+"""Greedy strong-loop-free scheduler (the comparator Peacock relaxes).
+
+Each round flips a maximal set of pending nodes such that the round's union
+graph stays acyclic -- i.e. *no* transient configuration, reachable or not,
+contains a forwarding loop.  This is the classic greedy from the
+consistent-updates literature; PODC'15 shows strong loop freedom inherently
+needs Omega(n) rounds on adversarial instances, which this scheduler makes
+visible in benchmark E3.
+
+Progress argument: the pending node with the highest new-path position has a
+new edge that enters a fully updated suffix draining to the destination, so
+it can always be flipped alone without closing a cycle; the greedy therefore
+never stalls.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UpdateModelError
+from repro.core.problem import UpdateKind, UpdateProblem
+from repro.core.schedule import UpdateSchedule
+from repro.core.transient import UnionGraph
+from repro.core.verify import Property
+from repro.topology.graph import NodeId
+
+
+def _round_is_slf_safe(problem: UpdateProblem, updated: set, round_nodes: set) -> bool:
+    """Would updating ``round_nodes`` (given ``updated``) keep all configs loop-free?"""
+    union = UnionGraph.from_update_sets(problem, updated, round_nodes)
+    return union.find_cycle() is None
+
+
+def greedy_slf_schedule(
+    problem: UpdateProblem, include_cleanup: bool = True
+) -> UpdateSchedule:
+    """Compute a strong-loop-free schedule with greedy maximal rounds."""
+    if not problem.required_updates:
+        raise UpdateModelError(
+            "greedy SLF scheduler invoked on a problem with no rule changes"
+        )
+
+    install = {
+        node
+        for node in problem.required_updates
+        if problem.kind(node) is UpdateKind.INSTALL
+    }
+    switches = set(problem.required_updates) - install
+
+    rounds: list[set] = []
+    round_names: list[str] = []
+    updated: set = set()
+    if install:
+        rounds.append(install)
+        round_names.append("install")
+        updated |= install
+
+    new_pos = {node: i for i, node in enumerate(problem.new_path.nodes)}
+    pending = sorted(switches, key=lambda n: new_pos[n], reverse=True)
+    flip_round = 0
+    while pending:
+        round_nodes: set = set()
+        kept: list[NodeId] = []
+        for node in pending:
+            candidate = round_nodes | {node}
+            if _round_is_slf_safe(problem, updated, candidate):
+                round_nodes = candidate
+            else:
+                kept.append(node)
+        if not round_nodes:
+            raise UpdateModelError(
+                f"greedy SLF made no progress with pending nodes {kept!r}"
+            )
+        flip_round += 1
+        rounds.append(round_nodes)
+        round_names.append(f"flip-{flip_round}")
+        updated |= round_nodes
+        pending = kept
+
+    if include_cleanup and problem.cleanup_updates:
+        rounds.append(set(problem.cleanup_updates))
+        round_names.append("cleanup")
+
+    return UpdateSchedule(
+        problem,
+        rounds,
+        algorithm="greedy-slf",
+        metadata={"round_names": round_names, "property": Property.SLF.value},
+    )

@@ -1,0 +1,31 @@
+"""The one-shot baseline: everything in a single asynchronous round.
+
+This models what a stock controller app (Ryu's ``ofctl_rest``) does when a
+policy changes: fire all FlowMods at once and hope.  Under an asynchronous
+control channel the rules land in arbitrary order, so transiently the
+network can bypass waypoints, loop and blackhole -- the failure mode the
+paper's demo makes visible and the schedulers exist to prevent (E4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UpdateModelError
+from repro.core.problem import UpdateProblem
+from repro.core.schedule import UpdateSchedule
+
+
+def oneshot_schedule(
+    problem: UpdateProblem, include_cleanup: bool = True
+) -> UpdateSchedule:
+    """All installs, switches (and optionally deletes) in one round."""
+    nodes = set(problem.required_updates)
+    if include_cleanup:
+        nodes |= problem.cleanup_updates
+    if not nodes:
+        raise UpdateModelError("one-shot invoked on a problem with no rule changes")
+    return UpdateSchedule(
+        problem,
+        [nodes],
+        algorithm="oneshot",
+        metadata={"round_names": ["everything"]},
+    )

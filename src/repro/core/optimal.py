@@ -1,0 +1,161 @@
+"""Exact minimum-round scheduling by exhaustive search.
+
+Deciding how few rounds suffice for a property combination is NP-hard in
+general (Ludwig et al., SIGMETRICS'16), so this module brute-forces small
+instances: breadth-first search over *sets of already-updated nodes*, where
+one transition applies any subset of the pending nodes that forms a safe
+round.  It is the ground truth the greedy schedulers are compared against
+in tests and in the E3 ablations, and it doubles as an infeasibility prover
+(e.g. WPE together with strong loop freedom can be unachievable).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import InfeasibleUpdateError, VerificationError
+from repro.core.problem import UpdateProblem
+from repro.core.schedule import UpdateSchedule
+from repro.core.transient import UnionGraph
+from repro.core.verify import (
+    Property,
+    check_blackhole,
+    check_rlf,
+    check_slf,
+    check_wpe,
+)
+
+#: Safety limit: BFS over subsets is O(3^n); 14 nodes is ~4.7M transitions.
+DEFAULT_MAX_NODES = 12
+
+
+def round_is_safe(
+    problem: UpdateProblem,
+    updated: set,
+    round_nodes: set,
+    properties: tuple[Property, ...],
+    rlf_budget: int = 200_000,
+) -> bool:
+    """Is flipping ``round_nodes`` (after ``updated``) safe for all properties?"""
+    union = UnionGraph.from_update_sets(problem, updated, round_nodes)
+    for prop in properties:
+        if prop is Property.WPE:
+            if check_wpe(union, 0) is not None:
+                return False
+        elif prop is Property.SLF:
+            if check_slf(union, 0) is not None:
+                return False
+        elif prop is Property.BLACKHOLE:
+            if check_blackhole(union, 0) is not None:
+                return False
+        elif prop is Property.RLF:
+            violation, _ = check_rlf(union, 0, exact=True, budget=rlf_budget)
+            if violation is not None:
+                return False
+        else:  # pragma: no cover - closed enum
+            raise VerificationError(f"unknown property {prop!r}")
+    return True
+
+
+def minimal_round_schedule(
+    problem: UpdateProblem,
+    properties: tuple[Property, ...],
+    max_nodes: int = DEFAULT_MAX_NODES,
+    max_rounds: int | None = None,
+    round_filter=None,
+) -> UpdateSchedule:
+    """Find a schedule with the *fewest* rounds satisfying ``properties``.
+
+    Only the required updates (installs and switches) are scheduled; stale
+    deletions can always be appended afterwards.  ``round_filter`` (called
+    as ``round_filter(updated_set, round_set)``) can veto transitions --
+    the hook behind the forced-order analysis in
+    :mod:`repro.core.analysis`.  Raises :class:`InfeasibleUpdateError`
+    when no schedule of any length exists (or none within ``max_rounds``),
+    and :class:`VerificationError` when the instance exceeds ``max_nodes``.
+    """
+    todo = frozenset(problem.required_updates)
+    if not todo:
+        raise InfeasibleUpdateError("no updates required; nothing to schedule")
+    if len(todo) > max_nodes:
+        raise VerificationError(
+            f"instance has {len(todo)} updates; exact search capped at {max_nodes}"
+        )
+
+    start: frozenset = frozenset()
+    parents: dict[frozenset, tuple[frozenset, frozenset] | None] = {start: None}
+    frontier = [start]
+    depth = 0
+    while frontier:
+        depth += 1
+        if max_rounds is not None and depth > max_rounds:
+            break
+        next_frontier: list[frozenset] = []
+        for state in frontier:
+            pending = sorted(todo - state, key=repr)
+            for size in range(1, len(pending) + 1):
+                for combo in itertools.combinations(pending, size):
+                    round_nodes = frozenset(combo)
+                    successor = state | round_nodes
+                    if successor in parents:
+                        continue
+                    if round_filter is not None and not round_filter(
+                        set(state), set(round_nodes)
+                    ):
+                        continue
+                    if not round_is_safe(problem, set(state), set(round_nodes), properties):
+                        continue
+                    parents[successor] = (state, round_nodes)
+                    if successor == todo:
+                        return _unwind_schedule(problem, parents, successor, properties)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    raise InfeasibleUpdateError(
+        f"no schedule satisfies {[p.value for p in properties]}"
+        + (f" within {max_rounds} rounds" if max_rounds is not None else "")
+    )
+
+
+def _unwind_schedule(
+    problem: UpdateProblem,
+    parents: dict,
+    state: frozenset,
+    properties: tuple[Property, ...],
+) -> UpdateSchedule:
+    rounds: list[frozenset] = []
+    while parents[state] is not None:
+        previous, round_nodes = parents[state]
+        rounds.append(round_nodes)
+        state = previous
+    rounds.reverse()
+    return UpdateSchedule(
+        problem,
+        rounds,
+        algorithm="optimal",
+        metadata={"properties": [p.value for p in properties]},
+    )
+
+
+def minimal_round_count(
+    problem: UpdateProblem,
+    properties: tuple[Property, ...],
+    max_nodes: int = DEFAULT_MAX_NODES,
+    max_rounds: int | None = None,
+) -> int:
+    """Round count of the optimal schedule (see :func:`minimal_round_schedule`)."""
+    return minimal_round_schedule(
+        problem, properties, max_nodes=max_nodes, max_rounds=max_rounds
+    ).n_rounds
+
+
+def is_feasible(
+    problem: UpdateProblem,
+    properties: tuple[Property, ...],
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> bool:
+    """Does *any* round schedule satisfy ``properties``?"""
+    try:
+        minimal_round_schedule(problem, properties, max_nodes=max_nodes)
+    except InfeasibleUpdateError:
+        return False
+    return True

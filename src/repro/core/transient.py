@@ -1,0 +1,302 @@
+"""Transient-state machinery: phases, union graphs, configuration spaces.
+
+During round ``i`` of a schedule the network can be in any configuration
+where nodes of earlier rounds are NEW, nodes of later rounds (or unscheduled
+nodes) are OLD, and nodes of round ``i`` are *either*.  The **union graph**
+gives every node the set of out-edges it may have in any such configuration.
+
+Key facts (proved in the cited papers, exploited by the verifiers):
+
+* a simple cycle of the union graph uses at most one out-edge per node, so
+  it is realized by some configuration -- and every configuration's
+  forwarding graph is a subgraph of the union graph.  Hence *strong loop
+  freedom of the round* is exactly *acyclicity of the union graph*;
+* the same argument applies to simple paths, which makes waypoint
+  enforcement and blackhole freedom checkable by plain reachability.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import VerificationError
+from repro.core.problem import Configuration, RuleState, UpdateProblem
+from repro.core.schedule import UpdateSchedule
+from repro.topology.graph import NodeId
+
+
+class NodePhase(enum.Enum):
+    """Where a node stands relative to the round under scrutiny."""
+
+    FIXED_OLD = "fixed_old"  # updates in a later round / never
+    FIXED_NEW = "fixed_new"  # updated in an earlier round
+    FLEXIBLE = "flexible"    # updates in this round: state unknown
+
+
+def phases_for_round(
+    schedule: UpdateSchedule, round_index: int
+) -> dict[NodeId, NodePhase]:
+    """Map every forwarding node to its :class:`NodePhase` in ``round_index``."""
+    if not 0 <= round_index < schedule.n_rounds:
+        raise VerificationError(
+            f"round index {round_index} out of range 0..{schedule.n_rounds - 1}"
+        )
+    phases: dict[NodeId, NodePhase] = {}
+    for node in schedule.problem.forwarding_nodes:
+        node_round = schedule.round_of(node)
+        if node_round is None or node_round > round_index:
+            phases[node] = NodePhase.FIXED_OLD
+        elif node_round < round_index:
+            phases[node] = NodePhase.FIXED_NEW
+        else:
+            phases[node] = NodePhase.FLEXIBLE
+    return phases
+
+
+@dataclass(frozen=True)
+class EdgeChoice:
+    """One possible behaviour of a node: forward to ``target`` or drop."""
+
+    state: RuleState
+    target: NodeId | None  # None = drop
+
+    @property
+    def drops(self) -> bool:
+        return self.target is None
+
+
+class UnionGraph:
+    """All possible out-edges of every node during one round.
+
+    Construct with :meth:`for_round`.  Nodes with a single fixed state
+    contribute one choice; flexible nodes contribute (up to) two.
+    """
+
+    def __init__(
+        self,
+        problem: UpdateProblem,
+        choices: dict[NodeId, tuple[EdgeChoice, ...]],
+        flexible: frozenset,
+    ) -> None:
+        self.problem = problem
+        self._choices = choices
+        self.flexible = flexible
+
+    @classmethod
+    def for_round(cls, schedule: UpdateSchedule, round_index: int) -> "UnionGraph":
+        phases = phases_for_round(schedule, round_index)
+        return cls.from_phases(schedule.problem, phases)
+
+    @classmethod
+    def from_phases(
+        cls, problem, phases: dict[NodeId, NodePhase]
+    ) -> "UnionGraph":
+        """Build from an explicit phase map.
+
+        ``problem`` only needs ``forwarding_nodes``, ``next_hop``, ``source``
+        and ``destination`` -- :class:`~repro.core.problem.UpdateProblem`
+        satisfies this, as do the multi-policy views.
+        """
+        choices: dict[NodeId, tuple[EdgeChoice, ...]] = {}
+        flexible: set = set()
+        for node in problem.forwarding_nodes:
+            phase = phases.get(node, NodePhase.FIXED_OLD)
+            if phase is NodePhase.FIXED_OLD:
+                options = (EdgeChoice(RuleState.OLD, problem.next_hop(node, RuleState.OLD)),)
+            elif phase is NodePhase.FIXED_NEW:
+                options = (EdgeChoice(RuleState.NEW, problem.next_hop(node, RuleState.NEW)),)
+            else:
+                flexible.add(node)
+                old = EdgeChoice(RuleState.OLD, problem.next_hop(node, RuleState.OLD))
+                new = EdgeChoice(RuleState.NEW, problem.next_hop(node, RuleState.NEW))
+                options = (old,) if old.target == new.target else (old, new)
+            choices[node] = options
+        return cls(problem, choices, frozenset(flexible))
+
+    @classmethod
+    def from_update_sets(
+        cls, problem, updated: set, in_flight: set
+    ) -> "UnionGraph":
+        """Build from 'already updated' / 'updating right now' node sets."""
+        phases = {node: NodePhase.FIXED_NEW for node in updated}
+        phases.update({node: NodePhase.FLEXIBLE for node in in_flight})
+        return cls.from_phases(problem, phases)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def choices(self, node: NodeId) -> tuple[EdgeChoice, ...]:
+        """Possible behaviours of ``node`` (empty tuple for the destination)."""
+        return self._choices.get(node, ())
+
+    def successors(self, node: NodeId) -> list[NodeId]:
+        """Possible forwarding targets of ``node`` (drops excluded)."""
+        return [c.target for c in self.choices(node) if c.target is not None]
+
+    def may_drop(self, node: NodeId) -> bool:
+        """True when some configuration drops packets at ``node``."""
+        return any(c.drops for c in self.choices(node))
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._choices)
+
+    # ------------------------------------------------------------------
+    # graph queries (witness-producing)
+    # ------------------------------------------------------------------
+    def reachable_from(self, start: NodeId) -> dict[NodeId, NodeId | None]:
+        """BFS over union edges; returns ``{node: parent}`` for reached nodes."""
+        parents: dict[NodeId, NodeId | None] = {start: None}
+        frontier = [start]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for target in self.successors(node):
+                    if target not in parents:
+                        parents[target] = node
+                        next_frontier.append(target)
+            frontier = next_frontier
+        return parents
+
+    def path_to(
+        self, destination: NodeId, avoid: NodeId | None = None
+    ) -> tuple[NodeId, ...] | None:
+        """A simple path source -> ``destination`` avoiding ``avoid``, or None."""
+        start = self.problem.source
+        if start == avoid:
+            return None
+        parents: dict[NodeId, NodeId | None] = {start: None}
+        frontier = [start]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for target in self.successors(node):
+                    if target == avoid or target in parents:
+                        continue
+                    parents[target] = node
+                    if target == destination:
+                        return _unwind(parents, destination)
+                    next_frontier.append(target)
+            frontier = next_frontier
+        return None
+
+    def find_cycle(self, within: set | None = None) -> tuple[NodeId, ...] | None:
+        """A directed cycle of the union graph, or None.
+
+        ``within`` restricts the search to a node subset (used for the
+        reachable-cycle pre-filter of relaxed loop freedom).
+        """
+        allowed = within if within is not None else set(self._choices) | {
+            self.problem.destination
+        }
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in allowed}
+        on_stack: list[NodeId] = []
+
+        def targets(node: NodeId) -> list[NodeId]:
+            return [t for t in self.successors(node) if t in color]
+
+        for root in allowed:
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[NodeId, Iterator[NodeId]]] = [(root, iter(targets(root)))]
+            color[root] = GREY
+            on_stack.append(root)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for target in it:
+                    if color[target] == GREY:
+                        cycle_start = on_stack.index(target)
+                        return tuple(on_stack[cycle_start:]) + (target,)
+                    if color[target] == WHITE:
+                        color[target] = GREY
+                        on_stack.append(target)
+                        stack.append((target, iter(targets(target))))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    on_stack.pop()
+                    color[node] = BLACK
+        return None
+
+    def reachable_drop(self) -> tuple[tuple[NodeId, ...], NodeId] | None:
+        """A ``(path, node)`` where ``node`` is s-reachable and may drop."""
+        start = self.problem.source
+        parents = self.reachable_from(start)
+        for node in parents:
+            if node in self._choices and self.may_drop(node):
+                return _unwind(parents, node), node
+        return None
+
+
+def _unwind(parents: dict, node: NodeId) -> tuple[NodeId, ...]:
+    """Reconstruct the BFS path ending at ``node``."""
+    path = [node]
+    while parents[node] is not None:
+        node = parents[node]
+        path.append(node)
+    path.reverse()
+    return tuple(path)
+
+
+def enumerate_round_configurations(
+    schedule: UpdateSchedule,
+    round_index: int,
+    max_flexible: int = 20,
+) -> Iterator[Configuration]:
+    """Yield every configuration reachable during ``round_index``.
+
+    Exponential in the round size -- this is the oracle the polynomial
+    verifiers are validated against, not the production path.
+    """
+    problem = schedule.problem
+    phases = phases_for_round(schedule, round_index)
+    flexible = sorted(
+        (n for n, p in phases.items() if p is NodePhase.FLEXIBLE), key=repr
+    )
+    if len(flexible) > max_flexible:
+        raise VerificationError(
+            f"round {round_index} has {len(flexible)} flexible nodes; "
+            f"exhaustive enumeration capped at {max_flexible}"
+        )
+    base = {
+        node: RuleState.NEW
+        for node, phase in phases.items()
+        if phase is NodePhase.FIXED_NEW
+    }
+    for size in range(len(flexible) + 1):
+        for subset in itertools.combinations(flexible, size):
+            states = dict(base)
+            states.update({node: RuleState.NEW for node in subset})
+            yield Configuration(problem=problem, states=states)
+
+
+def functional_graph(config: Configuration) -> dict[NodeId, NodeId | None]:
+    """The single out-edge of every forwarding node under ``config``."""
+    problem = config.problem
+    return {node: config.next_hop(node) for node in problem.forwarding_nodes}
+
+
+def functional_cycle(config: Configuration) -> tuple[NodeId, ...] | None:
+    """Find a cycle in a configuration's functional graph, if any."""
+    graph = functional_graph(config)
+    state: dict[NodeId, int] = {}
+    for root in graph:
+        if state.get(root):
+            continue
+        trail: list[NodeId] = []
+        node: NodeId | None = root
+        while node is not None and node in graph and not state.get(node):
+            state[node] = 1
+            trail.append(node)
+            node = graph[node]
+        if node is not None and state.get(node) == 1:
+            start = trail.index(node)
+            return tuple(trail[start:]) + (node,)
+        for visited in trail:
+            state[visited] = 2
+    return None

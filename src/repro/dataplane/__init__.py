@@ -1,0 +1,25 @@
+"""Dataplane substrate: packets, traffic injection, violation accounting."""
+
+from repro.dataplane.injector import FlowSpec, InjectionResult, PeriodicInjector
+from repro.dataplane.packets import (
+    Packet,
+    icmp_ping,
+    ipv4_checksum,
+    tcp_packet,
+    udp_packet,
+)
+from repro.dataplane.violations import PacketFate, TraceRecord, ViolationCounters
+
+__all__ = [
+    "FlowSpec",
+    "InjectionResult",
+    "Packet",
+    "PacketFate",
+    "PeriodicInjector",
+    "TraceRecord",
+    "ViolationCounters",
+    "icmp_ping",
+    "ipv4_checksum",
+    "tcp_packet",
+    "udp_packet",
+]

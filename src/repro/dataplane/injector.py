@@ -1,0 +1,117 @@
+"""Traffic injection during network updates.
+
+A :class:`PeriodicInjector` pushes probe packets into the network at a
+fixed cadence while the controller is busy updating rules, exactly like the
+demo's ``h1 ping h2`` running across the transition.  Every probe's fate is
+recorded; the counters feed experiment E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.dataplane.packets import Packet
+from repro.dataplane.violations import TraceRecord, ViolationCounters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netlab.network import Network
+
+
+@dataclass
+class FlowSpec:
+    """What correct delivery means for the injected flow."""
+
+    source_host: str
+    destination_host: str
+    waypoint: object | None = None
+    packet_factory: Callable[[], Packet] | None = None
+
+
+@dataclass
+class InjectionResult:
+    counters: ViolationCounters = field(default_factory=ViolationCounters)
+    traces: list[TraceRecord] = field(default_factory=list)
+
+    def finalize(self) -> ViolationCounters:
+        """Re-tally fates from traces (per-hop mode resolves them late)."""
+        counters = ViolationCounters(injected=len(self.traces))
+        for trace in self.traces:
+            counters.record(trace.fate)
+        self.counters = counters
+        return counters
+
+    def violating_traces(self) -> list[TraceRecord]:
+        from repro.dataplane.violations import PacketFate
+
+        bad = (PacketFate.BYPASSED_WAYPOINT, PacketFate.LOOPED, PacketFate.DROPPED)
+        return [trace for trace in self.traces if trace.fate in bad]
+
+
+class PeriodicInjector:
+    """Inject one probe every ``interval_ms`` until stopped."""
+
+    def __init__(
+        self,
+        network: "Network",
+        flow: FlowSpec,
+        interval_ms: float = 0.5,
+        start_ms: float = 0.0,
+        max_packets: int = 100_000,
+    ) -> None:
+        self.network = network
+        self.flow = flow
+        self.interval_ms = interval_ms
+        self.start_ms = start_ms
+        self.max_packets = max_packets
+        self.result = InjectionResult()
+        self._stopped = False
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the injector on the network's simulator."""
+        if self._started:
+            return
+        self._started = True
+        self.network.sim.schedule_at(
+            max(self.network.sim.now, self.start_ms), self._tick
+        )
+
+    def stop(self) -> None:
+        """Stop after the current tick (pending probes still complete)."""
+        self._stopped = True
+
+    def stop_when_update_completes(self, update_queue, extra_probes: int = 3) -> None:
+        """Wire to the round FSM: keep probing a little past completion.
+
+        A few extra probes confirm the final state forwards correctly.
+        """
+        remaining = {"count": extra_probes}
+
+        def on_complete(_event) -> None:
+            def late_stop() -> None:
+                self.stop()
+
+            self.network.sim.schedule(
+                self.interval_ms * remaining["count"], late_stop
+            )
+
+        update_queue.on_update_complete.append(on_complete)
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if self._stopped or len(self.result.traces) >= self.max_packets:
+            return
+        packet = (
+            self.flow.packet_factory()
+            if self.flow.packet_factory is not None
+            else self.network.default_packet(self.flow.source_host, self.flow.destination_host)
+        )
+        trace = self.network.inject_from_host(
+            self.flow.source_host,
+            packet,
+            waypoint=self.flow.waypoint,
+            destination_host=self.flow.destination_host,
+        )
+        self.result.traces.append(trace)
+        self.network.sim.schedule(self.interval_ms, self._tick)

@@ -1,0 +1,91 @@
+"""Violation accounting for packets crossing an updating network.
+
+The demo's pitch is that unscheduled updates let packets transiently bypass
+the waypoint (a security violation), loop, or fall into blackholes.  The
+tracer classifies every injected packet's fate; these types hold the
+verdicts and the aggregate counters the E4 benchmark reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PacketFate(enum.Enum):
+    """What ultimately happened to one traced packet."""
+
+    DELIVERED = "delivered"          # reached the destination host, waypoint ok
+    BYPASSED_WAYPOINT = "bypassed"   # reached the destination but skipped w
+    LOOPED = "looped"                # TTL expired / revisited a switch
+    DROPPED = "dropped"              # no rule matched somewhere en route
+    IN_FLIGHT = "in-flight"          # still travelling (per-hop mode)
+
+
+@dataclass
+class TraceRecord:
+    """One packet's journey."""
+
+    packet_id: int
+    injected_ms: float
+    path: list = field(default_factory=list)  # switch dpids in visit order
+    fate: PacketFate = PacketFate.IN_FLIGHT
+    completed_ms: float | None = None
+
+    def visited(self, dpid) -> bool:
+        return dpid in self.path
+
+    @property
+    def hops(self) -> int:
+        return len(self.path)
+
+    @property
+    def latency_ms(self) -> float | None:
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.injected_ms
+
+
+@dataclass
+class ViolationCounters:
+    """Aggregates over a traffic run (E4's rows)."""
+
+    injected: int = 0
+    delivered: int = 0
+    bypassed_waypoint: int = 0
+    looped: int = 0
+    dropped: int = 0
+    in_flight: int = 0
+
+    def record(self, fate: PacketFate) -> None:
+        if fate is PacketFate.DELIVERED:
+            self.delivered += 1
+        elif fate is PacketFate.BYPASSED_WAYPOINT:
+            self.bypassed_waypoint += 1
+        elif fate is PacketFate.LOOPED:
+            self.looped += 1
+        elif fate is PacketFate.DROPPED:
+            self.dropped += 1
+        else:
+            self.in_flight += 1
+
+    @property
+    def violations(self) -> int:
+        """Packets whose fate a consistent update forbids."""
+        return self.bypassed_waypoint + self.looped + self.dropped
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.injected if self.injected else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "bypassed_waypoint": self.bypassed_waypoint,
+            "looped": self.looped,
+            "dropped": self.dropped,
+            "in_flight": self.in_flight,
+            "violations": self.violations,
+            "violation_rate": round(self.violation_rate, 6),
+        }

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystems define narrower
+classes below; substrate packages (switch, channel, controller, ...) import
+from here rather than defining their own ad-hoc exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation references missing elements."""
+
+
+class PathError(TopologyError):
+    """A path is not simple, not connected, or not present in the topology."""
+
+
+class UpdateModelError(ReproError):
+    """An update problem is ill-formed (endpoints differ, waypoint missing, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is structurally invalid (node repeated, unknown node, ...)."""
+
+
+class InfeasibleUpdateError(ReproError):
+    """No schedule satisfying the requested properties exists."""
+
+
+class VerificationError(ReproError):
+    """A verifier was invoked on inputs it cannot handle."""
+
+
+class VerificationBudgetError(VerificationError):
+    """An exact verification exceeded its configured state budget."""
+
+
+class OpenFlowError(ReproError):
+    """An OpenFlow message is malformed or cannot be encoded/decoded."""
+
+
+class WireFormatError(OpenFlowError):
+    """Binary wire encoding or decoding failed."""
+
+
+class SwitchError(ReproError):
+    """A simulated switch rejected an operation."""
+
+
+class TableFullError(SwitchError):
+    """The flow table has reached its capacity."""
+
+
+class ChannelError(ReproError):
+    """A control channel operation failed."""
+
+
+class ChannelClosedError(ChannelError):
+    """Message submitted to a closed channel."""
+
+
+class ControllerError(ReproError):
+    """Controller runtime failure (unknown datapath, app error, ...)."""
+
+
+class UnknownDatapathError(ControllerError):
+    """A message referenced a datapath id that is not connected."""
+
+
+class RestError(ReproError):
+    """Base class for REST-layer failures."""
+
+    status = 500
+
+
+class BadRequestError(RestError):
+    """The REST request body failed validation."""
+
+    status = 400
+
+
+class NotFoundError(RestError):
+    """No route matched the REST request."""
+
+    status = 404
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven incorrectly."""
+
+
+class ScenarioError(ReproError):
+    """A netlab scenario is misconfigured."""

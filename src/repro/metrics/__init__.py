@@ -1,0 +1,15 @@
+"""Measurement collection and report rendering."""
+
+from repro.metrics.collector import MetricsCollector, Summary, percentile, summarize
+from repro.metrics.report import ascii_table, to_csv, to_json, write_report
+
+__all__ = [
+    "MetricsCollector",
+    "Summary",
+    "ascii_table",
+    "percentile",
+    "summarize",
+    "to_csv",
+    "to_json",
+    "write_report",
+]

@@ -1,0 +1,97 @@
+"""Measurement collection with summary statistics.
+
+Benchmarks record named series of values (update times, round counts,
+violation rates) into a :class:`MetricsCollector` and render them with
+:mod:`repro.metrics.report`.  Statistics are computed with the standard
+library -- no heavyweight dependencies on the hot path.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one series."""
+
+    name: str
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "median": round(self.median, 6),
+            "p95": round(self.p95, 6),
+            "min": round(self.minimum, 6),
+            "max": round(self.maximum, 6),
+            "stdev": round(self.stdev, 6),
+        }
+
+
+def summarize(name: str, values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` (empty series are an error)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError(f"cannot summarize empty series {name!r}")
+    return Summary(
+        name=name,
+        count=len(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        p95=percentile(data, 95.0),
+        minimum=data[0],
+        maximum=data[-1],
+        stdev=statistics.stdev(data) if len(data) > 1 else 0.0,
+    )
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted list."""
+    if not sorted_values:
+        raise ValueError("empty series has no percentiles")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass
+class MetricsCollector:
+    """Named series of float samples."""
+
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def record(self, name: str, value: float) -> None:
+        self.series.setdefault(name, []).append(float(value))
+
+    def record_many(self, name: str, values: Iterable[float]) -> None:
+        self.series.setdefault(name, []).extend(float(v) for v in values)
+
+    def get(self, name: str) -> list[float]:
+        return list(self.series.get(name, []))
+
+    def summary(self, name: str) -> Summary:
+        return summarize(name, self.series.get(name, []))
+
+    def summaries(self) -> list[Summary]:
+        return [summarize(name, values) for name, values in sorted(self.series.items())]
+
+    def merge(self, other: "MetricsCollector") -> None:
+        for name, values in other.series.items():
+            self.record_many(name, values)

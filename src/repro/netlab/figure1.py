@@ -1,0 +1,48 @@
+"""The paper's Figure 1 demo scenario, prebuilt.
+
+Twelve OpenFlow switches; ``h1`` attached to switch 1, ``h2`` to switch 12;
+switch 3 is the waypoint (firewall/IDS); the solid old route is replaced by
+the dashed new route while ``h1 -> h2`` traffic keeps flowing.  See
+``repro.topology.builders.figure1`` for the reconstruction notes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.problem import UpdateProblem
+from repro.netlab.scenario import ScenarioResult, UpdateScenario
+from repro.topology.builders import figure1, figure1_paths
+
+#: Hosts of the demo topology.
+H1, H2 = "h1", "h2"
+
+
+def figure1_problem() -> UpdateProblem:
+    """The Figure 1 policy change as an abstract update problem."""
+    old_path, new_path, waypoint = figure1_paths()
+    return UpdateProblem(old_path, new_path, waypoint=waypoint, name="figure1")
+
+
+def build_figure1_scenario(
+    algorithm: str = "wayup", seed: int = 0, **kwargs: Any
+) -> UpdateScenario:
+    """The demo setup, ready to :meth:`~repro.netlab.scenario.UpdateScenario.run`.
+
+    Keyword arguments are forwarded to :class:`UpdateScenario` (channel
+    latency, switch timing profile, packet mode, ...).
+    """
+    return UpdateScenario(
+        topo=figure1(with_hosts=True),
+        problem=figure1_problem(),
+        source_host=H1,
+        destination_host=H2,
+        algorithm=algorithm,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def run_figure1(algorithm: str = "wayup", seed: int = 0, **kwargs: Any) -> ScenarioResult:
+    """Run the demo end to end; returns the scenario result."""
+    return build_figure1_scenario(algorithm=algorithm, seed=seed, **kwargs).run()

@@ -1,0 +1,338 @@
+"""The network lab: topology + switches + channels + controller + hosts.
+
+This is the Mininet stand-in: it instantiates one simulated switch per
+topology node, a dedicated asynchronous control channel per switch, a
+controller, and host attachments -- all on one deterministic event loop.
+Packets can be injected from hosts and traced hop-by-hop while the
+controller is mid-update, which is the measurement the demo performs.
+
+Two packet-transit modes:
+
+* ``"instant"`` (default) -- a packet crosses the whole network at one
+  simulated instant, matching the model assumption of the scheduling
+  papers (forwarding is fast relative to control-plane rounds);
+* ``"perhop"`` -- each link hop takes its topology latency, so a packet in
+  flight can observe *different* configurations at different switches (the
+  E8 ablation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ScenarioError
+from repro.channel.base import ControlChannel
+from repro.channel.latency_models import LatencyModel, from_spec
+from repro.controller.core import Controller
+from repro.controller.datapath_handle import Datapath
+from repro.dataplane.packets import Packet
+from repro.dataplane.violations import PacketFate, TraceRecord
+from repro.openflow.flowmod import FlowMod
+from repro.sim.random_source import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.switch.datapath import SwitchSim
+from repro.switch.latency import OVS_PROFILE, SwitchTimingProfile
+from repro.topology.graph import NodeId, Topology
+
+
+@dataclass(frozen=True)
+class Host:
+    """A host attached to one switch port."""
+
+    name: str
+    switch_dpid: NodeId
+    switch_port: int  # port on the switch that faces this host
+    ip: str
+    mac: str
+
+
+class Network:
+    """A runnable network lab over a shared simulator."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        seed: int = 0,
+        timing: SwitchTimingProfile | Mapping[NodeId, SwitchTimingProfile] = OVS_PROFILE,
+        channel_latency: LatencyModel | float | str = 1.0,
+        fifo: bool = True,
+        drop_prob: float = 0.0,
+        packet_mode: str = "instant",
+        miss_behavior: str = "drop",
+        max_hops: int | None = None,
+    ) -> None:
+        if packet_mode not in ("instant", "perhop"):
+            raise ScenarioError(f"unknown packet mode {packet_mode!r}")
+        self.topo = topo
+        self.packet_mode = packet_mode
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.controller = Controller(self.sim)
+        self.switches: dict[NodeId, SwitchSim] = {}
+        self.channels: dict[NodeId, ControlChannel] = {}
+        self.hosts: dict[str, Host] = {}
+        self.max_hops = max_hops
+        self._packet_ids = itertools.count(1)
+        self._started = False
+
+        latency_model = from_spec(channel_latency)
+        for dpid in topo.switches():
+            profile = (
+                timing.get(dpid, OVS_PROFILE) if isinstance(timing, Mapping) else timing
+            )
+            channel = ControlChannel(
+                self.sim,
+                latency=latency_model,
+                rng=self.streams.stream(f"chan-{dpid}"),
+                name=f"chan-{dpid}",
+                fifo=fifo,
+                drop_prob=drop_prob,
+            )
+            switch = SwitchSim(
+                self.sim,
+                dpid=dpid if isinstance(dpid, int) else abs(hash(dpid)) % 2**32,
+                channel=channel,
+                timing=profile,
+                rng=self.streams.stream(f"switch-{dpid}"),
+                miss_behavior=miss_behavior,
+            )
+            self.channels[dpid] = channel
+            self.switches[dpid] = switch
+        self._attach_hosts()
+
+    def _attach_hosts(self) -> None:
+        host_counter = 0
+        for name in self.topo.hosts():
+            neighbors = self.topo.neighbors(name)
+            if len(neighbors) != 1:
+                raise ScenarioError(
+                    f"host {name!r} must attach to exactly one switch, "
+                    f"got {neighbors!r}"
+                )
+            switch_dpid = neighbors[0]
+            if switch_dpid not in self.switches:
+                raise ScenarioError(f"host {name!r} attaches to non-switch")
+            host_counter += 1
+            self.hosts[str(name)] = Host(
+                name=str(name),
+                switch_dpid=switch_dpid,
+                switch_port=self.topo.port_between(switch_dpid, name),
+                ip=f"10.0.0.{host_counter}",
+                mac=f"00:00:00:00:00:{host_counter:02x}",
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run the OpenFlow handshakes; afterwards all switches are usable."""
+        if self._started:
+            return
+        for dpid in sorted(self.channels, key=repr):
+            self.controller.connect_switch(self.channels[dpid])
+        self.sim.run()
+        missing = [
+            dpid
+            for dpid, switch in self.switches.items()
+            if switch.dpid not in self.controller.datapaths
+        ]
+        if missing:
+            raise ScenarioError(f"handshake incomplete for switches {missing!r}")
+        self._started = True
+
+    def datapath(self, dpid: NodeId) -> Datapath:
+        return self.controller.datapath(self.switches[dpid].dpid)
+
+    def switch(self, dpid: NodeId) -> SwitchSim:
+        try:
+            return self.switches[dpid]
+        except KeyError:
+            raise ScenarioError(f"no switch {dpid!r} in this network") from None
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise ScenarioError(f"no host {name!r} in this network") from None
+
+    # ------------------------------------------------------------------
+    # rule management
+    # ------------------------------------------------------------------
+    def send_flow_mods(self, mods_by_dpid: Mapping[NodeId, list[FlowMod]]) -> None:
+        """Ship FlowMods (asynchronously); call :meth:`flush` to settle."""
+        for dpid in sorted(mods_by_dpid, key=repr):
+            datapath = self.datapath(dpid)
+            for mod in mods_by_dpid[dpid]:
+                datapath.send_msg(mod.with_xid(0))
+
+    def flush(self, until: float | None = None) -> None:
+        """Drain the event loop (all in-flight control traffic settles)."""
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # packet injection and tracing
+    # ------------------------------------------------------------------
+    def default_packet(self, source_host: str, destination_host: str) -> Packet:
+        src, dst = self.host(source_host), self.host(destination_host)
+        return Packet(
+            eth_src=src.mac, eth_dst=dst.mac, ipv4_src=src.ip, ipv4_dst=dst.ip
+        )
+
+    def inject_from_host(
+        self,
+        source_host: str,
+        packet: Packet,
+        waypoint: NodeId | None = None,
+        destination_host: str | None = None,
+    ) -> TraceRecord:
+        """Inject ``packet`` at the source host's switch and trace its fate.
+
+        In instant mode the trace resolves before this returns; in per-hop
+        mode it resolves as the simulator advances (fate stays IN_FLIGHT
+        until then).
+        """
+        host = self.host(source_host)
+        destination = (
+            self.host(destination_host) if destination_host is not None else None
+        )
+        trace = TraceRecord(
+            packet_id=next(self._packet_ids), injected_ms=self.sim.now
+        )
+        hop_budget = self.max_hops if self.max_hops is not None else 4 * max(len(self.switches), 1)
+        if self.packet_mode == "instant":
+            self._walk_instant(
+                trace, packet, host.switch_dpid, host.switch_port, waypoint,
+                destination, hop_budget,
+            )
+        else:
+            self._hop_scheduled(
+                trace, packet, host.switch_dpid, host.switch_port, waypoint,
+                destination, hop_budget,
+            )
+        return trace
+
+    # -- instant mode ----------------------------------------------------
+    def _walk_instant(
+        self,
+        trace: TraceRecord,
+        packet: Packet,
+        dpid: NodeId,
+        in_port: int,
+        waypoint: NodeId | None,
+        destination: Host | None,
+        hop_budget: int,
+    ) -> None:
+        visited: set[tuple[NodeId, int]] = set()
+        current, port = dpid, in_port
+        for _ in range(hop_budget):
+            if (current, port) in visited:
+                self._finish(trace, PacketFate.LOOPED)
+                return
+            visited.add((current, port))
+            trace.path.append(current)
+            step = self._process_at(current, packet, port)
+            if step is None:
+                self._finish(trace, PacketFate.DROPPED)
+                return
+            packet, out_port = step
+            peer, peer_port = self._peer_of(current, out_port)
+            if peer is None:
+                self._finish(trace, PacketFate.DROPPED)
+                return
+            if peer in self.hosts:
+                self._finish_at_host(trace, str(peer), waypoint, destination)
+                return
+            current, port = peer, peer_port
+        self._finish(trace, PacketFate.LOOPED)
+
+    # -- per-hop mode ------------------------------------------------------
+    def _hop_scheduled(
+        self,
+        trace: TraceRecord,
+        packet: Packet,
+        dpid: NodeId,
+        in_port: int,
+        waypoint: NodeId | None,
+        destination: Host | None,
+        hop_budget: int,
+    ) -> None:
+        if hop_budget <= 0:
+            self._finish(trace, PacketFate.LOOPED)
+            return
+        trace.path.append(dpid)
+        step = self._process_at(dpid, packet, in_port)
+        if step is None:
+            self._finish(trace, PacketFate.DROPPED)
+            return
+        next_packet, out_port = step
+        peer, peer_port = self._peer_of(dpid, out_port)
+        if peer is None:
+            self._finish(trace, PacketFate.DROPPED)
+            return
+        link = self.topo.link_between(dpid, peer)
+        if peer in self.hosts:
+            self.sim.schedule(
+                link.latency_ms,
+                self._finish_at_host,
+                trace,
+                str(peer),
+                waypoint,
+                destination,
+            )
+            return
+        self.sim.schedule(
+            link.latency_ms,
+            self._hop_scheduled,
+            trace,
+            next_packet,
+            peer,
+            peer_port,
+            waypoint,
+            destination,
+            hop_budget - 1,
+        )
+
+    # -- shared helpers ----------------------------------------------------
+    def _process_at(
+        self, dpid: NodeId, packet: Packet, in_port: int
+    ) -> tuple[Packet, int] | None:
+        result = self.switch(dpid).receive_packet(packet, in_port)
+        if not result.forwarded:
+            return None
+        return result.packet, result.out_ports[0]
+
+    def _peer_of(self, dpid: NodeId, out_port: int) -> tuple[NodeId | None, int]:
+        try:
+            return self.topo.peer(dpid, out_port)
+        except Exception:
+            return None, 0
+
+    def _finish_at_host(
+        self,
+        trace: TraceRecord,
+        host_name: str,
+        waypoint: NodeId | None,
+        destination: Host | None,
+    ) -> None:
+        if destination is not None and host_name != destination.name:
+            self._finish(trace, PacketFate.DROPPED)
+            return
+        if waypoint is not None and waypoint not in trace.path:
+            self._finish(trace, PacketFate.BYPASSED_WAYPOINT)
+            return
+        self._finish(trace, PacketFate.DELIVERED)
+
+    def _finish(self, trace: TraceRecord, fate: PacketFate) -> None:
+        trace.fate = fate
+        trace.completed_ms = self.sim.now
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def channel_stats(self) -> dict[NodeId, Any]:
+        return {dpid: channel.stats for dpid, channel in self.channels.items()}
+
+    def total_flow_mods_applied(self) -> int:
+        return sum(switch.log.flow_mods_applied for switch in self.switches.values())

@@ -1,0 +1,335 @@
+"""OpenFlow match structure with OXM TLV encoding.
+
+A :class:`Match` holds the subset of OXM basic fields the prototype needs
+(port, Ethernet, VLAN, IPv4, TCP/UDP).  It can
+
+* test a packet's header fields (:meth:`Match.matches`),
+* encode itself to spec-conformant OXM TLV bytes and back,
+* convert to/from the ofctl-style JSON dicts used in the paper's REST body.
+
+IPv4 fields accept ``"10.0.0.1"`` or ``"10.0.0.0/24"``; masked matching is
+supported for the IPv4 fields only (enough for destination-based policies).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Iterator, Mapping
+
+from repro.errors import OpenFlowError
+from repro.openflow.constants import (
+    OFPVID_PRESENT,
+    OXM_CLASS_OPENFLOW_BASIC,
+    OXM_LENGTHS,
+    OxmField,
+)
+
+# ---------------------------------------------------------------------------
+# value helpers
+# ---------------------------------------------------------------------------
+
+def ip_to_int(address: str) -> int:
+    """``"10.0.0.1"`` -> 0x0a000001 (with validation)."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise OpenFlowError(f"bad IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise OpenFlowError(f"bad IPv4 address {address!r}") from None
+        if not 0 <= octet <= 255:
+            raise OpenFlowError(f"bad IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Inverse of :func:`ip_to_int`."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise OpenFlowError(f"IPv4 int out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv4_prefix(spec: str) -> tuple[int, int]:
+    """``"10.0.0.0/24"`` -> (address_int, mask_int); bare IPs get /32."""
+    if "/" in spec:
+        address, prefix_str = spec.split("/", 1)
+        try:
+            prefix = int(prefix_str)
+        except ValueError:
+            raise OpenFlowError(f"bad prefix length in {spec!r}") from None
+        if not 0 <= prefix <= 32:
+            raise OpenFlowError(f"bad prefix length in {spec!r}")
+    else:
+        address, prefix = spec, 32
+    mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
+    return ip_to_int(address) & mask, mask
+
+
+def format_ipv4_prefix(address: int, mask: int) -> str:
+    """Inverse of :func:`parse_ipv4_prefix` (contiguous masks only)."""
+    if mask == 0xFFFFFFFF:
+        return int_to_ip(address)
+    prefix = bin(mask).count("1")
+    expected = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
+    if expected != mask:
+        raise OpenFlowError(f"non-contiguous IPv4 mask 0x{mask:08x}")
+    return f"{int_to_ip(address)}/{prefix}"
+
+
+def mac_to_bytes(mac: str) -> bytes:
+    """``"aa:bb:cc:dd:ee:ff"`` -> 6 bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise OpenFlowError(f"bad MAC address {mac!r}")
+    try:
+        return bytes(int(part, 16) for part in parts)
+    except ValueError:
+        raise OpenFlowError(f"bad MAC address {mac!r}") from None
+
+
+def bytes_to_mac(data: bytes) -> str:
+    if len(data) != 6:
+        raise OpenFlowError(f"MAC must be 6 bytes, got {len(data)}")
+    return ":".join(f"{byte:02x}" for byte in data)
+
+
+# ---------------------------------------------------------------------------
+# the Match itself
+# ---------------------------------------------------------------------------
+
+#: Match attribute -> its OXM field id.
+_FIELD_BY_NAME: dict[str, OxmField] = {
+    "in_port": OxmField.IN_PORT,
+    "eth_dst": OxmField.ETH_DST,
+    "eth_src": OxmField.ETH_SRC,
+    "eth_type": OxmField.ETH_TYPE,
+    "vlan_vid": OxmField.VLAN_VID,
+    "ip_proto": OxmField.IP_PROTO,
+    "ipv4_src": OxmField.IPV4_SRC,
+    "ipv4_dst": OxmField.IPV4_DST,
+    "tcp_src": OxmField.TCP_SRC,
+    "tcp_dst": OxmField.TCP_DST,
+    "udp_src": OxmField.UDP_SRC,
+    "udp_dst": OxmField.UDP_DST,
+}
+_NAME_BY_FIELD = {field: name for name, field in _FIELD_BY_NAME.items()}
+
+#: Fields that may carry a mask in this implementation.
+_MASKABLE = {OxmField.IPV4_SRC, OxmField.IPV4_DST}
+
+
+@dataclass(frozen=True)
+class Match:
+    """A set of header-field constraints; unset fields are wildcards.
+
+    >>> m = Match(eth_type=0x0800, ipv4_dst="10.0.0.0/24")
+    >>> m.matches({"eth_type": 0x0800, "ipv4_dst": "10.0.0.7"})
+    True
+    >>> m.matches({"eth_type": 0x0806})
+    False
+    """
+
+    in_port: int | None = None
+    eth_dst: str | None = None
+    eth_src: str | None = None
+    eth_type: int | None = None
+    vlan_vid: int | None = None
+    ip_proto: int | None = None
+    ipv4_src: str | None = None
+    ipv4_dst: str | None = None
+    tcp_src: int | None = None
+    tcp_dst: int | None = None
+    udp_src: int | None = None
+    udp_dst: int | None = None
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def set_fields(self) -> dict[str, Any]:
+        """The non-wildcard constraints as a name->value dict."""
+        result = {}
+        for field_info in dataclass_fields(self):
+            value = getattr(self, field_info.name)
+            if value is not None:
+                result[field_info.name] = value
+        return result
+
+    def is_wildcard(self) -> bool:
+        return not self.set_fields()
+
+    def specificity(self) -> int:
+        """How many fields are constrained (tie-breaker in tests/reports)."""
+        return len(self.set_fields())
+
+    def replace(self, **changes: Any) -> "Match":
+        """A copy with some fields changed (None clears a field)."""
+        current = {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        current.update(changes)
+        return Match(**current)
+
+    # ------------------------------------------------------------------
+    # packet matching
+    # ------------------------------------------------------------------
+    def matches(self, packet_fields: Mapping[str, Any]) -> bool:
+        """Do a packet's header fields satisfy every constraint?"""
+        for name, wanted in self.set_fields().items():
+            actual = packet_fields.get(name)
+            if name in ("ipv4_src", "ipv4_dst"):
+                if actual is None:
+                    return False
+                want_addr, want_mask = parse_ipv4_prefix(str(wanted))
+                if ip_to_int(str(actual)) & want_mask != want_addr:
+                    return False
+            elif actual != wanted:
+                return False
+        return True
+
+    def subsumes(self, other: "Match") -> bool:
+        """True when every packet matching ``other`` also matches ``self``.
+
+        Used for OFPFC_DELETE (non-strict) semantics: a delete with match M
+        removes entries whose match is *at least as specific* as M.
+        """
+        for name, wanted in self.set_fields().items():
+            other_value = getattr(other, name)
+            if other_value is None:
+                return False
+            if name in ("ipv4_src", "ipv4_dst"):
+                want_addr, want_mask = parse_ipv4_prefix(str(wanted))
+                other_addr, other_mask = parse_ipv4_prefix(str(other_value))
+                if other_mask & want_mask != want_mask:
+                    return False
+                if other_addr & want_mask != want_addr:
+                    return False
+            elif other_value != wanted:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # OXM binary encoding
+    # ------------------------------------------------------------------
+    def to_oxm_bytes(self) -> bytes:
+        """Encode the constraints as a sequence of OXM TLVs."""
+        out = bytearray()
+        for name in _FIELD_BY_NAME:  # deterministic spec-ish ordering
+            value = getattr(self, name)
+            if value is None:
+                continue
+            field = _FIELD_BY_NAME[name]
+            payload, mask = _encode_oxm_value(field, value)
+            has_mask = mask is not None
+            length = len(payload) * (2 if has_mask else 1)
+            out += struct.pack(
+                "!HBB",
+                OXM_CLASS_OPENFLOW_BASIC,
+                (field << 1) | (1 if has_mask else 0),
+                length,
+            )
+            out += payload
+            if has_mask:
+                out += mask
+        return bytes(out)
+
+    @classmethod
+    def from_oxm_bytes(cls, data: bytes) -> "Match":
+        """Decode a sequence of OXM TLVs."""
+        offset = 0
+        values: dict[str, Any] = {}
+        while offset < len(data):
+            if offset + 4 > len(data):
+                raise OpenFlowError("truncated OXM TLV header")
+            oxm_class, field_hm, length = struct.unpack_from("!HBB", data, offset)
+            offset += 4
+            if oxm_class != OXM_CLASS_OPENFLOW_BASIC:
+                raise OpenFlowError(f"unsupported OXM class 0x{oxm_class:04x}")
+            has_mask = bool(field_hm & 1)
+            try:
+                field = OxmField(field_hm >> 1)
+            except ValueError:
+                raise OpenFlowError(f"unsupported OXM field {field_hm >> 1}") from None
+            payload_len = OXM_LENGTHS[field]
+            expected = payload_len * (2 if has_mask else 1)
+            if length != expected:
+                raise OpenFlowError(
+                    f"OXM field {field.name} length {length} != {expected}"
+                )
+            if offset + length > len(data):
+                raise OpenFlowError("truncated OXM TLV payload")
+            payload = data[offset : offset + payload_len]
+            mask = (
+                data[offset + payload_len : offset + 2 * payload_len]
+                if has_mask
+                else None
+            )
+            offset += length
+            name = _NAME_BY_FIELD[field]
+            values[name] = _decode_oxm_value(field, payload, mask)
+        return cls(**values)
+
+    # ------------------------------------------------------------------
+    # ofctl-style dicts (the REST body format)
+    # ------------------------------------------------------------------
+    def to_ofctl(self) -> dict[str, Any]:
+        """Field dict as Ryu's ofctl_rest reports it."""
+        return dict(self.set_fields())
+
+    @classmethod
+    def from_ofctl(cls, data: Mapping[str, Any]) -> "Match":
+        """Parse an ofctl-style match dict (unknown keys are rejected)."""
+        values: dict[str, Any] = {}
+        aliases = {"nw_src": "ipv4_src", "nw_dst": "ipv4_dst", "dl_type": "eth_type",
+                   "dl_src": "eth_src", "dl_dst": "eth_dst", "nw_proto": "ip_proto",
+                   "tp_src": "tcp_src", "tp_dst": "tcp_dst", "dl_vlan": "vlan_vid"}
+        for key, value in data.items():
+            name = aliases.get(key, key)
+            if name not in _FIELD_BY_NAME:
+                raise OpenFlowError(f"unknown match field {key!r}")
+            values[name] = value
+        return cls(**values)
+
+
+def _encode_oxm_value(field: OxmField, value: Any) -> tuple[bytes, bytes | None]:
+    """Encode one field value; returns ``(payload, mask_or_None)``."""
+    if field in (OxmField.ETH_DST, OxmField.ETH_SRC):
+        return mac_to_bytes(str(value)), None
+    if field in (OxmField.IPV4_SRC, OxmField.IPV4_DST):
+        address, mask = parse_ipv4_prefix(str(value))
+        if mask == 0xFFFFFFFF:
+            return struct.pack("!I", address), None
+        return struct.pack("!I", address), struct.pack("!I", mask)
+    if field is OxmField.VLAN_VID:
+        return struct.pack("!H", int(value) | OFPVID_PRESENT), None
+    if field is OxmField.IN_PORT:
+        return struct.pack("!I", int(value)), None
+    if field is OxmField.IP_PROTO:
+        return struct.pack("!B", int(value)), None
+    # remaining 2-byte fields: eth_type, l4 ports
+    return struct.pack("!H", int(value)), None
+
+
+def _decode_oxm_value(field: OxmField, payload: bytes, mask: bytes | None) -> Any:
+    if mask is not None and field not in _MASKABLE:
+        raise OpenFlowError(f"mask not supported for {field.name}")
+    if field in (OxmField.ETH_DST, OxmField.ETH_SRC):
+        return bytes_to_mac(payload)
+    if field in (OxmField.IPV4_SRC, OxmField.IPV4_DST):
+        (address,) = struct.unpack("!I", payload)
+        mask_int = struct.unpack("!I", mask)[0] if mask is not None else 0xFFFFFFFF
+        return format_ipv4_prefix(address, mask_int)
+    if field is OxmField.VLAN_VID:
+        (raw,) = struct.unpack("!H", payload)
+        return raw & ~OFPVID_PRESENT
+    if field is OxmField.IN_PORT:
+        return struct.unpack("!I", payload)[0]
+    if field is OxmField.IP_PROTO:
+        return payload[0]
+    return struct.unpack("!H", payload)[0]
+
+
+def iter_supported_fields() -> Iterator[str]:
+    """Names of all match fields this implementation supports."""
+    return iter(_FIELD_BY_NAME)

@@ -1,0 +1,82 @@
+"""Multipart flow-statistics messages (OFPMP_FLOW subset).
+
+Used by the REST layer's ``/stats/flow/<dpid>`` endpoint -- the same
+interface Ryu's ofctl_rest exposes and the paper's app builds upon -- and
+by tests to observe switch state without reaching into internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.openflow.actions import Instruction
+from repro.openflow.constants import (
+    GroupId,
+    MsgType,
+    MultipartType,
+    Port,
+    TableId,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import OpenFlowMessage
+
+
+@dataclass
+class FlowStatsRequest(OpenFlowMessage):
+    """Ask a switch for the flow entries matching the filter."""
+
+    table_id: int = int(TableId.ALL)
+    out_port: int = int(Port.ANY)
+    out_group: int = int(GroupId.ANY)
+    cookie: int = 0
+    cookie_mask: int = 0
+    match: Match = field(default_factory=Match)
+
+    msg_type: ClassVar[MsgType] = MsgType.MULTIPART_REQUEST
+    multipart_type: ClassVar[MultipartType] = MultipartType.FLOW
+
+
+@dataclass
+class FlowStatsEntry:
+    """One flow entry's statistics snapshot."""
+
+    table_id: int = 0
+    duration_sec: int = 0
+    duration_nsec: int = 0
+    priority: int = 0
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    flags: int = 0
+    cookie: int = 0
+    packet_count: int = 0
+    byte_count: int = 0
+    match: Match = field(default_factory=Match)
+    instructions: tuple[Instruction, ...] = ()
+
+    def to_ofctl(self) -> dict[str, Any]:
+        return {
+            "table_id": self.table_id,
+            "duration_sec": self.duration_sec,
+            "priority": self.priority,
+            "idle_timeout": self.idle_timeout,
+            "hard_timeout": self.hard_timeout,
+            "cookie": self.cookie,
+            "packet_count": self.packet_count,
+            "byte_count": self.byte_count,
+            "match": self.match.to_ofctl(),
+            "instructions": [ins.to_dict() for ins in self.instructions],
+        }
+
+
+@dataclass
+class FlowStatsReply(OpenFlowMessage):
+    """The switch's answer: a list of entry snapshots."""
+
+    entries: tuple[FlowStatsEntry, ...] = ()
+
+    msg_type: ClassVar[MsgType] = MsgType.MULTIPART_REPLY
+    multipart_type: ClassVar[MultipartType] = MultipartType.FLOW
+
+    def to_ofctl(self, dpid: int) -> dict[str, Any]:
+        return {str(dpid): [entry.to_ofctl() for entry in self.entries]}

@@ -1,0 +1,25 @@
+"""REST layer: the paper's update interface over an in-process router."""
+
+from repro.rest.api import RestApi, RestResponse, Route, Router, build_rest_api
+from repro.rest.http_binding import RestHttpServer
+from repro.rest.schemas import (
+    UPDATE_BODY_KEYS,
+    UPDATE_EXTENSION_KEYS,
+    UPDATE_HEADER_FIELDS,
+    validate_flowentry_body,
+    validate_update_body,
+)
+
+__all__ = [
+    "RestApi",
+    "RestHttpServer",
+    "RestResponse",
+    "Route",
+    "Router",
+    "UPDATE_BODY_KEYS",
+    "UPDATE_EXTENSION_KEYS",
+    "UPDATE_HEADER_FIELDS",
+    "build_rest_api",
+    "validate_flowentry_body",
+    "validate_update_body",
+]

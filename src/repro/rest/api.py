@@ -1,0 +1,206 @@
+"""In-process REST router exposing the controller apps.
+
+The demo drives its prototype through Ryu's WSGI REST interface; this
+module reproduces the interface without sockets: a :class:`Router` matches
+``(method, path)`` against registered patterns (``/stats/flow/<dpid>``) and
+invokes handlers with path parameters and the JSON body.  The optional
+localhost HTTP binding in :mod:`repro.rest.http_binding` serves the same
+router over real HTTP for the interactive example.
+
+Routes (mirroring ofctl_rest plus the paper's update endpoint):
+
+* ``GET  /stats/switches``            -- connected dpids
+* ``GET  /stats/flow/<dpid>``         -- flow stats of one switch
+* ``POST /stats/flowentry/add``       -- one-shot FlowMod (baseline)
+* ``POST /stats/flowentry/modify``    -- ditto
+* ``POST /stats/flowentry/delete``    -- ditto
+* ``POST /update``                    -- the paper's multi-round update
+* ``POST /update/<algorithm>``        -- ditto with the algorithm in the path
+* ``GET  /update/<update_id>``        -- execution status / timings
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import BadRequestError, NotFoundError, RestError
+from repro.controller.ofctl_rest import OfctlRestApp
+from repro.controller.ofctl_rest_own import TransientUpdateApp
+from repro.controller.update_queue import UpdateQueueApp
+from repro.rest.schemas import validate_flowentry_body, validate_update_body
+
+
+@dataclass
+class RestResponse:
+    """Status code plus JSON-compatible body."""
+
+    status: int
+    body: Any
+
+    def json(self) -> str:
+        return json.dumps(self.body, sort_keys=True)
+
+
+@dataclass
+class Route:
+    method: str
+    pattern: re.Pattern
+    handler: Callable[..., Any]
+    param_names: tuple[str, ...] = ()
+
+
+class Router:
+    """Minimal method+path router with ``<param>`` captures."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def register(self, method: str, path: str, handler: Callable[..., Any]) -> None:
+        """Register ``handler(body=None, **path_params)`` for method+path."""
+        param_names = tuple(re.findall(r"<(\w+)>", path))
+        regex = re.escape(path)
+        for name in param_names:
+            regex = regex.replace(re.escape(f"<{name}>"), f"(?P<{name}>[^/]+)")
+        self._routes.append(
+            Route(
+                method=method.upper(),
+                pattern=re.compile(f"^{regex}$"),
+                handler=handler,
+                param_names=param_names,
+            )
+        )
+
+    def handle(self, method: str, path: str, body: Any = None) -> RestResponse:
+        """Dispatch one request; REST errors become status codes."""
+        method = method.upper()
+        path_matched = False
+        for route in self._routes:
+            found = route.pattern.match(path)
+            if found is None:
+                continue
+            path_matched = True
+            if route.method != method:
+                continue
+            try:
+                result = route.handler(body, **found.groupdict())
+            except RestError as exc:
+                return RestResponse(status=exc.status, body={"error": str(exc)})
+            return RestResponse(status=200, body=result)
+        if path_matched:
+            return RestResponse(
+                status=405, body={"error": f"method {method} not allowed on {path}"}
+            )
+        return RestResponse(status=404, body={"error": f"no route for {path}"})
+
+    def routes(self) -> list[tuple[str, str]]:
+        """(method, pattern) pairs, for docs and tests."""
+        return [(route.method, route.pattern.pattern) for route in self._routes]
+
+
+@dataclass
+class RestApi:
+    """The wired-up application router."""
+
+    router: Router
+    ofctl: OfctlRestApp
+    update_app: TransientUpdateApp
+    update_queue: UpdateQueueApp
+    flush: Callable[[], None] | None = None
+    _stats_cache: dict = field(default_factory=dict)
+
+    def handle(self, method: str, path: str, body: Any = None) -> RestResponse:
+        return self.router.handle(method, path, body)
+
+
+def build_rest_api(
+    ofctl: OfctlRestApp,
+    update_app: TransientUpdateApp,
+    update_queue: UpdateQueueApp,
+    flush: Callable[[], None] | None = None,
+) -> RestApi:
+    """Wire the standard route table onto the given apps.
+
+    ``flush`` (usually ``network.flush``) is invoked by handlers that need
+    switch replies (stats) or that should settle the update synchronously
+    from the caller's point of view.
+    """
+    router = Router()
+    api = RestApi(
+        router=router,
+        ofctl=ofctl,
+        update_app=update_app,
+        update_queue=update_queue,
+        flush=flush,
+    )
+
+    def _flush() -> None:
+        if flush is not None:
+            flush()
+
+    def get_switches(body: Any) -> list[int]:
+        return ofctl.switches()
+
+    def get_flow_stats(body: Any, dpid: str) -> dict:
+        try:
+            dpid_int = int(dpid)
+        except ValueError:
+            raise BadRequestError(f"bad dpid {dpid!r}") from None
+        future = ofctl.flow_stats(dpid_int)
+        _flush()
+        if not future.done:
+            raise RestError("switch did not answer the stats request")
+        return future.result().to_ofctl(dpid_int)
+
+    def make_flowentry(operation: str) -> Callable[[Any], dict]:
+        def handler(body: Any) -> dict:
+            validate_flowentry_body(body)
+            result = getattr(ofctl, f"flowentry_{operation}")(body)
+            _flush()
+            return result
+
+        return handler
+
+    def post_update(body: Any, algorithm: str | None = None) -> dict:
+        validate_update_body(body)
+        request = dict(body)
+        if algorithm is not None:
+            request["algorithm"] = algorithm
+        summary = update_app.submit_update(request)
+        _flush()
+        return summary
+
+    def get_update(body: Any, update_id: str) -> dict:
+        for execution in update_queue.completed:
+            if execution.update_id == update_id:
+                return {
+                    "update_id": execution.update_id,
+                    "rounds": execution.n_rounds,
+                    "duration_ms": execution.duration_ms,
+                    "round_durations_ms": [
+                        t.duration_ms for t in execution.round_timings
+                    ],
+                    "errors": len(execution.errors),
+                    "state": "completed",
+                }
+        for execution in update_queue.queue:
+            if execution.update_id == update_id:
+                return {
+                    "update_id": execution.update_id,
+                    "current_round": execution.current_round,
+                    "state": "running",
+                }
+        raise NotFoundError(f"unknown update {update_id!r}")
+
+    router.register("GET", "/stats/switches", get_switches)
+    router.register("GET", "/stats/flow/<dpid>", get_flow_stats)
+    for operation in ("add", "modify", "modify_strict", "delete", "delete_strict"):
+        router.register(
+            "POST", f"/stats/flowentry/{operation}", make_flowentry(operation)
+        )
+    router.register("POST", "/update", post_update)
+    router.register("POST", "/update/<algorithm>", post_update)
+    router.register("GET", "/update/<update_id>", get_update)
+    return api

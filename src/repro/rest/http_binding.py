@@ -1,0 +1,80 @@
+"""Serve a :class:`~repro.rest.api.RestApi` over real HTTP on localhost.
+
+This is how the original demo is driven (curl against the Ryu WSGI app).
+The binding uses only the standard library and binds to 127.0.0.1; it runs
+the request against the in-process router, which in turn advances the
+simulation synchronously.  Intended for the interactive example
+(``examples/rest_server_demo.py``), not for tests or benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.rest.api import RestApi
+
+
+def _make_handler(api: RestApi) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        # one simulated network is not thread-safe; serialize requests
+        _lock = threading.Lock()
+
+        def _respond(self, method: str) -> None:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            body = None
+            if raw:
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError:
+                    self._write(400, {"error": "request body is not JSON"})
+                    return
+            with self._lock:
+                response = api.handle(method, self.path, body)
+            self._write(response.status, response.body)
+
+        def _write(self, status: int, payload) -> None:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._respond("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            self._respond("POST")
+
+        def log_message(self, fmt: str, *args) -> None:  # quiet by default
+            pass
+
+    return Handler
+
+
+class RestHttpServer:
+    """A localhost HTTP front-end for one RestApi."""
+
+    def __init__(self, api: RestApi, port: int = 8080) -> None:
+        self.api = api
+        self.server = ThreadingHTTPServer(("127.0.0.1", port), _make_handler(api))
+        self.port = self.server.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        """Serve in a daemon thread; returns immediately."""
+        self._thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"

@@ -1,0 +1,96 @@
+"""Validation of REST request bodies (the paper's message format).
+
+The WayUp REST request has a header part -- ``oldpath``, ``newpath``,
+``wp`` and ``interval`` -- and a body part of OpenFlow message payloads
+keyed by type (section 2 of the paper).  These validators reject malformed
+requests with :class:`~repro.errors.BadRequestError` before anything
+touches the controller.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BadRequestError
+
+#: Header fields of the paper's update request and their expected shapes.
+UPDATE_HEADER_FIELDS = ("oldpath", "newpath", "wp", "interval")
+
+#: Body keys carrying explicit per-switch FlowMod payloads.
+UPDATE_BODY_KEYS = ("add", "modify", "delete")
+
+#: Keys this implementation additionally understands.
+UPDATE_EXTENSION_KEYS = ("algorithm", "match", "priority", "name")
+
+
+def _require_dict(body: Any, what: str) -> dict:
+    if not isinstance(body, dict):
+        raise BadRequestError(f"{what} must be a JSON object, got {type(body).__name__}")
+    return body
+
+
+def _require_path(body: dict, key: str) -> None:
+    value = body.get(key)
+    if not isinstance(value, (list, tuple)) or len(value) < 2:
+        raise BadRequestError(f"{key!r} must be a list of at least two datapath ids")
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, str)):
+            raise BadRequestError(f"{key!r} contains a non-datapath entry: {item!r}")
+        if isinstance(item, str) and not item.isdigit():
+            raise BadRequestError(f"{key!r} contains a non-numeric id: {item!r}")
+    normalized = [int(v) for v in value]
+    if len(set(normalized)) != len(normalized):
+        raise BadRequestError(f"{key!r} must be a simple path (no repeats)")
+
+
+def validate_update_body(body: Any) -> dict:
+    """Validate the paper's update request; returns the body for chaining."""
+    body = _require_dict(body, "update request")
+    for key in ("oldpath", "newpath"):
+        if key not in body:
+            raise BadRequestError(f"update request needs {key!r}")
+        _require_path(body, key)
+    if "wp" in body and body["wp"] is not None:
+        wp = body["wp"]
+        if isinstance(wp, bool) or not isinstance(wp, (int, str)):
+            raise BadRequestError(f"'wp' must be a datapath id, got {wp!r}")
+        if isinstance(wp, str) and not wp.isdigit():
+            raise BadRequestError(f"'wp' must be numeric, got {wp!r}")
+    if "interval" in body:
+        interval = body["interval"]
+        if isinstance(interval, bool) or not isinstance(interval, (int, float)):
+            raise BadRequestError(f"'interval' must be milliseconds, got {interval!r}")
+        if interval < 0:
+            raise BadRequestError(f"'interval' must be non-negative, got {interval!r}")
+    for key in UPDATE_BODY_KEYS:
+        if key in body and body[key] is not None:
+            entries = body[key]
+            if not isinstance(entries, list):
+                raise BadRequestError(f"{key!r} must be a list of FlowMod bodies")
+            for entry in entries:
+                _require_dict(entry, f"{key!r} entry")
+                if "dpid" not in entry:
+                    raise BadRequestError(f"{key!r} entry without 'dpid': {entry!r}")
+    return body
+
+
+def validate_flowentry_body(body: Any) -> dict:
+    """Validate an ofctl flow-entry body (``dpid`` plus optional fields)."""
+    body = _require_dict(body, "flow entry")
+    if "dpid" not in body:
+        raise BadRequestError("flow entry body needs a 'dpid'")
+    dpid = body["dpid"]
+    if isinstance(dpid, bool) or not isinstance(dpid, (int, str)):
+        raise BadRequestError(f"'dpid' must be a datapath id, got {dpid!r}")
+    if isinstance(dpid, str) and not dpid.isdigit():
+        raise BadRequestError(f"'dpid' must be numeric, got {dpid!r}")
+    if "match" in body and not isinstance(body["match"], dict):
+        raise BadRequestError("'match' must be an object")
+    for key in ("priority", "idle_timeout", "hard_timeout", "cookie", "table_id"):
+        if key in body:
+            value = body[key]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise BadRequestError(f"{key!r} must be an integer, got {value!r}")
+            if value < 0:
+                raise BadRequestError(f"{key!r} must be non-negative, got {value!r}")
+    return body

@@ -1,0 +1,60 @@
+"""Event queue primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at a point in simulated time.
+
+    Ordering is ``(time, seq)`` so simultaneous events fire in scheduling
+    order -- determinism matters more than fairness here.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`ScheduledEvent`."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[..., None], *args: Any) -> ScheduledEvent:
+        event = ScheduledEvent(time=time, seq=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> ScheduledEvent | None:
+        """Pop the earliest non-cancelled event, or None when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Earliest pending event time (skipping cancelled), or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

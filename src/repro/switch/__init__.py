@@ -1,0 +1,29 @@
+"""Simulated OpenFlow switch substrate (the OVS stand-in)."""
+
+from repro.switch.datapath import SwitchLog, SwitchSim
+from repro.switch.flow_table import FlowEntry, FlowTable, matches_overlap
+from repro.switch.latency import (
+    HARDWARE_PROFILE,
+    OVS_LOADED_PROFILE,
+    OVS_PROFILE,
+    PROFILES,
+    SLOW_VENDOR_PROFILE,
+    SwitchTimingProfile,
+)
+from repro.switch.pipeline import Pipeline, PipelineResult
+
+__all__ = [
+    "FlowEntry",
+    "FlowTable",
+    "HARDWARE_PROFILE",
+    "OVS_LOADED_PROFILE",
+    "OVS_PROFILE",
+    "PROFILES",
+    "Pipeline",
+    "PipelineResult",
+    "SLOW_VENDOR_PROFILE",
+    "SwitchLog",
+    "SwitchSim",
+    "SwitchTimingProfile",
+    "matches_overlap",
+]

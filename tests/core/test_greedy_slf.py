@@ -1,0 +1,59 @@
+"""Tests for the greedy strong-loop-free scheduler."""
+
+import pytest
+
+from repro.core.greedy_slf import greedy_slf_schedule
+from repro.core.hardness import reversal_instance
+from repro.core.peacock import peacock_schedule
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property, verify_exhaustive, verify_schedule
+from repro.errors import UpdateModelError
+
+
+class TestGreedySLF:
+    def test_rejects_noop_problem(self):
+        with pytest.raises(UpdateModelError):
+            greedy_slf_schedule(UpdateProblem([1, 2, 3], [1, 2, 3]))
+
+    def test_reversal_needs_linear_rounds(self):
+        # The defining lower bound: strong loop freedom peels the chain
+        # one node per round -- n-2 interior nodes => n-2 rounds.
+        for n in (6, 8, 12):
+            schedule = greedy_slf_schedule(reversal_instance(n), include_cleanup=False)
+            assert schedule.n_rounds == n - 2, n
+
+    def test_always_slf_safe(self):
+        for n in (5, 7, 10):
+            schedule = greedy_slf_schedule(reversal_instance(n))
+            report = verify_schedule(schedule, properties=(Property.SLF,))
+            assert report.ok
+
+    def test_exhaustive_agrees(self):
+        schedule = greedy_slf_schedule(reversal_instance(7))
+        report = verify_exhaustive(
+            schedule, properties=(Property.SLF, Property.BLACKHOLE)
+        )
+        assert report.ok
+
+    def test_slf_implies_rlf(self):
+        schedule = greedy_slf_schedule(reversal_instance(8))
+        report = verify_schedule(schedule, properties=(Property.RLF,))
+        assert report.ok
+
+    def test_never_beats_peacock_on_reversal(self):
+        for n in (6, 10, 14):
+            slf = greedy_slf_schedule(reversal_instance(n), include_cleanup=False)
+            rlf = peacock_schedule(reversal_instance(n), include_cleanup=False)
+            assert slf.n_rounds >= rlf.n_rounds
+
+    def test_forward_only_instance_is_fast(self):
+        # new path only skips ahead: everything flips in one round
+        problem = UpdateProblem(list(range(1, 9)), [1, 3, 5, 7, 8])
+        schedule = greedy_slf_schedule(problem, include_cleanup=False)
+        assert schedule.n_rounds == 1
+
+    def test_install_round_separate(self):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 5, 3, 2, 4])
+        schedule = greedy_slf_schedule(problem, include_cleanup=False)
+        assert schedule.rounds[0] == frozenset({5})
+        assert schedule.metadata["round_names"][0] == "install"

@@ -1,0 +1,126 @@
+"""Tests for exact minimum-round search and the adversarial families."""
+
+import pytest
+
+from repro.core.greedy_slf import greedy_slf_schedule
+from repro.core.hardness import (
+    crossing_instance,
+    double_diamond_instance,
+    reversal_instance,
+    sawtooth_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.optimal import (
+    is_feasible,
+    minimal_round_count,
+    minimal_round_schedule,
+    round_is_safe,
+)
+from repro.core.peacock import peacock_schedule
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property, verify_schedule
+from repro.core.wayup import wayup_schedule
+from repro.errors import InfeasibleUpdateError, UpdateModelError, VerificationError
+
+
+class TestOptimal:
+    def test_found_schedule_is_valid_and_safe(self):
+        problem = reversal_instance(6)
+        schedule = minimal_round_schedule(problem, (Property.RLF,))
+        report = verify_schedule(schedule, properties=(Property.RLF,))
+        assert report.ok
+        assert schedule.scheduled_nodes() == problem.required_updates
+
+    def test_optimal_at_most_greedy(self):
+        problem = reversal_instance(7)
+        best = minimal_round_count(problem, (Property.RLF,))
+        greedy = peacock_schedule(problem, include_cleanup=False).n_rounds
+        assert best <= greedy
+
+    def test_slf_optimal_matches_lower_bound(self):
+        # strong loop freedom on the reversal is forced: n-2 rounds
+        problem = reversal_instance(6)
+        assert minimal_round_count(problem, (Property.SLF,)) == 4
+
+    def test_rlf_optimal_is_constant_on_reversal(self):
+        problem = reversal_instance(7)
+        assert minimal_round_count(problem, (Property.RLF,)) <= 3
+
+    def test_crossing_wpe_needs_three_rounds(self):
+        problem = crossing_instance()
+        assert minimal_round_count(problem, (Property.WPE,)) == 3
+
+    def test_crossing_wpe_plus_loopfreedom_infeasible(self):
+        """The celebrated impossibility: WPE and loop freedom can clash."""
+        problem = crossing_instance()
+        assert not is_feasible(problem, (Property.WPE, Property.SLF))
+        assert not is_feasible(problem, (Property.WPE, Property.RLF))
+
+    def test_diamond_wpe_plus_slf_feasible(self):
+        problem = double_diamond_instance()
+        schedule = minimal_round_schedule(
+            problem, (Property.WPE, Property.SLF, Property.BLACKHOLE)
+        )
+        report = verify_schedule(
+            schedule, properties=(Property.WPE, Property.SLF, Property.BLACKHOLE)
+        )
+        assert report.ok
+
+    def test_max_rounds_cutoff(self):
+        problem = reversal_instance(6)
+        with pytest.raises(InfeasibleUpdateError):
+            minimal_round_schedule(problem, (Property.SLF,), max_rounds=2)
+
+    def test_node_budget_enforced(self):
+        problem = reversal_instance(20)
+        with pytest.raises(VerificationError, match="capped"):
+            minimal_round_schedule(problem, (Property.RLF,), max_nodes=5)
+
+    def test_nothing_to_schedule(self):
+        problem = UpdateProblem([1, 2, 3], [1, 2, 3])
+        with pytest.raises(InfeasibleUpdateError):
+            minimal_round_schedule(problem, (Property.RLF,))
+
+    def test_round_is_safe_helper(self):
+        problem = crossing_instance()
+        assert round_is_safe(problem, set(), {4}, (Property.WPE,))
+        assert not round_is_safe(problem, set(), {2}, (Property.WPE,))
+
+
+class TestHardnessFamilies:
+    def test_reversal_validation(self):
+        with pytest.raises(UpdateModelError):
+            reversal_instance(3)
+        problem = reversal_instance(5)
+        assert problem.old_path.nodes == (1, 2, 3, 4, 5)
+        assert problem.new_path.nodes == (1, 4, 3, 2, 5)
+
+    def test_sawtooth_block_one_is_noop(self):
+        problem = sawtooth_instance(6, block=1)
+        assert problem.old_path == problem.new_path
+
+    def test_sawtooth_full_block_is_reversal(self):
+        problem = sawtooth_instance(6, block=4)
+        assert problem.new_path == reversal_instance(6).new_path
+
+    def test_sawtooth_validation(self):
+        with pytest.raises(UpdateModelError):
+            sawtooth_instance(6, block=0)
+
+    def test_slalom_classes(self):
+        problem = waypoint_slalom_instance(2)
+        classes = problem.waypoint_classes
+        # a-nodes sit on the old prefix and new suffix (late movers)
+        assert {1, 2} <= classes.old_pre and {1, 2} <= classes.new_suf
+        # b-nodes sit on the old suffix and new prefix (early movers)
+        assert {3, 4} <= classes.old_suf and {3, 4} <= classes.new_pre
+
+    def test_slalom_wayup_safe_at_scale(self):
+        schedule = wayup_schedule(waypoint_slalom_instance(6))
+        assert verify_schedule(schedule, properties=(Property.WPE,)).ok
+
+    def test_families_feed_all_schedulers(self):
+        problem = sawtooth_instance(9, block=3)
+        for factory in (peacock_schedule, greedy_slf_schedule):
+            schedule = factory(problem)
+            assert schedule.scheduled_nodes() >= problem.required_updates

@@ -1,0 +1,173 @@
+"""Unit tests for the update-problem model."""
+
+import pytest
+
+from repro.core.problem import (
+    Configuration,
+    RuleState,
+    UpdateKind,
+    UpdateProblem,
+    trace_walk,
+)
+from repro.errors import UpdateModelError
+
+
+class TestValidation:
+    def test_sources_must_agree(self):
+        with pytest.raises(UpdateModelError, match="source"):
+            UpdateProblem([1, 2, 3], [2, 1, 3])
+
+    def test_destinations_must_agree(self):
+        with pytest.raises(UpdateModelError, match="destination"):
+            UpdateProblem([1, 2, 3], [1, 2, 4])
+
+    def test_waypoint_must_be_on_both_paths(self):
+        with pytest.raises(UpdateModelError, match="waypoint"):
+            UpdateProblem([1, 2, 3], [1, 4, 3], waypoint=2)
+
+    def test_waypoint_cannot_be_endpoint(self):
+        with pytest.raises(UpdateModelError, match="interior"):
+            UpdateProblem([1, 2, 3], [1, 2, 3], waypoint=1)
+
+    def test_valid_waypoint_accepted(self):
+        problem = UpdateProblem([1, 2, 3], [1, 2, 3], waypoint=2)
+        assert problem.waypoint == 2
+
+
+class TestClassification:
+    @pytest.fixture
+    def problem(self):
+        # old: 1-2-3-4-5   new: 1-6-3-2-5 (2 crosses, 4 old-only, 6 fresh)
+        return UpdateProblem([1, 2, 3, 4, 5], [1, 6, 3, 2, 5], waypoint=3)
+
+    def test_install(self, problem):
+        assert problem.kind(6) is UpdateKind.INSTALL
+
+    def test_switch(self, problem):
+        assert problem.kind(1) is UpdateKind.SWITCH
+        assert problem.kind(2) is UpdateKind.SWITCH
+        assert problem.kind(3) is UpdateKind.SWITCH
+
+    def test_delete(self, problem):
+        assert problem.kind(4) is UpdateKind.DELETE
+
+    def test_destination_is_noop(self, problem):
+        assert problem.kind(5) is UpdateKind.NOOP
+
+    def test_unknown_node_rejected(self, problem):
+        with pytest.raises(UpdateModelError):
+            problem.kind(99)
+
+    def test_noop_when_next_hop_unchanged(self):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 2, 3, 4])
+        assert problem.kind(2) is UpdateKind.NOOP
+
+    def test_required_updates(self, problem):
+        assert problem.required_updates == {1, 2, 3, 6}
+
+    def test_cleanup_updates(self, problem):
+        assert problem.cleanup_updates == {4}
+
+    def test_all_updates(self, problem):
+        assert problem.all_updates == {1, 2, 3, 4, 6}
+
+
+class TestForwarding:
+    def test_old_state_follows_old_path(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        assert problem.next_hop(1, RuleState.OLD) == 2
+        assert problem.next_hop(2, RuleState.OLD) == 3
+
+    def test_new_state_follows_new_path(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        assert problem.next_hop(1, RuleState.NEW) == 4
+        assert problem.next_hop(4, RuleState.NEW) == 3
+
+    def test_new_only_node_drops_in_old_state(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        assert problem.next_hop(4, RuleState.OLD) is None
+
+    def test_old_only_node_drops_in_new_state(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        assert problem.next_hop(2, RuleState.NEW) is None
+
+    def test_destination_never_forwards(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        with pytest.raises(UpdateModelError):
+            problem.next_hop(3, RuleState.OLD)
+
+
+class TestWaypointClasses:
+    def test_partition(self):
+        problem = UpdateProblem([1, 2, 3, 4, 5], [1, 4, 3, 2, 5], waypoint=3)
+        classes = problem.waypoint_classes
+        assert classes.old_pre == {1, 2}
+        assert classes.old_suf == {4, 5}
+        assert classes.new_pre == {1, 4}
+        assert classes.new_suf == {2, 5}
+
+    def test_requires_waypoint(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        with pytest.raises(UpdateModelError):
+            _ = problem.waypoint_classes
+
+
+class TestWalks:
+    def test_all_old_walk_follows_old_path(self):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+        config = Configuration(problem=problem, states={})
+        walk = config.walk_from_source()
+        assert walk.delivered
+        assert walk.visited == (1, 2, 3, 4)
+
+    def test_all_new_walk_follows_new_path(self):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+        states = {n: RuleState.NEW for n in (1, 2, 3)}
+        walk = Configuration(problem=problem, states=states).walk_from_source()
+        assert walk.delivered
+        assert walk.visited == (1, 3, 2, 4)
+
+    def test_mixed_walk_can_loop(self):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+        # 1 new -> 3; 3 old -> 4? no: old next of 3 is 4... craft loop:
+        # 1->3 (new), 3->2 (new), 2->3 (old): revisit 3
+        states = {1: RuleState.NEW, 3: RuleState.NEW}
+        walk = Configuration(problem=problem, states=states).walk_from_source()
+        assert walk.looped
+        assert walk.visited[-1] == walk.visited[1]
+
+    def test_walk_detects_drop(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        states = {1: RuleState.NEW}  # 4 still has no rule
+        walk = Configuration(problem=problem, states=states).walk_from_source()
+        assert walk.dropped
+        assert walk.visited == (1, 4)
+
+    def test_traversed(self):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+        walk = Configuration(problem=problem).walk_from_source()
+        assert walk.traversed(2)
+        assert not walk.traversed(99)
+
+    def test_trace_walk_step_limit(self):
+        problem = UpdateProblem([1, 2, 3], [1, 2, 3])
+        with pytest.raises(UpdateModelError):
+            trace_walk(problem, lambda n: 1 if n == 2 else 2, max_steps=1)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3], waypoint=None, name="x")
+        data = problem.to_dict()
+        back = UpdateProblem.from_dict(data)
+        assert back.old_path == problem.old_path
+        assert back.new_path == problem.new_path
+        assert back.waypoint is None
+
+    def test_waypoint_survives(self):
+        problem = UpdateProblem([1, 2, 3], [1, 2, 3], waypoint=2)
+        assert UpdateProblem.from_dict(problem.to_dict()).waypoint == 2
+
+    def test_missing_field_raises(self):
+        with pytest.raises(UpdateModelError, match="oldpath"):
+            UpdateProblem.from_dict({"newpath": [1, 2]})

@@ -1,0 +1,166 @@
+"""Unit tests for the transient-state machinery (phases, union graph)."""
+
+import pytest
+
+from repro.core.problem import RuleState, UpdateProblem
+from repro.core.schedule import UpdateSchedule
+from repro.core.transient import (
+    NodePhase,
+    UnionGraph,
+    enumerate_round_configurations,
+    functional_cycle,
+    functional_graph,
+    phases_for_round,
+)
+from repro.errors import VerificationError
+
+
+@pytest.fixture
+def problem():
+    # old 1-2-3-4, new 1-3-2-4
+    return UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+
+
+@pytest.fixture
+def schedule(problem):
+    return UpdateSchedule(problem, [[3], [1], [2]])
+
+
+class TestPhases:
+    def test_middle_round(self, schedule):
+        phases = phases_for_round(schedule, 1)
+        assert phases[3] is NodePhase.FIXED_NEW
+        assert phases[1] is NodePhase.FLEXIBLE
+        assert phases[2] is NodePhase.FIXED_OLD
+
+    def test_first_round(self, schedule):
+        phases = phases_for_round(schedule, 0)
+        assert phases[3] is NodePhase.FLEXIBLE
+        assert phases[1] is NodePhase.FIXED_OLD
+
+    def test_unscheduled_nodes_stay_old(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        schedule = UpdateSchedule(problem, [[4], [1]])  # delete of 2 unscheduled
+        phases = phases_for_round(schedule, 1)
+        assert phases[2] is NodePhase.FIXED_OLD
+
+    def test_out_of_range_round(self, schedule):
+        with pytest.raises(VerificationError):
+            phases_for_round(schedule, 5)
+
+
+class TestUnionGraph:
+    def test_flexible_node_has_both_edges(self, schedule):
+        union = UnionGraph.for_round(schedule, 1)
+        assert sorted(union.successors(1)) == [2, 3]
+
+    def test_fixed_nodes_have_one_edge(self, schedule):
+        union = UnionGraph.for_round(schedule, 1)
+        assert union.successors(3) == [2]  # fixed new
+        assert union.successors(2) == [3]  # fixed old
+
+    def test_destination_has_no_choices(self, schedule):
+        union = UnionGraph.for_round(schedule, 1)
+        assert union.choices(4) == ()
+
+    def test_may_drop_for_install(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        schedule = UpdateSchedule(problem, [[4, 1]])
+        union = UnionGraph.for_round(schedule, 0)
+        assert union.may_drop(4)      # flexible install: OLD state drops
+        assert not union.may_drop(1)  # on both paths
+
+    def test_noop_node_deduplicates_edges(self):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 2, 3, 4])
+        # nothing changes; phases built directly
+        union = UnionGraph.from_update_sets(problem, set(), set())
+        assert union.successors(2) == [3]
+
+    def test_reachability(self, schedule):
+        # round 1: 3 is new (->2), 2 is old (->3), 1 flexible: node 4 is
+        # unreachable -- every choice funnels into the 2<->3 region.
+        union = UnionGraph.for_round(schedule, 1)
+        reachable = union.reachable_from(1)
+        assert set(reachable) == {1, 2, 3}
+        # in the final round, 2 flips and 4 becomes reachable again
+        final = UnionGraph.for_round(schedule, 2)
+        assert 4 in final.reachable_from(1)
+
+    def test_path_to_avoiding(self, schedule):
+        union = UnionGraph.for_round(schedule, 1)
+        path = union.path_to(4, avoid=2)
+        assert path is None or 2 not in path
+
+    def test_find_cycle_in_mixed_round(self, problem):
+        # round {1,3} together: 1->3 new, 3->2 new, 2->3 old => cycle 2<->3
+        schedule = UpdateSchedule(problem, [[1, 3], [2]])
+        union = UnionGraph.for_round(schedule, 0)
+        cycle = union.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) >= {2, 3}
+
+    def test_no_cycle_in_safe_round(self, problem):
+        # flipping 2 first is safe: 2's new edge (->4) only jumps forward
+        safe = UpdateSchedule(problem, [[2], [1], [3]])
+        union = UnionGraph.for_round(safe, 0)
+        assert union.find_cycle() is None
+
+    def test_cycle_restricted_to_subset(self, problem):
+        schedule = UpdateSchedule(problem, [[1, 3], [2]])
+        union = UnionGraph.for_round(schedule, 0)
+        assert union.find_cycle(within={1, 4}) is None
+
+    def test_reachable_drop_witness(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        schedule = UpdateSchedule(problem, [[4, 1]])
+        union = UnionGraph.for_round(schedule, 0)
+        hit = union.reachable_drop()
+        assert hit is not None
+        path, node = hit
+        assert node == 4
+        assert path[0] == 1 and path[-1] == 4
+
+
+class TestEnumeration:
+    def test_counts_all_subsets(self, schedule):
+        problem = schedule.problem
+        configs = list(enumerate_round_configurations(schedule, 0))
+        assert len(configs) == 2  # one flexible node -> 2 subsets
+        big = UpdateSchedule(problem, [[1, 2, 3]])
+        assert len(list(enumerate_round_configurations(big, 0))) == 8
+
+    def test_budget_enforced(self, problem):
+        schedule = UpdateSchedule(problem, [[1, 2, 3]])
+        with pytest.raises(VerificationError, match="capped"):
+            list(enumerate_round_configurations(schedule, 0, max_flexible=2))
+
+    def test_earlier_rounds_fixed_new(self, schedule):
+        configs = list(enumerate_round_configurations(schedule, 2))
+        for config in configs:
+            assert config.state_of(3) is RuleState.NEW
+            assert config.state_of(1) is RuleState.NEW
+
+
+class TestFunctionalGraph:
+    def test_graph_shape(self, problem):
+        from repro.core.problem import Configuration
+
+        config = Configuration(problem=problem, states={})
+        graph = functional_graph(config)
+        assert graph == {1: 2, 2: 3, 3: 4}
+
+    def test_cycle_detection(self, problem):
+        from repro.core.problem import Configuration
+
+        states = {1: RuleState.NEW, 3: RuleState.NEW}  # 3->2, 2->3 cycle
+        config = Configuration(problem=problem, states=states)
+        cycle = functional_cycle(config)
+        assert cycle is not None
+        assert set(cycle) == {2, 3}
+
+    def test_acyclic_returns_none(self, problem):
+        from repro.core.problem import Configuration
+
+        config = Configuration(problem=problem, states={})
+        assert functional_cycle(config) is None

@@ -1,0 +1,105 @@
+"""Tests for the WayUp scheduler (WPE by construction)."""
+
+import pytest
+
+from repro.core.hardness import crossing_instance, waypoint_slalom_instance
+from repro.core.problem import UpdateKind, UpdateProblem
+from repro.core.verify import Property, verify_exhaustive, verify_schedule
+from repro.core.wayup import ROUND_NAMES, wayup_schedule
+from repro.errors import UpdateModelError
+from repro.netlab.figure1 import figure1_problem
+
+
+class TestStructure:
+    def test_requires_waypoint(self):
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        with pytest.raises(UpdateModelError, match="waypoint"):
+            wayup_schedule(problem)
+
+    def test_rejects_noop_problem(self):
+        problem = UpdateProblem([1, 2, 3], [1, 2, 3], waypoint=2)
+        with pytest.raises(UpdateModelError, match="no rule changes"):
+            wayup_schedule(problem)
+
+    def test_round_names_subset_of_canon(self):
+        schedule = wayup_schedule(figure1_problem())
+        names = schedule.metadata["round_names"]
+        assert set(names) <= set(ROUND_NAMES)
+        # emission order preserved
+        assert names == [n for n in ROUND_NAMES if n in names]
+
+    def test_installs_first(self, simple_waypoint_problem):
+        schedule = wayup_schedule(simple_waypoint_problem)
+        first = schedule.rounds[0]
+        kinds = {simple_waypoint_problem.kind(n) for n in first}
+        assert kinds == {UpdateKind.INSTALL}
+
+    def test_source_after_shared_prefix(self):
+        # node 2 stays on the shared prefix but changes its next hop
+        problem = UpdateProblem([1, 2, 3, 4, 5], [1, 6, 2, 8, 3, 7, 5], waypoint=3)
+        schedule = wayup_schedule(problem)
+        names = schedule.metadata["round_names"]
+        source_round = schedule.round_of(1)
+        shared_round = schedule.round_of(2)
+        assert shared_round < source_round
+        assert names[source_round] == "source"
+
+    def test_late_movers_after_source(self):
+        problem = crossing_instance()  # node 2 is a late mover
+        schedule = wayup_schedule(problem)
+        assert schedule.round_of(2) > schedule.round_of(1)
+
+    def test_cleanup_optional(self):
+        problem = figure1_problem()
+        with_cleanup = wayup_schedule(problem, include_cleanup=True)
+        without = wayup_schedule(problem, include_cleanup=False)
+        assert with_cleanup.includes_cleanup()
+        assert not without.includes_cleanup()
+        assert with_cleanup.n_rounds == without.n_rounds + 1
+
+    def test_at_most_six_rounds(self):
+        for k in range(1, 6):
+            schedule = wayup_schedule(waypoint_slalom_instance(k))
+            assert schedule.n_rounds <= 6
+
+    def test_every_required_update_scheduled_once(self):
+        problem = figure1_problem()
+        schedule = wayup_schedule(problem)
+        assert schedule.scheduled_nodes() >= problem.required_updates
+
+
+class TestWPEGuarantee:
+    @pytest.mark.parametrize("builder", [
+        figure1_problem,
+        crossing_instance,
+        lambda: waypoint_slalom_instance(2),
+        lambda: waypoint_slalom_instance(4),
+    ])
+    def test_wpe_and_blackhole_free(self, builder):
+        schedule = wayup_schedule(builder())
+        report = verify_schedule(
+            schedule, properties=(Property.WPE, Property.BLACKHOLE)
+        )
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_exhaustive_agrees_on_figure1(self):
+        schedule = wayup_schedule(figure1_problem())
+        report = verify_exhaustive(
+            schedule, properties=(Property.WPE, Property.BLACKHOLE)
+        )
+        assert report.ok
+
+    def test_loops_are_allowed(self):
+        # The slalom forces WayUp into transient loops: WPE holds but
+        # relaxed loop freedom does not (the HotNets'14 trade-off).
+        schedule = wayup_schedule(waypoint_slalom_instance(3))
+        wpe = verify_schedule(schedule, properties=(Property.WPE,))
+        assert wpe.ok
+        rlf = verify_schedule(schedule, properties=(Property.RLF,))
+        assert not rlf.ok
+
+    def test_figure1_reference_rounds(self):
+        """Pin the exact Figure-1 schedule as a regression reference."""
+        schedule = wayup_schedule(figure1_problem())
+        rounds = [set(r) for r in schedule.rounds]
+        assert rounds == [{6, 7, 8}, {3, 5}, {2}, {1}, {4, 9}]

@@ -1,0 +1,42 @@
+"""Tests for violation accounting types."""
+
+from repro.dataplane.violations import PacketFate, TraceRecord, ViolationCounters
+
+
+class TestTraceRecord:
+    def test_basics(self):
+        trace = TraceRecord(packet_id=1, injected_ms=10.0, path=[1, 2, 3])
+        assert trace.hops == 3
+        assert trace.visited(2) and not trace.visited(9)
+        assert trace.latency_ms is None
+        trace.completed_ms = 12.5
+        assert trace.latency_ms == 2.5
+
+
+class TestCounters:
+    def test_record_each_fate(self):
+        counters = ViolationCounters()
+        for fate in PacketFate:
+            counters.record(fate)
+        assert counters.delivered == 1
+        assert counters.bypassed_waypoint == 1
+        assert counters.looped == 1
+        assert counters.dropped == 1
+        assert counters.in_flight == 1
+
+    def test_violations_sum(self):
+        counters = ViolationCounters(injected=10)
+        counters.bypassed_waypoint = 2
+        counters.looped = 1
+        counters.dropped = 3
+        assert counters.violations == 6
+        assert counters.violation_rate == 0.6
+
+    def test_zero_injected_rate(self):
+        assert ViolationCounters().violation_rate == 0.0
+
+    def test_as_dict(self):
+        counters = ViolationCounters(injected=4, delivered=4)
+        data = counters.as_dict()
+        assert data["injected"] == 4
+        assert data["violation_rate"] == 0.0

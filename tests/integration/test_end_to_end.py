@@ -1,0 +1,163 @@
+"""Cross-module integration tests: the whole system, several angles."""
+
+import pytest
+
+from repro.core.hardness import reversal_instance
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property, verify_schedule
+from repro.dataplane.violations import PacketFate
+from repro.netlab.figure1 import run_figure1
+from repro.netlab.scenario import UpdateScenario, final_path_of
+from repro.switch.latency import HARDWARE_PROFILE, OVS_PROFILE
+from repro.topology.builders import figure1, linear
+from repro.topology.random_graphs import erdos_renyi, random_simple_path
+
+
+class TestDemoMatrix:
+    """The paper's demo across the algorithm matrix, one seed each."""
+
+    @pytest.mark.parametrize("algorithm,expect_clean", [
+        ("wayup", True),
+        ("two-phase", True),
+        ("peacock", False),   # may bypass the waypoint (not its contract)
+        ("oneshot", False),
+    ])
+    def test_violation_profile(self, algorithm, expect_clean):
+        result = run_figure1(
+            algorithm=algorithm, seed=7, channel_latency="uniform:0.5:6"
+        )
+        if expect_clean:
+            assert result.violations == 0, result.as_dict()
+        # regardless of algorithm, the final state must forward correctly
+        final = result.traffic.traces[-1]
+        assert final.fate is PacketFate.DELIVERED
+
+    def test_wayup_seed_sweep(self):
+        for seed in range(5):
+            result = run_figure1(
+                algorithm="wayup", seed=seed, channel_latency="uniform:0.2:4"
+            )
+            assert result.traffic.counters.bypassed_waypoint == 0, seed
+
+    def test_update_time_scales_with_rounds(self):
+        oneshot = run_figure1(algorithm="oneshot", seed=1)
+        wayup = run_figure1(algorithm="wayup", seed=1)
+        assert wayup.rounds > oneshot.rounds
+        assert wayup.update_duration_ms > oneshot.update_duration_ms
+
+    def test_hardware_profile_slows_update(self):
+        fast = run_figure1(algorithm="wayup", seed=1, timing=OVS_PROFILE)
+        slow = run_figure1(algorithm="wayup", seed=1, timing=HARDWARE_PROFILE)
+        assert slow.update_duration_ms > 3 * fast.update_duration_ms
+
+
+class TestRandomTopologyScenarios:
+    def test_update_on_random_graph(self):
+        topo = erdos_renyi(10, 0.4, seed=5)
+        old = random_simple_path(topo, 1, 10, seed=1)
+        new = random_simple_path(topo, 1, 10, seed=9)
+        if old == new:
+            pytest.skip("sampled identical paths")
+        topo.add_host("h1")
+        topo.add_host("h2")
+        topo.add_link("h1", 1)
+        topo.add_link("h2", 10)
+        problem = UpdateProblem(old, new)
+        scenario = UpdateScenario(
+            topo=topo, problem=problem, source_host="h1",
+            destination_host="h2", algorithm="peacock", seed=0,
+        )
+        result = scenario.run()
+        assert result.traffic.counters.looped == 0
+        assert final_path_of(scenario.network, "h1", "h2") == list(new.nodes)
+
+
+class TestReversalOnTheWire:
+    """The E3 separation executes faithfully on the full substrate."""
+
+    def _topo_for(self, problem):
+        topo = linear(0) if False else None
+        from repro.topology.graph import Topology
+
+        topo = Topology(name="reversal")
+        for node in sorted(problem.nodes):
+            topo.add_switch(node)
+        seen = set()
+        for path in (problem.old_path, problem.new_path):
+            for u, v in path.edges():
+                if frozenset((u, v)) not in seen:
+                    seen.add(frozenset((u, v)))
+                    topo.add_link(u, v)
+        topo.add_host("h1")
+        topo.add_host("h2")
+        topo.add_link("h1", problem.source)
+        topo.add_link("h2", problem.destination)
+        return topo
+
+    @pytest.mark.parametrize("algorithm", ["peacock", "greedy-slf"])
+    def test_loop_free_execution(self, algorithm):
+        problem = reversal_instance(7)
+        scenario = UpdateScenario(
+            topo=self._topo_for(problem),
+            problem=problem,
+            source_host="h1",
+            destination_host="h2",
+            algorithm=algorithm,
+            seed=3,
+        )
+        result = scenario.run()
+        assert result.traffic.counters.looped == 0
+        assert result.traffic.counters.dropped == 0
+        assert result.verified is True
+
+    def test_peacock_fewer_rounds_live(self):
+        problem = reversal_instance(7)
+        runs = {}
+        for algorithm in ("peacock", "greedy-slf"):
+            scenario = UpdateScenario(
+                topo=self._topo_for(problem),
+                problem=problem,
+                source_host="h1",
+                destination_host="h2",
+                algorithm=algorithm,
+                seed=3,
+            )
+            runs[algorithm] = scenario.run()
+        assert runs["peacock"].rounds < runs["greedy-slf"].rounds
+        assert (
+            runs["peacock"].update_duration_ms
+            < runs["greedy-slf"].update_duration_ms
+        )
+
+
+class TestModelVsSimulation:
+    """The analytic cost model tracks the simulated update time (E5)."""
+
+    def test_prediction_within_factor_two(self):
+        from repro.core.cost import CostModel, schedule_update_time
+        from repro.core.wayup import wayup_schedule
+        from repro.netlab.figure1 import figure1_problem
+
+        result = run_figure1(algorithm="wayup", seed=1, channel_latency=1.0)
+        schedule = wayup_schedule(figure1_problem())
+        cost = CostModel(rtt_ms=2.0, install_ms=0.3, barrier_ms=0.05)
+        predicted = schedule_update_time(schedule, cost)
+        assert predicted == pytest.approx(result.update_duration_ms, rel=0.5)
+
+
+class TestVerifierOnExecutedSchedules:
+    def test_executed_wayup_schedule_matches_verifier(self):
+        """What the controller executes is exactly what was verified."""
+        from repro.core.wayup import wayup_schedule
+        from repro.netlab.figure1 import build_figure1_scenario, figure1_problem
+
+        scenario = build_figure1_scenario(algorithm="wayup", seed=1)
+        result = scenario.run()
+        schedule = wayup_schedule(figure1_problem())
+        assert result.rounds == schedule.n_rounds
+        report = verify_schedule(
+            schedule, properties=(Property.WPE, Property.BLACKHOLE)
+        )
+        assert report.ok
+        # and the dataplane agreed: zero violations observed
+        assert result.violations == 0

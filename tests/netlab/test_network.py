@@ -1,0 +1,164 @@
+"""Tests for the network lab: boot, rules, injection, tracing."""
+
+import pytest
+
+from repro.controller.rules import compile_initial_rules
+from repro.core.problem import UpdateProblem
+from repro.dataplane.violations import PacketFate
+from repro.errors import ScenarioError
+from repro.netlab.network import Network
+from repro.openflow.match import Match
+from repro.topology.builders import figure1, linear
+
+
+@pytest.fixture
+def net():
+    network = Network(linear(3, with_hosts=True), seed=0)
+    network.start()
+    return network
+
+
+class TestBoot:
+    def test_all_switches_handshake(self, net):
+        assert net.controller.connected_dpids == [1, 2, 3]
+
+    def test_hosts_attached(self, net):
+        h1 = net.host("h1")
+        assert h1.switch_dpid == 1
+        assert h1.ip == "10.0.0.1"
+        assert net.host("h2").switch_dpid == 3
+
+    def test_unknown_lookup(self, net):
+        with pytest.raises(ScenarioError):
+            net.host("h9")
+        with pytest.raises(ScenarioError):
+            net.switch(99)
+
+    def test_start_idempotent(self, net):
+        net.start()  # second call is a no-op
+
+    def test_bad_packet_mode(self):
+        with pytest.raises(ScenarioError):
+            Network(linear(2), packet_mode="teleport")
+
+    def test_host_needs_single_attachment(self):
+        topo = linear(2)
+        topo.add_host("h1")
+        topo.add_link("h1", 1)
+        topo.add_link("h1", 2)
+        with pytest.raises(ScenarioError, match="exactly one"):
+            Network(topo)
+
+
+def _install_line_rules(net: Network, match: Match) -> None:
+    problem = UpdateProblem([1, 2, 3], [1, 2, 3])
+    # install old-path rules by hand: 1->2->3->h2
+    mods = compile_initial_rules(
+        net.topo, UpdateProblem([1, 2, 3], [1, 2, 3]), match,
+        egress_port=net.host("h2").switch_port,
+    )
+    net.send_flow_mods(mods)
+    net.flush()
+
+
+class TestInjectionInstant:
+    def test_delivery(self, net):
+        match = Match(eth_type=0x0800, ipv4_dst=net.host("h2").ip)
+        _install_line_rules(net, match)
+        trace = net.inject_from_host(
+            "h1", net.default_packet("h1", "h2"), destination_host="h2"
+        )
+        assert trace.fate is PacketFate.DELIVERED
+        assert trace.path == [1, 2, 3]
+        assert trace.completed_ms == net.sim.now
+
+    def test_drop_without_rules(self, net):
+        trace = net.inject_from_host(
+            "h1", net.default_packet("h1", "h2"), destination_host="h2"
+        )
+        assert trace.fate is PacketFate.DROPPED
+        assert trace.path == [1]
+
+    def test_waypoint_bypass_detected(self, net):
+        match = Match(eth_type=0x0800, ipv4_dst=net.host("h2").ip)
+        _install_line_rules(net, match)
+        trace = net.inject_from_host(
+            "h1", net.default_packet("h1", "h2"),
+            waypoint=99,  # not on the path
+            destination_host="h2",
+        )
+        assert trace.fate is PacketFate.BYPASSED_WAYPOINT
+
+    def test_loop_detected(self, net):
+        # 1 -> 2 and 2 -> 1: a deterministic loop
+        from repro.openflow.flowmod import add_flow
+
+        match = Match(eth_type=0x0800, ipv4_dst=net.host("h2").ip)
+        net.send_flow_mods({
+            1: [add_flow(match, out_port=net.topo.port_between(1, 2))],
+            2: [add_flow(match, out_port=net.topo.port_between(2, 1))],
+        })
+        net.flush()
+        trace = net.inject_from_host(
+            "h1", net.default_packet("h1", "h2"), destination_host="h2"
+        )
+        assert trace.fate is PacketFate.LOOPED
+
+    def test_wrong_host_counts_as_drop(self, net):
+        from repro.openflow.flowmod import add_flow
+
+        match = Match(eth_type=0x0800, ipv4_dst=net.host("h2").ip)
+        # route back out to h1's own port
+        net.send_flow_mods({
+            1: [add_flow(match, out_port=net.host("h1").switch_port)],
+        })
+        net.flush()
+        trace = net.inject_from_host(
+            "h1", net.default_packet("h1", "h2"), destination_host="h2"
+        )
+        assert trace.fate is PacketFate.DROPPED
+
+
+class TestInjectionPerHop:
+    def test_delivery_takes_link_latency(self):
+        network = Network(linear(3, with_hosts=True), seed=0, packet_mode="perhop")
+        network.start()
+        match = Match(eth_type=0x0800, ipv4_dst=network.host("h2").ip)
+        _install_line_rules(network, match)
+        start = network.sim.now
+        trace = network.inject_from_host(
+            "h1", network.default_packet("h1", "h2"), destination_host="h2"
+        )
+        assert trace.fate is PacketFate.IN_FLIGHT
+        network.flush()
+        assert trace.fate is PacketFate.DELIVERED
+        # three links at 1ms default latency: s1->s2->s3->h2
+        assert trace.completed_ms - start >= 3.0 - 1e-9
+
+    def test_hop_budget_terminates_loops(self):
+        from repro.openflow.flowmod import add_flow
+
+        network = Network(
+            linear(3, with_hosts=True), seed=0, packet_mode="perhop", max_hops=6
+        )
+        network.start()
+        match = Match(eth_type=0x0800, ipv4_dst=network.host("h2").ip)
+        network.send_flow_mods({
+            1: [add_flow(match, out_port=network.topo.port_between(1, 2))],
+            2: [add_flow(match, out_port=network.topo.port_between(2, 1))],
+        })
+        network.flush()
+        trace = network.inject_from_host(
+            "h1", network.default_packet("h1", "h2"), destination_host="h2"
+        )
+        network.flush()
+        assert trace.fate is PacketFate.LOOPED
+
+
+class TestFigure1Network:
+    def test_boots(self):
+        network = Network(figure1(with_hosts=True), seed=1)
+        network.start()
+        assert len(network.controller.connected_dpids) == 12
+        stats = network.channel_stats()
+        assert all(s.to_switch_delivered > 0 for s in stats.values())

@@ -1,0 +1,145 @@
+"""Tests for Match semantics and OXM encoding."""
+
+import pytest
+
+from repro.errors import OpenFlowError
+from repro.openflow.match import (
+    Match,
+    bytes_to_mac,
+    format_ipv4_prefix,
+    int_to_ip,
+    ip_to_int,
+    mac_to_bytes,
+    parse_ipv4_prefix,
+)
+
+
+class TestValueHelpers:
+    def test_ip_roundtrip(self):
+        for ip in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.77"):
+            assert int_to_ip(ip_to_int(ip)) == ip
+
+    def test_bad_ips(self):
+        for bad in ("10.0.0", "10.0.0.256", "a.b.c.d", "1.2.3.4.5"):
+            with pytest.raises(OpenFlowError):
+                ip_to_int(bad)
+
+    def test_prefix_parsing(self):
+        addr, mask = parse_ipv4_prefix("10.0.0.0/8")
+        assert addr == 0x0A000000 and mask == 0xFF000000
+        addr, mask = parse_ipv4_prefix("10.0.0.1")
+        assert mask == 0xFFFFFFFF
+
+    def test_prefix_zero(self):
+        addr, mask = parse_ipv4_prefix("0.0.0.0/0")
+        assert addr == 0 and mask == 0
+
+    def test_prefix_normalizes_host_bits(self):
+        addr, _ = parse_ipv4_prefix("10.0.0.77/24")
+        assert addr == ip_to_int("10.0.0.0")
+
+    def test_bad_prefix(self):
+        with pytest.raises(OpenFlowError):
+            parse_ipv4_prefix("10.0.0.0/33")
+        with pytest.raises(OpenFlowError):
+            parse_ipv4_prefix("10.0.0.0/x")
+
+    def test_format_prefix(self):
+        assert format_ipv4_prefix(ip_to_int("10.0.0.0"), 0xFFFFFF00) == "10.0.0.0/24"
+        assert format_ipv4_prefix(ip_to_int("1.2.3.4"), 0xFFFFFFFF) == "1.2.3.4"
+        with pytest.raises(OpenFlowError):
+            format_ipv4_prefix(0, 0xFF00FF00)
+
+    def test_mac_roundtrip(self):
+        mac = "aa:bb:cc:dd:ee:ff"
+        assert bytes_to_mac(mac_to_bytes(mac)) == mac
+        with pytest.raises(OpenFlowError):
+            mac_to_bytes("aa:bb")
+        with pytest.raises(OpenFlowError):
+            bytes_to_mac(b"\x00")
+
+
+class TestMatching:
+    def test_wildcard_matches_everything(self):
+        assert Match().matches({"eth_type": 0x0800})
+        assert Match().is_wildcard()
+
+    def test_exact_fields(self):
+        match = Match(in_port=3, eth_type=0x0800)
+        assert match.matches({"in_port": 3, "eth_type": 0x0800})
+        assert not match.matches({"in_port": 4, "eth_type": 0x0800})
+        assert not match.matches({"eth_type": 0x0800})
+
+    def test_ipv4_prefix_matching(self):
+        match = Match(ipv4_dst="10.1.0.0/16")
+        assert match.matches({"ipv4_dst": "10.1.200.3"})
+        assert not match.matches({"ipv4_dst": "10.2.0.3"})
+
+    def test_missing_ip_field(self):
+        assert not Match(ipv4_dst="10.0.0.1").matches({})
+
+    def test_specificity(self):
+        assert Match().specificity() == 0
+        assert Match(in_port=1, tcp_dst=80).specificity() == 2
+
+    def test_replace(self):
+        match = Match(in_port=1)
+        changed = match.replace(in_port=2, eth_type=0x0800)
+        assert changed.in_port == 2 and changed.eth_type == 0x0800
+        assert match.in_port == 1  # frozen original untouched
+
+
+class TestSubsumption:
+    def test_wildcard_subsumes_all(self):
+        assert Match().subsumes(Match(in_port=1, ipv4_dst="10.0.0.1"))
+
+    def test_specific_does_not_subsume_wildcard(self):
+        assert not Match(in_port=1).subsumes(Match())
+
+    def test_prefix_subsumption(self):
+        assert Match(ipv4_dst="10.0.0.0/8").subsumes(Match(ipv4_dst="10.1.0.0/16"))
+        assert not Match(ipv4_dst="10.1.0.0/16").subsumes(Match(ipv4_dst="10.0.0.0/8"))
+        assert not Match(ipv4_dst="11.0.0.0/8").subsumes(Match(ipv4_dst="10.1.0.0/16"))
+
+    def test_equal_matches_subsume_each_other(self):
+        a = Match(eth_type=0x0800, tcp_dst=80)
+        assert a.subsumes(a)
+
+
+class TestOxmEncoding:
+    @pytest.mark.parametrize("match", [
+        Match(),
+        Match(in_port=7),
+        Match(eth_type=0x0800, ipv4_dst="10.0.0.1"),
+        Match(eth_type=0x0800, ipv4_src="10.0.0.0/24", ipv4_dst="10.1.0.0/16"),
+        Match(eth_src="00:11:22:33:44:55", eth_dst="66:77:88:99:aa:bb"),
+        Match(vlan_vid=2),
+        Match(ip_proto=6, tcp_src=1234, tcp_dst=80),
+        Match(ip_proto=17, udp_src=53, udp_dst=5353),
+    ])
+    def test_roundtrip(self, match):
+        assert Match.from_oxm_bytes(match.to_oxm_bytes()) == match
+
+    def test_truncated_rejected(self):
+        data = Match(in_port=1).to_oxm_bytes()
+        with pytest.raises(OpenFlowError):
+            Match.from_oxm_bytes(data[:-1])
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(OpenFlowError, match="class"):
+            Match.from_oxm_bytes(b"\x00\x01\x00\x04\x00\x00\x00\x00")
+
+
+class TestOfctlCodec:
+    def test_roundtrip(self):
+        match = Match(in_port=1, eth_type=0x0800, ipv4_dst="10.0.0.0/24")
+        assert Match.from_ofctl(match.to_ofctl()) == match
+
+    def test_legacy_aliases(self):
+        match = Match.from_ofctl({"nw_dst": "10.0.0.1", "dl_type": 0x0800})
+        assert match.ipv4_dst == "10.0.0.1"
+        assert match.eth_type == 0x0800
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(OpenFlowError, match="unknown match field"):
+            Match.from_ofctl({"frobnicate": 1})

@@ -1,0 +1,190 @@
+"""Tests for message classes, FlowMod semantics and the dict codecs."""
+
+import pytest
+
+from repro.errors import OpenFlowError
+from repro.openflow.actions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    GroupAction,
+    OutputAction,
+    PopVlanAction,
+    PushVlanAction,
+    SetFieldAction,
+    WriteActions,
+    action_from_dict,
+    instruction_from_dict,
+    output_instructions,
+)
+from repro.openflow.constants import FlowModCommand, MsgType, Port
+from repro.openflow.flowmod import FlowMod, add_flow, delete_flow
+from repro.openflow.json_codec import message_from_dict, message_to_dict
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoRequest,
+    ErrorMsg,
+    Hello,
+    PacketIn,
+    summarize,
+)
+
+
+class TestActions:
+    def test_output_dict_roundtrip(self):
+        action = OutputAction(port=3)
+        assert action_from_dict(action.to_dict()) == action
+
+    def test_output_reserved_port_name(self):
+        action = OutputAction(port=int(Port.CONTROLLER))
+        data = action.to_dict()
+        assert data["port"] == "CONTROLLER"
+        assert action_from_dict(data).port == int(Port.CONTROLLER)
+
+    def test_set_field_roundtrip(self):
+        action = SetFieldAction(field_name="vlan_vid", value=2)
+        assert action_from_dict(action.to_dict()) == action
+
+    def test_set_field_validates_name(self):
+        with pytest.raises(OpenFlowError):
+            SetFieldAction(field_name="nonsense", value=1)
+
+    def test_vlan_actions_roundtrip(self):
+        for action in (PushVlanAction(), PopVlanAction(), GroupAction(group_id=5)):
+            assert action_from_dict(action.to_dict()) == action
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(OpenFlowError):
+            action_from_dict({"type": "TELEPORT"})
+
+    def test_output_requires_port(self):
+        with pytest.raises(OpenFlowError):
+            action_from_dict({"type": "OUTPUT"})
+
+
+class TestInstructions:
+    def test_apply_actions_roundtrip(self):
+        ins = ApplyActions([OutputAction(port=1), PopVlanAction()])
+        assert instruction_from_dict(ins.to_dict()) == ins
+
+    def test_write_clear_goto_roundtrip(self):
+        for ins in (WriteActions([OutputAction(port=2)]), ClearActions(), GotoTable(table_id=2)):
+            assert instruction_from_dict(ins.to_dict()) == ins
+
+    def test_goto_validates_table(self):
+        with pytest.raises(OpenFlowError):
+            GotoTable(table_id=400)
+
+    def test_output_instructions_shorthand(self):
+        (ins,) = output_instructions(7)
+        assert isinstance(ins, ApplyActions)
+        assert ins.actions[0].port == 7
+
+
+class TestFlowMod:
+    def test_defaults(self):
+        mod = FlowMod()
+        assert mod.command is FlowModCommand.ADD
+        assert mod.is_add() and not mod.is_delete()
+
+    def test_command_coercion(self):
+        mod = FlowMod(command=3)
+        assert mod.command is FlowModCommand.DELETE
+        assert mod.is_delete() and not mod.is_strict()
+
+    def test_strict_flags(self):
+        assert FlowMod(command=FlowModCommand.DELETE_STRICT).is_strict()
+        assert FlowMod(command=FlowModCommand.MODIFY_STRICT).is_modify()
+
+    def test_priority_range(self):
+        with pytest.raises(OpenFlowError):
+            FlowMod(priority=70000)
+
+    def test_output_ports(self):
+        mod = add_flow(Match(), out_port=9)
+        assert mod.output_ports() == [9]
+
+    def test_with_xid(self):
+        mod = add_flow(Match(), out_port=1)
+        stamped = mod.with_xid(42)
+        assert stamped.xid == 42 and mod.xid == 0
+
+    def test_add_flow_shorthand(self):
+        mod = add_flow(Match(in_port=1), out_port=2, priority=7)
+        assert mod.priority == 7
+        assert mod.match.in_port == 1
+
+    def test_delete_flow_shorthand(self):
+        mod = delete_flow(Match(tcp_dst=80), priority=5, strict=True)
+        assert mod.command is FlowModCommand.DELETE_STRICT
+        assert mod.priority == 5
+        with pytest.raises(OpenFlowError):
+            delete_flow(Match(), strict=True)
+
+    def test_ofctl_roundtrip(self):
+        mod = add_flow(Match(eth_type=0x0800, ipv4_dst="10.0.0.2"), out_port=4)
+        back = FlowMod.from_ofctl(mod.to_ofctl())
+        assert back.match == mod.match
+        assert back.instructions == mod.instructions
+        assert back.priority == mod.priority
+
+    def test_ofctl_actions_shorthand(self):
+        mod = FlowMod.from_ofctl(
+            {"match": {"in_port": 1}, "actions": [{"type": "OUTPUT", "port": 2}]}
+        )
+        assert mod.output_ports() == [2]
+
+    def test_ofctl_command_field(self):
+        mod = FlowMod.from_ofctl({"command": "DELETE", "match": {}})
+        assert mod.is_delete()
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(OpenFlowError):
+            FlowMod.from_ofctl({}, command="EXPLODE")
+
+
+class TestMessages:
+    def test_type_names(self):
+        assert Hello().type_name() == "HELLO"
+        assert BarrierRequest().msg_type is MsgType.BARRIER_REQUEST
+        assert BarrierReply().msg_type is MsgType.BARRIER_REPLY
+
+    def test_error_describe(self):
+        err = ErrorMsg(err_type=5, err_code=1)
+        assert "FLOW_MOD_FAILED" in err.describe()
+
+    def test_packet_in_total_len(self):
+        msg = PacketIn(data=b"abcd")
+        assert msg.total_len == 4
+
+    def test_summarize(self):
+        assert "BARRIER_REQUEST" in summarize(BarrierRequest(xid=7))
+        assert "xid=7" in summarize(BarrierRequest(xid=7))
+
+
+class TestJsonCodec:
+    @pytest.mark.parametrize("message", [
+        Hello(xid=1),
+        BarrierRequest(xid=2),
+        BarrierReply(xid=3),
+        EchoRequest(xid=4, data=b"ping"),
+        ErrorMsg(xid=5, err_type=5, err_code=1),
+        add_flow(Match(ipv4_dst="10.0.0.1"), out_port=2).with_xid(6),
+    ])
+    def test_roundtrip(self, message):
+        data = message_to_dict(message)
+        back = message_from_dict(data)
+        assert back.xid == message.xid
+        assert back.msg_type == message.msg_type
+
+    def test_flowmod_content_survives(self):
+        mod = add_flow(Match(tcp_dst=80, eth_type=0x0800), out_port=3, priority=9)
+        back = message_from_dict(message_to_dict(mod))
+        assert back.match == mod.match
+        assert back.priority == 9
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(OpenFlowError):
+            message_from_dict({"type": "WARP_DRIVE"})

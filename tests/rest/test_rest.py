@@ -1,0 +1,203 @@
+"""Tests for the REST router, schemas, and the wired API."""
+
+import pytest
+
+from repro.controller.ofctl_rest import OfctlRestApp
+from repro.controller.ofctl_rest_own import TransientUpdateApp
+from repro.controller.update_queue import UpdateQueueApp
+from repro.errors import BadRequestError
+from repro.netlab.figure1 import figure1_problem
+from repro.netlab.network import Network
+from repro.openflow.match import Match
+from repro.rest.api import Router, build_rest_api
+from repro.rest.schemas import validate_flowentry_body, validate_update_body
+from repro.topology.builders import figure1
+
+
+class TestRouter:
+    def test_static_route(self):
+        router = Router()
+        router.register("GET", "/ping", lambda body: {"pong": True})
+        response = router.handle("GET", "/ping")
+        assert response.status == 200 and response.body == {"pong": True}
+
+    def test_params_extracted(self):
+        router = Router()
+        router.register("GET", "/stats/flow/<dpid>", lambda body, dpid: {"dpid": dpid})
+        response = router.handle("GET", "/stats/flow/7")
+        assert response.body == {"dpid": "7"}
+
+    def test_404(self):
+        assert Router().handle("GET", "/nope").status == 404
+
+    def test_405(self):
+        router = Router()
+        router.register("GET", "/x", lambda body: {})
+        assert router.handle("POST", "/x").status == 405
+
+    def test_rest_error_mapped_to_status(self):
+        router = Router()
+
+        def handler(body):
+            raise BadRequestError("nope")
+
+        router.register("POST", "/x", handler)
+        response = router.handle("POST", "/x", {})
+        assert response.status == 400
+        assert "nope" in response.body["error"]
+
+    def test_json_rendering(self):
+        router = Router()
+        router.register("GET", "/x", lambda body: {"a": 1})
+        assert router.handle("GET", "/x").json() == '{"a": 1}'
+
+
+class TestSchemas:
+    def _base(self):
+        problem = figure1_problem()
+        return {
+            "oldpath": list(problem.old_path.nodes),
+            "newpath": list(problem.new_path.nodes),
+            "wp": problem.waypoint,
+            "interval": 0,
+        }
+
+    def test_valid_update(self):
+        validate_update_body(self._base())
+
+    def test_string_dpids_accepted(self):
+        body = self._base()
+        body["oldpath"] = [str(v) for v in body["oldpath"]]
+        body["wp"] = str(body["wp"])
+        validate_update_body(body)
+
+    @pytest.mark.parametrize("mutate,error", [
+        (lambda b: b.pop("oldpath"), "oldpath"),
+        (lambda b: b.update(newpath=[1]), "at least two"),
+        (lambda b: b.update(oldpath=[1, 2, 2, 3]), "simple"),
+        (lambda b: b.update(oldpath=[1, "x", 3]), "non-numeric"),
+        (lambda b: b.update(interval=-5), "non-negative"),
+        (lambda b: b.update(interval="soon"), "milliseconds"),
+        (lambda b: b.update(wp="firewall"), "numeric"),
+        (lambda b: b.update(add=[{"match": {}}]), "dpid"),
+        (lambda b: b.update(add={"dpid": 1}), "list"),
+    ])
+    def test_invalid_updates(self, mutate, error):
+        body = self._base()
+        mutate(body)
+        with pytest.raises(BadRequestError, match=error):
+            validate_update_body(body)
+
+    def test_not_a_dict(self):
+        with pytest.raises(BadRequestError):
+            validate_update_body([1, 2])
+
+    def test_flowentry_valid(self):
+        validate_flowentry_body({"dpid": 1, "match": {"in_port": 1}})
+
+    @pytest.mark.parametrize("body", [
+        {},
+        {"dpid": True},
+        {"dpid": "fw1"},
+        {"dpid": 1, "match": "all"},
+        {"dpid": 1, "priority": -1},
+        {"dpid": 1, "priority": "high"},
+    ])
+    def test_flowentry_invalid(self, body):
+        with pytest.raises(BadRequestError):
+            validate_flowentry_body(body)
+
+
+@pytest.fixture
+def api():
+    network = Network(figure1(with_hosts=True), seed=0)
+    queue = UpdateQueueApp()
+    ofctl = OfctlRestApp()
+    update_app = TransientUpdateApp(
+        network.topo, queue,
+        default_match=Match(eth_type=0x0800, ipv4_dst="10.0.0.2"),
+    )
+    for app in (queue, ofctl, update_app):
+        network.controller.register_app(app)
+    network.start()
+    return network, build_rest_api(ofctl, update_app, queue, flush=network.flush)
+
+
+class TestWiredApi:
+    def test_switches(self, api):
+        _, rest = api
+        response = rest.handle("GET", "/stats/switches")
+        assert response.status == 200
+        assert len(response.body) == 12
+
+    def test_flowentry_and_stats(self, api):
+        network, rest = api
+        response = rest.handle(
+            "POST",
+            "/stats/flowentry/add",
+            {"dpid": 5, "priority": 11, "match": {"in_port": 1},
+             "actions": [{"type": "OUTPUT", "port": 2}]},
+        )
+        assert response.status == 200
+        stats = rest.handle("GET", "/stats/flow/5")
+        assert stats.status == 200
+        assert stats.body["5"][0]["priority"] == 11
+
+    def test_update_via_paper_format(self, api):
+        network, rest = api
+        problem = figure1_problem()
+        body = {
+            "oldpath": list(problem.old_path.nodes),
+            "newpath": list(problem.new_path.nodes),
+            "wp": problem.waypoint,
+            "interval": 0,
+        }
+        response = rest.handle("POST", "/update/wayup", body)
+        assert response.status == 200
+        assert response.body["rounds"] == 5
+        update_id = response.body["update_id"]
+        status = rest.handle("GET", f"/update/{update_id}")
+        assert status.status == 200
+        assert status.body["state"] == "completed"
+        assert status.body["rounds"] == 5
+
+    def test_update_bad_body_rejected(self, api):
+        _, rest = api
+        response = rest.handle("POST", "/update/wayup", {"oldpath": [1]})
+        assert response.status == 400
+
+    def test_unknown_update_404(self, api):
+        _, rest = api
+        assert rest.handle("GET", "/update/ghost").status == 404
+
+    def test_bad_dpid_400(self, api):
+        _, rest = api
+        assert rest.handle("GET", "/stats/flow/bogus").status == 400
+
+
+class TestHttpBinding:
+    def test_real_http_roundtrip(self, api):
+        import json
+        import urllib.request
+
+        _, rest = api
+        from repro.rest.http_binding import RestHttpServer
+
+        server = RestHttpServer(rest, port=0)
+        server.start()
+        try:
+            with urllib.request.urlopen(f"{server.url}/stats/switches") as response:
+                assert response.status == 200
+                assert len(json.loads(response.read())) == 12
+            request = urllib.request.Request(
+                f"{server.url}/stats/flowentry/add",
+                data=json.dumps(
+                    {"dpid": 1, "match": {"in_port": 1},
+                     "actions": [{"type": "OUTPUT", "port": 2}]}
+                ).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200
+        finally:
+            server.stop()

@@ -1,0 +1,152 @@
+"""Tests for the discrete-event simulator and RNG streams."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.random_source import RandomStreams, derive_seed
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_ordering_by_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, order.append, "a")
+        queue.push(1.0, order.append, "b")
+        for _ in range(2):
+            event = queue.pop()
+            event.callback(*event.args)
+        assert order == ["a", "b"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+        assert bool(queue)
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self, sim):
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_run_until(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 2)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancel_via_simulator(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, 1)
+        sim.cancel(event)
+        sim.run()
+        assert not fired
+
+    def test_runaway_guard(self, sim):
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="events"):
+            sim.run(max_events=100)
+
+    def test_step(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]
+
+    def test_counters(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestRandomStreams:
+    def test_streams_are_deterministic(self):
+        a = RandomStreams(42).stream("x").random()
+        b = RandomStreams(42).stream("x").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("a")
+        b = streams.stream("b")
+        assert a is not b
+        assert a.random() != b.random()
+
+    def test_stream_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_consumption_isolation(self):
+        # draining stream "a" must not change what "b" yields
+        one = RandomStreams(7)
+        for _ in range(100):
+            one.stream("a").random()
+        isolated = one.stream("b").random()
+        two = RandomStreams(7)
+        assert two.stream("b").random() == isolated
+
+    def test_fork_differs(self):
+        base = RandomStreams(3)
+        fork = base.fork("child")
+        assert base.stream("x").random() != fork.stream("x").random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")

@@ -1,0 +1,164 @@
+"""Tests for the topology graph model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology, subtopology
+
+
+class TestConstruction:
+    def test_add_nodes_and_links(self):
+        topo = Topology()
+        topo.add_switch(1)
+        topo.add_switch(2)
+        link = topo.add_link(1, 2, latency_ms=3.0)
+        assert topo.has_link(1, 2) and topo.has_link(2, 1)
+        assert link.latency_ms == 3.0
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_switch(1)
+        with pytest.raises(TopologyError, match="duplicate"):
+            topo.add_switch(1)
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_switch(1)
+        topo.add_switch(2)
+        topo.add_link(1, 2)
+        with pytest.raises(TopologyError, match="duplicate"):
+            topo.add_link(2, 1)
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_switch(1)
+        with pytest.raises(TopologyError, match="self-loop"):
+            topo.add_link(1, 1)
+
+    def test_unknown_endpoint_rejected(self):
+        topo = Topology()
+        topo.add_switch(1)
+        with pytest.raises(TopologyError, match="unknown"):
+            topo.add_link(1, 9)
+
+    def test_bad_link_attrs_rejected(self):
+        topo = Topology()
+        topo.add_switch(1)
+        topo.add_switch(2)
+        with pytest.raises(TopologyError):
+            topo.add_link(1, 2, latency_ms=-1)
+        with pytest.raises(TopologyError):
+            topo.add_link(1, 2, bandwidth_mbps=0)
+
+
+class TestPorts:
+    @pytest.fixture
+    def topo(self):
+        topo = Topology()
+        for dpid in (1, 2, 3):
+            topo.add_switch(dpid)
+        topo.add_link(1, 2)
+        topo.add_link(1, 3)
+        return topo
+
+    def test_ports_assigned_in_order(self, topo):
+        assert topo.port_between(1, 2) == 1
+        assert topo.port_between(1, 3) == 2
+        assert topo.port_between(2, 1) == 1
+
+    def test_peer_resolution(self, topo):
+        assert topo.peer(1, 2) == (3, 1)
+        assert topo.peer(3, 1) == (1, 2)
+
+    def test_unknown_port(self, topo):
+        with pytest.raises(TopologyError, match="no port"):
+            topo.peer(1, 9)
+
+    def test_ports_map(self, topo):
+        assert topo.ports(1) == {1: 2, 2: 3}
+
+    def test_neighbors_in_port_order(self, topo):
+        assert topo.neighbors(1) == [2, 3]
+
+    def test_degree(self, topo):
+        assert topo.degree(1) == 2
+        assert topo.degree(2) == 1
+
+    def test_ports_not_reused_after_removal(self, topo):
+        topo.remove_link(1, 2)
+        assert not topo.has_link(1, 2)
+        topo.add_link(1, 2)
+        assert topo.port_between(1, 2) == 3  # fresh port
+
+
+class TestQueries:
+    def test_kinds(self):
+        topo = Topology()
+        topo.add_switch(1)
+        topo.add_host("h1")
+        assert topo.switches() == [1]
+        assert topo.hosts() == ["h1"]
+        assert topo.node("h1").is_host()
+        assert topo.node(1).is_switch()
+
+    def test_contains_len_iter(self):
+        topo = Topology()
+        topo.add_switch(1)
+        topo.add_switch(2)
+        assert 1 in topo and 9 not in topo
+        assert len(topo) == 2
+        assert sorted(topo) == [1, 2]
+
+    def test_unknown_node_raises(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.node(1)
+        with pytest.raises(TopologyError):
+            topo.link_between(1, 2)
+
+
+class TestAlgorithms:
+    def test_shortest_path(self, line5):
+        assert line5.shortest_path(1, 5) == [1, 2, 3, 4, 5]
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.add_switch(1)
+        topo.add_switch(2)
+        with pytest.raises(TopologyError, match="no path"):
+            topo.shortest_path(1, 2)
+
+    def test_connectivity(self, line5):
+        assert line5.is_connected()
+        line5.remove_link(2, 3)
+        assert not line5.is_connected()
+
+    def test_disjoint_paths(self, triangle):
+        paths = triangle.disjoint_paths(1, 3, k=2)
+        assert len(paths) == 2
+        interiors = [tuple(p[1:-1]) for p in paths]
+        assert len(set(interiors)) == 2
+
+    def test_to_networkx(self, triangle):
+        graph = triangle.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+
+    def test_validate_passes(self, triangle):
+        triangle.validate()
+
+
+class TestSubtopology:
+    def test_induced_subgraph(self, line5):
+        sub = subtopology(line5, [1, 2, 3])
+        assert sorted(sub.nodes()) == [1, 2, 3]
+        assert sub.has_link(1, 2) and sub.has_link(2, 3)
+        assert not sub.has_link(3, 4)
+
+    def test_kinds_preserved(self):
+        topo = Topology()
+        topo.add_switch(1)
+        topo.add_host("h1")
+        topo.add_link(1, "h1")
+        sub = subtopology(topo, [1, "h1"])
+        assert sub.node("h1").is_host()
