@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-oracle bench help
+
+help:
+	@echo "test         - tier-1 test suite (pytest -x -q)"
+	@echo "bench-smoke  - ~30s perf subset; writes benchmarks/results/BENCH_oracle.json"
+	@echo "bench-oracle - full oracle perf run (includes the minutes-long seed path at n=500)"
+	@echo "bench        - full pytest-benchmark experiment suite (E1-E10 tables)"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/run_smoke.py
+
+bench-oracle:
+	$(PYTHON) benchmarks/bench_perf_oracle.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="test_*"

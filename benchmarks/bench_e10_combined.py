@@ -25,6 +25,9 @@ INSTANCES = [
     ("double-diamond", double_diamond_instance),
     ("crossing", crossing_instance),
     ("slalom-3", lambda: waypoint_slalom_instance(3)),
+    # production scale: the incremental oracle keeps the n=603 slalom in
+    # the same feasibility matrix that used to cap out at toy sizes
+    ("slalom-300", lambda: waypoint_slalom_instance(300)),
 ]
 
 COMBINATIONS = [
@@ -62,6 +65,8 @@ def test_e10_feasibility_matrix(benchmark, emit):
     assert not feasibility[("crossing", "WPE+SLF")]
     assert not feasibility[("crossing", "WPE+RLF")]
     assert not feasibility[("slalom-3", "WPE+SLF")]
+    assert not feasibility[("slalom-300", "WPE+SLF")]
+    assert feasibility[("slalom-300", "WPE")]
 
     benchmark.pedantic(
         lambda: combined_greedy_schedule(

@@ -24,13 +24,12 @@ from repro.core.wayup import wayup_schedule
 @pytest.mark.benchmark(group="e3-rounds")
 def test_e3_reversal_round_scaling(benchmark, emit):
     rows = []
-    for n in (6, 10, 20, 50, 100, 200):
-        peacock = peacock_schedule(reversal_instance(n), include_cleanup=False)
-        greedy = greedy_slf_schedule(reversal_instance(n), include_cleanup=False)
+    for n in (6, 10, 20, 50, 100, 200, 500, 1000, 2000):
+        problem = reversal_instance(n)
+        peacock = peacock_schedule(problem, include_cleanup=False)
+        greedy = greedy_slf_schedule(problem, include_cleanup=False)
         optimal_rlf = (
-            minimal_round_count(reversal_instance(n), (Property.RLF,))
-            if n <= 10
-            else "-"
+            minimal_round_count(problem, (Property.RLF,)) if n <= 10 else "-"
         )
         rows.append([n, peacock.n_rounds, optimal_rlf, greedy.n_rounds, n - 2])
     emit(
@@ -97,10 +96,10 @@ def test_e3_wayup_constant_rounds(benchmark, emit):
 
 @pytest.mark.benchmark(group="e3-rounds")
 def test_e3_scheduler_throughput_large(benchmark):
-    """Scheduler cost on a 400-node reversal (conservative RLF mode)."""
-    problem = reversal_instance(400)
+    """Scheduler cost on a 2000-node reversal (exact RLF, incremental oracle)."""
+    problem = reversal_instance(2000)
     schedule = benchmark.pedantic(
-        lambda: peacock_schedule(problem, include_cleanup=False, exact=False),
+        lambda: peacock_schedule(problem, include_cleanup=False),
         rounds=3,
         iterations=1,
     )

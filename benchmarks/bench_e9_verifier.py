@@ -65,7 +65,7 @@ def test_e9_poly_vs_exhaustive(benchmark, emit):
 @pytest.mark.benchmark(group="e9-verifier")
 def test_e9_poly_scales_to_large_instances(benchmark, emit):
     rows = []
-    for n in (50, 100, 200, 400):
+    for n in (50, 100, 200, 400, 1000, 2000):
         schedule = peacock_schedule(
             reversal_instance(n), include_cleanup=False, exact=False
         )
@@ -83,7 +83,7 @@ def test_e9_poly_scales_to_large_instances(benchmark, emit):
         rows,
     )
 
-    problem = reversal_instance(200)
+    problem = reversal_instance(2000)
     schedule = peacock_schedule(problem, include_cleanup=False, exact=False)
     benchmark.pedantic(
         lambda: verify_schedule(
@@ -96,8 +96,8 @@ def test_e9_poly_scales_to_large_instances(benchmark, emit):
 
 @pytest.mark.benchmark(group="e9-verifier")
 def test_e9_wayup_verification_cost(benchmark):
-    """Per-schedule cost of the WPE check on a large slalom."""
-    schedule = wayup_schedule(waypoint_slalom_instance(50))
+    """Per-schedule cost of the WPE check on a large slalom (n=1003)."""
+    schedule = wayup_schedule(waypoint_slalom_instance(500))
     report = benchmark.pedantic(
         lambda: verify_schedule(
             schedule, properties=(Property.WPE, Property.BLACKHOLE)

@@ -1,0 +1,272 @@
+"""Perf benchmark: incremental SafetyOracle vs from-scratch verification.
+
+Tracks the speedups delivered by the delta-maintained union graphs of
+:mod:`repro.core.oracle` against the seed-era from-scratch pipeline
+(rebuild the :class:`UnionGraph`, re-run whole-graph checks, per query).
+Emits ``BENCH_oracle.json`` so the perf trajectory is comparable across
+PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_oracle.py [--quick] [--out PATH]
+
+``--quick`` keeps the from-scratch comparison at sizes where the legacy
+path finishes in seconds (the ~30s smoke budget of ``make bench-smoke``);
+the default mode also measures the legacy scheduler at n=500 directly,
+which takes a few minutes -- that is the point.
+
+Acceptance targets (tracked in the emitted JSON):
+
+* ``greedy_slf_schedule(reversal_instance(500))``: >= 10x vs seed;
+* ``minimal_round_schedule(reversal_instance(10), (RLF,))``: >= 3x vs seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.core.greedy_slf import greedy_slf_schedule
+from repro.core.hardness import reversal_instance
+from repro.core.optimal import minimal_round_schedule
+from repro.core.oracle import clear_registry, oracle_for
+from repro.core.peacock import peacock_schedule
+from repro.core.problem import UpdateKind
+from repro.core.transient import UnionGraph
+from repro.core.verify import Property
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_oracle.json"
+
+GREEDY_TARGET_SPEEDUP = 10.0
+OPTIMAL_TARGET_SPEEDUP = 3.0
+
+
+def _legacy_greedy_slf(problem):
+    """The seed greedy-SLF loop: one full union-graph rebuild per query."""
+
+    def safe(updated, round_nodes):
+        union = UnionGraph.from_update_sets(problem, updated, round_nodes)
+        return union.find_cycle() is None
+
+    install = {
+        node
+        for node in problem.required_updates
+        if problem.kind(node) is UpdateKind.INSTALL
+    }
+    updated = set(install)
+    new_pos = {node: i for i, node in enumerate(problem.new_path.nodes)}
+    pending = sorted(
+        problem.required_updates - install, key=lambda n: new_pos[n], reverse=True
+    )
+    rounds = [set(install)] if install else []
+    while pending:
+        round_nodes: set = set()
+        kept = []
+        for node in pending:
+            candidate = round_nodes | {node}
+            if safe(updated, candidate):
+                round_nodes = candidate
+            else:
+                kept.append(node)
+        assert round_nodes, "legacy greedy stalled"
+        rounds.append(round_nodes)
+        updated |= round_nodes
+        pending = kept
+    return rounds
+
+
+def _time(fn, repeats=3):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def bench_greedy(quick: bool) -> dict:
+    """Oracle vs legacy greedy SLF on the reversal family."""
+    rows = []
+    legacy_sizes = {60: 3, 120: 2, 160: 2} if quick else {60: 3, 120: 3, 240: 2, 500: 1}
+    oracle_sizes = (60, 120, 160, 240, 500, 1000) if quick else (
+        60, 120, 240, 500, 1000, 2000
+    )
+    for n in oracle_sizes:
+        problem = reversal_instance(n)
+
+        def cold_run():
+            # cold per repeat: oracle construction and every PK reorder
+            # are part of what we gate on, same as the memoryless legacy
+            clear_registry()
+            return greedy_slf_schedule(problem, include_cleanup=False)
+
+        oracle_s, schedule = _time(cold_run, repeats=3 if n <= 500 else 1)
+        row = {
+            "n": n,
+            "oracle_s": round(oracle_s, 4),
+            "rounds": schedule.n_rounds,
+            "legacy_s": None,
+            "speedup": None,
+        }
+        if n in legacy_sizes:
+            legacy_s, legacy_rounds = _time(
+                lambda: _legacy_greedy_slf(problem), repeats=legacy_sizes[n]
+            )
+            assert len(legacy_rounds) == schedule.n_rounds, (
+                "oracle and legacy greedy disagree on round count"
+            )
+            row["legacy_s"] = round(legacy_s, 4)
+            row["speedup"] = round(legacy_s / oracle_s, 1)
+        rows.append(row)
+    measured = [r for r in rows if r["speedup"] is not None]
+    at_500 = next((r for r in rows if r["n"] == 500 and r["speedup"]), None)
+    return {
+        "description": "greedy_slf_schedule(reversal_instance(n)), oracle vs seed",
+        "target_speedup_at_500": GREEDY_TARGET_SPEEDUP,
+        "rows": rows,
+        "max_measured_speedup": max(r["speedup"] for r in measured),
+        "speedup_at_500": at_500["speedup"] if at_500 else None,
+        "meets_target": bool(
+            (at_500 and at_500["speedup"] >= GREEDY_TARGET_SPEEDUP)
+            or (
+                at_500 is None
+                and all(
+                    r["speedup"] >= GREEDY_TARGET_SPEEDUP
+                    for r in measured
+                    if r["n"] >= 120
+                )
+            )
+        ),
+    }
+
+
+def bench_optimal(quick: bool) -> dict:
+    """Exact BFS at n=10 under RLF: oracle path vs seed path."""
+    problem = reversal_instance(10)
+    repeats = 3 if quick else 5
+
+    def cold_oracle():
+        clear_registry()
+        return minimal_round_schedule(problem, (Property.RLF,), use_oracle=True)
+
+    oracle_s, schedule = _time(cold_oracle, repeats=repeats)
+    legacy_s, legacy = _time(
+        lambda: minimal_round_schedule(problem, (Property.RLF,), use_oracle=False),
+        repeats=repeats,
+    )
+    assert schedule.n_rounds == legacy.n_rounds
+    return {
+        "description": "minimal_round_schedule(reversal_instance(10), RLF)",
+        "target_speedup": OPTIMAL_TARGET_SPEEDUP,
+        "oracle_ms": round(oracle_s * 1000, 2),
+        "legacy_ms": round(legacy_s * 1000, 2),
+        "speedup": round(legacy_s / oracle_s, 1),
+        "rounds": schedule.n_rounds,
+        "meets_target": legacy_s / oracle_s >= OPTIMAL_TARGET_SPEEDUP,
+    }
+
+
+def bench_memoization() -> dict:
+    """Warm repeat of the exact search: the shared memo answers everything."""
+    problem = reversal_instance(10)
+    clear_registry()
+    cold_s, _ = _time(
+        lambda: minimal_round_schedule(problem, (Property.RLF,)), repeats=1
+    )
+    warm_s, _ = _time(
+        lambda: minimal_round_schedule(problem, (Property.RLF,)), repeats=3
+    )
+    oracle = oracle_for(problem, (Property.RLF,))
+    return {
+        "description": "repeat minimal_round_schedule on a warm oracle memo",
+        "cold_ms": round(cold_s * 1000, 2),
+        "warm_ms": round(warm_s * 1000, 2),
+        "warm_speedup": round(cold_s / warm_s, 1),
+        "memo_hits": oracle.stats.memo_hits,
+        "memo_misses": oracle.stats.memo_misses,
+        "memo_size": oracle.memo_size(),
+    }
+
+
+def bench_scaling(quick: bool) -> dict:
+    """Oracle-backed schedulers at sizes the seed could not touch."""
+    rows = []
+    for n in (500, 1000) if quick else (500, 1000, 2000):
+        problem = reversal_instance(n)
+        clear_registry()
+        greedy_s, greedy = _time(
+            lambda: greedy_slf_schedule(problem, include_cleanup=False), repeats=1
+        )
+        peacock_s, peacock = _time(
+            lambda: peacock_schedule(problem, include_cleanup=False), repeats=1
+        )
+        rows.append({
+            "n": n,
+            "greedy_slf_s": round(greedy_s, 3),
+            "greedy_rounds": greedy.n_rounds,
+            "peacock_exact_s": round(peacock_s, 4),
+            "peacock_rounds": peacock.n_rounds,
+        })
+    return {
+        "description": "oracle-backed schedulers on large reversals",
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="~30s subset: skip the minutes-long legacy run at n=500",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    payload = {
+        "benchmark": "oracle-perf",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": {},
+    }
+    print(f"[bench_perf_oracle] mode={payload['mode']}")
+    for name, fn in (
+        ("greedy_slf_reversal", lambda: bench_greedy(args.quick)),
+        ("minimal_rounds_rlf_n10", lambda: bench_optimal(args.quick)),
+        ("memoization", bench_memoization),
+        ("oracle_scaling", lambda: bench_scaling(args.quick)),
+    ):
+        section_start = time.time()
+        payload["results"][name] = fn()
+        print(f"  {name}: {time.time() - section_start:.1f}s")
+    payload["wall_seconds"] = round(time.time() - started, 1)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench_perf_oracle] wrote {args.out} ({payload['wall_seconds']}s)")
+
+    greedy = payload["results"]["greedy_slf_reversal"]
+    optimal = payload["results"]["minimal_rounds_rlf_n10"]
+    print(
+        f"  greedy SLF speedup: {greedy['max_measured_speedup']}x "
+        f"(at n=500: {greedy['speedup_at_500']}, target {GREEDY_TARGET_SPEEDUP}x, "
+        f"meets={greedy['meets_target']})"
+    )
+    print(
+        f"  exact search speedup: {optimal['speedup']}x "
+        f"(target {OPTIMAL_TARGET_SPEEDUP}x, meets={optimal['meets_target']})"
+    )
+    ok = greedy["meets_target"] and optimal["meets_target"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

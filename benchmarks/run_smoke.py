@@ -1,0 +1,34 @@
+"""Benchmark smoke runner: a ~30-second perf subset with a JSON artifact.
+
+Runs the quick mode of :mod:`benchmarks.bench_perf_oracle` (incremental
+oracle vs from-scratch verification) and writes
+``benchmarks/results/BENCH_oracle.json``.  Wired as ``make bench-smoke``;
+exit status is non-zero when a perf target regresses, so it can gate CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import bench_perf_oracle  # noqa: E402  (sibling import by path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=bench_perf_oracle.DEFAULT_OUT
+    )
+    args = parser.parse_args(argv)
+    return bench_perf_oracle.main(["--quick", "--out", str(args.out)])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,13 @@ from repro.core.optimal import (
     minimal_round_count,
     minimal_round_schedule,
     round_is_safe,
+    round_is_safe_reference,
+)
+from repro.core.oracle import (
+    OracleStats,
+    SafetyOracle,
+    aggregate_stats,
+    oracle_for,
 )
 from repro.core.peacock import classify_forward_backward, peacock_schedule
 from repro.core.problem import (
@@ -117,6 +124,8 @@ __all__ = [
     "NEW_VERSION_TAG",
     "NodePhase",
     "OLD_VERSION_TAG",
+    "OracleStats",
+    "SafetyOracle",
     "OVS_FAST",
     "OVS_LOADED",
     "PRESETS",
@@ -134,6 +143,7 @@ __all__ = [
     "WAYUP_ROUND_NAMES",
     "WalkResult",
     "WaypointClasses",
+    "aggregate_stats",
     "cannot_be_last",
     "check_blackhole",
     "check_rlf",
@@ -159,10 +169,12 @@ __all__ = [
     "minimal_round_count",
     "minimal_round_schedule",
     "oneshot_schedule",
+    "oracle_for",
     "peacock_schedule",
     "phases_for_round",
     "reversal_instance",
     "round_is_safe",
+    "round_is_safe_reference",
     "round_time_breakdown",
     "sawtooth_instance",
     "schedule_update_time",

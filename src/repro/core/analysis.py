@@ -29,7 +29,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.errors import InfeasibleUpdateError
-from repro.core.optimal import round_is_safe
+from repro.core.oracle import oracle_for
 from repro.core.problem import UpdateProblem
 from repro.core.schedule import UpdateSchedule
 from repro.core.verify import Property
@@ -40,10 +40,11 @@ def unsafe_alone(
     problem: UpdateProblem, properties: tuple[Property, ...]
 ) -> set:
     """Nodes whose update, applied first (alone), already violates."""
+    oracle = oracle_for(problem, tuple(properties))
     return {
         node
-        for node in sorted(problem.required_updates, key=repr)
-        if not round_is_safe(problem, set(), {node}, properties)
+        for node in problem.canonical_updates
+        if not oracle.round_is_safe((), (node,))
     }
 
 
@@ -55,14 +56,15 @@ def unlock_constraints(
     A *sufficiency* relation -- the single-step unlocks a greedy scheduler
     can exploit.  Nodes needing several predecessors contribute no pairs.
     """
+    oracle = oracle_for(problem, tuple(properties))
     constraints: set[tuple[NodeId, NodeId]] = set()
-    nodes = sorted(problem.required_updates, key=repr)
-    blocked = [n for n in nodes if not round_is_safe(problem, set(), {n}, properties)]
+    nodes = problem.canonical_updates
+    blocked = [n for n in nodes if not oracle.round_is_safe((), (n,))]
     for u in blocked:
         for v in nodes:
             if u == v:
                 continue
-            if round_is_safe(problem, {v}, {u}, properties):
+            if oracle.round_is_safe((v,), (u,)):
                 constraints.add((v, u))
     return constraints
 
@@ -76,11 +78,12 @@ def cannot_be_last(
     violation is caused by configurations that precede ``u``'s flip -- so
     some other ordering constraint, not ``u``'s own position, is at fault.
     """
-    required = set(problem.required_updates)
+    oracle = oracle_for(problem, tuple(properties))
+    required = problem.required_updates
     return {
         u
-        for u in sorted(required, key=repr)
-        if not round_is_safe(problem, required - {u}, {u}, properties)
+        for u in problem.canonical_updates
+        if not oracle.round_is_safe(required - {u}, (u,))
     }
 
 
@@ -140,7 +143,7 @@ def dependency_graph(
     feasible (a forced cycle would contradict the witness schedule).
     """
     graph = nx.DiGraph()
-    nodes = sorted(problem.required_updates, key=repr)
+    nodes = problem.canonical_updates
     graph.add_nodes_from(nodes)
     for v in nodes:
         for u in nodes:

@@ -17,7 +17,7 @@ the exact verdict).
 from __future__ import annotations
 
 from repro.errors import InfeasibleUpdateError, UpdateModelError
-from repro.core.optimal import round_is_safe
+from repro.core.oracle import SafetyOracle, oracle_for
 from repro.core.problem import UpdateKind, UpdateProblem
 from repro.core.schedule import UpdateSchedule
 from repro.core.verify import Property
@@ -29,13 +29,16 @@ def combined_greedy_schedule(
     properties: tuple[Property, ...],
     include_cleanup: bool = True,
     rlf_budget: int = 200_000,
+    oracle: SafetyOracle | None = None,
 ) -> UpdateSchedule:
     """Greedy maximal rounds safe for all ``properties`` at once.
 
     Candidates are visited by decreasing new-path position (the order
     whose suffix-drains-to-destination argument powers the single-property
     greedies); installs go first, deletions last.  Raises
-    :class:`InfeasibleUpdateError` on deadlock.
+    :class:`InfeasibleUpdateError` on deadlock.  Every candidate is an
+    apply/revert delta against the shared multi-property
+    :class:`SafetyOracle`.
     """
     if not properties:
         raise UpdateModelError("combined scheduling needs at least one property")
@@ -43,6 +46,11 @@ def combined_greedy_schedule(
         raise UpdateModelError("cannot schedule for WPE without a waypoint")
     if not problem.required_updates:
         raise UpdateModelError("combined scheduler invoked on a no-op problem")
+    properties = tuple(properties)
+    if oracle is None:
+        oracle = oracle_for(problem, properties, rlf_budget=rlf_budget)
+    else:
+        oracle.ensure_matches(problem, properties, rlf_budget=rlf_budget)
 
     install = {
         node
@@ -53,7 +61,7 @@ def combined_greedy_schedule(
     round_names: list[str] = []
     updated: set = set()
     if install:
-        if not round_is_safe(problem, updated, install, properties, rlf_budget):
+        if not oracle.round_is_safe(updated, install):
             raise InfeasibleUpdateError(
                 "installing new-only rules already violates "
                 f"{[p.value for p in properties]}"
@@ -62,6 +70,7 @@ def combined_greedy_schedule(
         round_names.append("install")
         updated |= install
 
+    oracle.reset(updated)
     new_pos = {node: i for i, node in enumerate(problem.new_path.nodes)}
     pending = sorted(
         problem.required_updates - install,
@@ -73,9 +82,8 @@ def combined_greedy_schedule(
         round_nodes: set = set()
         kept: list[NodeId] = []
         for node in pending:
-            candidate = round_nodes | {node}
-            if round_is_safe(problem, updated, candidate, properties, rlf_budget):
-                round_nodes = candidate
+            if oracle.try_apply(node):
+                round_nodes.add(node)
             else:
                 kept.append(node)
         if not round_nodes:
@@ -87,6 +95,7 @@ def combined_greedy_schedule(
         rounds.append(round_nodes)
         round_names.append(f"flip-{flip_round}")
         updated |= round_nodes
+        oracle.commit_round()
         pending = kept
 
     if include_cleanup and problem.cleanup_updates:

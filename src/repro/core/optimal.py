@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 
 from repro.errors import InfeasibleUpdateError, VerificationError
+from repro.core.oracle import SafetyOracle, oracle_for
 from repro.core.problem import UpdateProblem
 from repro.core.schedule import UpdateSchedule
 from repro.core.transient import UnionGraph
@@ -29,14 +30,19 @@ from repro.core.verify import (
 DEFAULT_MAX_NODES = 12
 
 
-def round_is_safe(
+def round_is_safe_reference(
     problem: UpdateProblem,
     updated: set,
     round_nodes: set,
     properties: tuple[Property, ...],
     rlf_budget: int = 200_000,
 ) -> bool:
-    """Is flipping ``round_nodes`` (after ``updated``) safe for all properties?"""
+    """From-scratch round-safety check (the oracle's reference twin).
+
+    Rebuilds the union graph and runs the witness-producing verifiers of
+    :mod:`repro.core.verify` on it.  Kept as the ground truth that
+    :class:`~repro.core.oracle.SafetyOracle` is cross-checked against.
+    """
     union = UnionGraph.from_update_sets(problem, updated, round_nodes)
     for prop in properties:
         if prop is Property.WPE:
@@ -57,12 +63,34 @@ def round_is_safe(
     return True
 
 
+def round_is_safe(
+    problem: UpdateProblem,
+    updated: set,
+    round_nodes: set,
+    properties: tuple[Property, ...],
+    rlf_budget: int = 200_000,
+    oracle: SafetyOracle | None = None,
+) -> bool:
+    """Is flipping ``round_nodes`` (after ``updated``) safe for all properties?
+
+    Routed through the shared per-problem :class:`SafetyOracle`, so
+    repeated probes (the analysis helpers, the exact search, diagnostics)
+    hit one memoized verdict table instead of rebuilding union graphs.
+    """
+    if oracle is None:
+        oracle = oracle_for(problem, tuple(properties), rlf_budget=rlf_budget)
+    else:
+        oracle.ensure_matches(problem, tuple(properties), rlf_budget=rlf_budget)
+    return oracle.round_is_safe(updated, round_nodes)
+
+
 def minimal_round_schedule(
     problem: UpdateProblem,
     properties: tuple[Property, ...],
     max_nodes: int = DEFAULT_MAX_NODES,
     max_rounds: int | None = None,
     round_filter=None,
+    use_oracle: bool = True,
 ) -> UpdateSchedule:
     """Find a schedule with the *fewest* rounds satisfying ``properties``.
 
@@ -73,6 +101,12 @@ def minimal_round_schedule(
     :mod:`repro.core.analysis`.  Raises :class:`InfeasibleUpdateError`
     when no schedule of any length exists (or none within ``max_rounds``),
     and :class:`VerificationError` when the instance exceeds ``max_nodes``.
+
+    BFS transitions are safety queries against the shared per-problem
+    :class:`SafetyOracle`: successive subset candidates differ in a few
+    nodes, so each query is an apply/revert delta walk on the persistent
+    union graph rather than a rebuild (``use_oracle=False`` restores the
+    from-scratch reference path, for benchmarks and cross-checks).
     """
     todo = frozenset(problem.required_updates)
     if not todo:
@@ -81,6 +115,9 @@ def minimal_round_schedule(
         raise VerificationError(
             f"instance has {len(todo)} updates; exact search capped at {max_nodes}"
         )
+    properties = tuple(properties)
+    oracle = oracle_for(problem, properties) if use_oracle else None
+    canonical = problem.canonical_updates
 
     start: frozenset = frozenset()
     parents: dict[frozenset, tuple[frozenset, frozenset] | None] = {start: None}
@@ -92,7 +129,17 @@ def minimal_round_schedule(
             break
         next_frontier: list[frozenset] = []
         for state in frontier:
-            pending = sorted(todo - state, key=repr)
+            pending = [node for node in canonical if node not in state]
+            if oracle is not None:
+                # Round safety is monotone in the in-flight set (more
+                # flexible nodes only add union edges and configurations),
+                # so a combo containing an unsafe singleton is unsafe:
+                # enumerate combos over the safe singletons only.
+                pending = [
+                    node
+                    for node in pending
+                    if oracle.round_is_safe(state, frozenset((node,)))
+                ]
             for size in range(1, len(pending) + 1):
                 for combo in itertools.combinations(pending, size):
                     round_nodes = frozenset(combo)
@@ -103,7 +150,13 @@ def minimal_round_schedule(
                         set(state), set(round_nodes)
                     ):
                         continue
-                    if not round_is_safe(problem, set(state), set(round_nodes), properties):
+                    if oracle is not None:
+                        safe = oracle.round_is_safe(state, round_nodes)
+                    else:
+                        safe = round_is_safe_reference(
+                            problem, set(state), set(round_nodes), properties
+                        )
+                    if not safe:
                         continue
                     parents[successor] = (state, round_nodes)
                     if successor == todo:

@@ -1,0 +1,700 @@
+"""Incremental safety oracle: delta-maintained union graphs.
+
+Every scheduling decision in this reproduction reduces to a *round-safety
+query*: "if the nodes in ``updated`` are already NEW and the nodes in
+``round_nodes`` flip now, does some transient configuration violate a
+property?".  The from-scratch verifiers (:mod:`repro.core.verify` /
+:mod:`repro.core.transient`) answer each query by rebuilding the full union
+graph and re-running whole-graph cycle/reachability checks -- O(n) per
+query, O(n^2) queries per greedy schedule, O(3^n) rebuilds in the exact
+BFS.  The :class:`SafetyOracle` answers the same queries over **one
+persistent union graph per problem**:
+
+* ``apply`` / ``commit`` / ``revert`` move a single node between its
+  OLD / FLEXIBLE / NEW phases in O(degree) edge operations;
+* strong loop freedom is maintained **incrementally** with Pearce--Kelly
+  topological-order maintenance (Pearce & Kelly, *A dynamic topological
+  sort algorithm for directed acyclic graphs*, JEA 2006): inserting an
+  edge that respects the current order is O(1), and reorderings only touch
+  the affected region -- amortized near-O(1) on the sparse path instances
+  the schedulers run on;
+* forward/backward reachability frontiers (for WPE, BLACKHOLE and the RLF
+  pre-filter) are extended incrementally on edge insertions and recomputed
+  lazily only when an edge removal actually touched them;
+* full ``(updated, round_nodes)`` verdicts are memoized per oracle with
+  hit/miss counters, published through :mod:`repro.metrics`.
+
+The oracle returns **boolean verdicts only**.  Witness-producing
+verification (and the exhaustive configuration oracle) deliberately stays
+in :mod:`repro.core.verify`, which doubles as the reference implementation
+the oracle is cross-checked against in the equivalence test suite.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import asdict, dataclass, fields
+
+from repro.errors import UpdateModelError, VerificationBudgetError, VerificationError
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property
+from repro.topology.graph import NodeId
+
+#: Node phases, kept as plain ints on the hot path.
+_OLD, _FLEX, _NEW = 0, 1, 2
+
+#: Entries above which a verdict memo is dropped wholesale (backstop only).
+DEFAULT_MEMO_LIMIT = 1_000_000
+
+
+@dataclass
+class OracleStats:
+    """Operation counters of one :class:`SafetyOracle`."""
+
+    memo_hits: int = 0
+    memo_misses: int = 0
+    applies: int = 0
+    reverts: int = 0
+    commits: int = 0
+    pk_reorders: int = 0
+    pk_cycles: int = 0
+    frontier_extensions: int = 0
+    frontier_recomputes: int = 0
+    rlf_fallbacks: int = 0
+    memo_evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class SafetyOracle:
+    """Stateful round-safety oracle over one persistent union graph.
+
+    The oracle always represents the union graph of *some* round
+    ``(updated, in_flight)``: nodes in ``updated`` are NEW, nodes in
+    ``in_flight`` are FLEXIBLE (both rules possible), everything else is
+    OLD.  Two usage styles:
+
+    * **delta walks** (schedulers): :meth:`reset` to a round base, then
+      :meth:`try_apply` candidate nodes one at a time -- an unsafe
+      candidate is reverted automatically -- and :meth:`commit_round` when
+      the round is final;
+    * **memoized queries** (exact search, analysis): :meth:`round_is_safe`
+      morphs the graph to the queried round via the smallest delta and
+      caches the verdict.
+
+    ``properties`` is fixed per oracle; use :func:`oracle_for` to share
+    oracles (and their memo tables) per ``(problem, properties)``.
+    """
+
+    def __init__(
+        self,
+        problem: UpdateProblem,
+        properties: tuple[Property, ...],
+        exact_rlf: bool = True,
+        rlf_budget: int = 200_000,
+        memo_limit: int = DEFAULT_MEMO_LIMIT,
+    ) -> None:
+        properties = tuple(properties)
+        if not properties:
+            raise VerificationError("a safety oracle needs at least one property")
+        if Property.WPE in properties and problem.waypoint is None:
+            raise VerificationError("cannot check WPE without a waypoint")
+        self.problem = problem
+        self.properties = properties
+        self.exact_rlf = exact_rlf
+        self.rlf_budget = rlf_budget
+        self.memo_limit = memo_limit
+        self.stats = OracleStats()
+
+        self._source = problem.source
+        self._destination = problem.destination
+        self._waypoint = problem.waypoint
+        self._old_next = problem.old_next
+        self._new_next = problem.new_next
+        self._forwarding = problem.forwarding_nodes
+
+        # --- persistent union graph -----------------------------------
+        self._state: dict[NodeId, int] = {n: _OLD for n in self._forwarding}
+        self._succ: dict[NodeId, set] = {n: set() for n in problem.nodes}
+        self._pred: dict[NodeId, set] = {n: set() for n in problem.nodes}
+        self._new: set = set()
+        self._flex: set = set()
+        self._drop: set = set()  # nodes whose current phase may drop packets
+
+        # --- Pearce-Kelly topological order over the non-blocked edges
+        # (skipped entirely when no property ever consults acyclicity)
+        self._needs_pk = Property.SLF in properties or Property.RLF in properties
+        self._ord: dict[NodeId, int] = {}
+        self._blocked: set[tuple[NodeId, NodeId]] = set()
+        self._blocked_stale = False
+        for index, node in enumerate(problem.old_path.nodes):
+            self._ord[node] = index
+        for node in sorted(problem.nodes - set(self._ord), key=repr):
+            self._ord[node] = len(self._ord)
+
+        # --- lazily maintained reachability frontiers (None = stale) --
+        self._fwd: set | None = None        # reachable from the source
+        self._fwd_avoid: set | None = None  # ... avoiding the waypoint
+        self._bwd: set | None = None        # nodes that reach the destination
+
+        # The all-OLD base graph is the old path itself: edges follow the
+        # initial topological order, so no reordering can trigger here.
+        for node in self._forwarding:
+            target = self._old_next[node]
+            if target is None:
+                self._drop.add(node)
+            else:
+                self._add_edge(node, target)
+
+        self._memo: dict[tuple[frozenset, frozenset], bool] = {}
+
+    # ------------------------------------------------------------------
+    # per-node phase semantics
+    # ------------------------------------------------------------------
+    def _edges_for(self, node: NodeId, state: int) -> tuple:
+        old, new = self._old_next[node], self._new_next[node]
+        if state == _OLD:
+            return () if old is None else (old,)
+        if state == _NEW:
+            return () if new is None else (new,)
+        if old == new:
+            return () if old is None else (old,)
+        if old is None:
+            return (new,)
+        if new is None:
+            return (old,)
+        return (old, new)
+
+    def _drops_in(self, node: NodeId, state: int) -> bool:
+        old, new = self._old_next[node], self._new_next[node]
+        if state == _OLD:
+            return old is None
+        if state == _NEW:
+            return new is None
+        if old == new:
+            return old is None
+        return old is None or new is None
+
+    def _set_state(self, node: NodeId, state: int) -> None:
+        try:
+            current = self._state[node]
+        except KeyError:
+            raise UpdateModelError(
+                f"{node!r} is not a forwarding node of {self.problem!r}"
+            ) from None
+        if current == state:
+            return
+        before = self._edges_for(node, current)
+        after = self._edges_for(node, state)
+        for target in before:
+            if target not in after:
+                self._remove_edge(node, target)
+        for target in after:
+            if target not in before:
+                self._add_edge(node, target)
+        if self._drops_in(node, state):
+            self._drop.add(node)
+        else:
+            self._drop.discard(node)
+        if current == _NEW:
+            self._new.discard(node)
+        elif current == _FLEX:
+            self._flex.discard(node)
+        if state == _NEW:
+            self._new.add(node)
+        elif state == _FLEX:
+            self._flex.add(node)
+        self._state[node] = state
+
+    # ------------------------------------------------------------------
+    # edge maintenance: Pearce-Kelly order + reachability frontiers
+    # ------------------------------------------------------------------
+    def _add_edge(self, u: NodeId, v: NodeId) -> None:
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        if self._needs_pk:
+            self._pk_insert(u, v)
+        fwd = self._fwd
+        if fwd is not None:
+            if u in fwd and v not in fwd:
+                self._extend_frontier(fwd, v, avoid=None, backward=False)
+        fwd_avoid = self._fwd_avoid
+        if fwd_avoid is not None:
+            if u in fwd_avoid and v not in fwd_avoid and v != self._waypoint:
+                self._extend_frontier(
+                    fwd_avoid, v, avoid=self._waypoint, backward=False
+                )
+        bwd = self._bwd
+        if bwd is not None:
+            if v in bwd and u not in bwd:
+                self._extend_frontier(bwd, u, avoid=None, backward=True)
+
+    def _remove_edge(self, u: NodeId, v: NodeId) -> None:
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        if (u, v) in self._blocked:
+            # A blocked edge never entered the PK graph: nothing to restore.
+            self._blocked.discard((u, v))
+        elif self._blocked:
+            # Removing a live edge may unblock previously refused ones;
+            # defer the re-validation until a query actually consults the
+            # blocked set, so a burst of removals pays once.
+            self._blocked_stale = True
+        if self._fwd is not None and u in self._fwd:
+            self._fwd = None
+        if self._fwd_avoid is not None and u in self._fwd_avoid:
+            self._fwd_avoid = None
+        if self._bwd is not None and v in self._bwd:
+            self._bwd = None
+
+    def _validate_blocked(self) -> None:
+        """Re-test stale blocked edges after live-edge removals.
+
+        Restores the invariant that every blocked edge currently closes a
+        cycle, which the SLF/RLF verdicts rely on.  Each candidate is
+        removed from the blocked set only for its *own* insertion attempt:
+        the other pending edges must stay excluded from the PK traversals
+        (they carry no order guarantee), otherwise a missed cycle corrupts
+        the topological order.  One pass suffices -- an edge re-blocked
+        here closed a cycle against PK-valid edges only, and later
+        insertions add paths, never remove them.
+        """
+        if not self._blocked_stale:
+            return
+        self._blocked_stale = False
+        for edge in list(self._blocked):
+            self._blocked.discard(edge)
+            a, b = edge
+            if b in self._succ[a]:
+                self._pk_insert(a, b)
+
+    def _pk_insert(self, u: NodeId, v: NodeId) -> None:
+        """Record edge ``u -> v`` in the incremental topological order.
+
+        If the edge closes a cycle it is *blocked* (kept out of the PK
+        graph, remembered in ``self._blocked``); the union graph is
+        acyclic exactly when no edge is blocked.
+        """
+        order = self._ord
+        lower, upper = order[v], order[u]
+        if upper < lower:
+            return
+        blocked = self._blocked
+        succ = self._succ
+        # Forward discovery from v, restricted to order positions <= upper.
+        forward: list[NodeId] = []
+        stack = [v]
+        seen = {v}
+        while stack:
+            node = stack.pop()
+            forward.append(node)
+            for target in succ[node]:
+                if target == u:
+                    if (node, target) not in blocked:
+                        blocked.add((u, v))
+                        self.stats.pk_cycles += 1
+                        return
+                    continue
+                if (
+                    target not in seen
+                    and order[target] <= upper
+                    and (node, target) not in blocked
+                ):
+                    seen.add(target)
+                    stack.append(target)
+        # Backward discovery from u, restricted to order positions >= lower.
+        pred = self._pred
+        backward: list[NodeId] = []
+        stack = [u]
+        bseen = {u}
+        while stack:
+            node = stack.pop()
+            backward.append(node)
+            for origin in pred[node]:
+                if (
+                    origin not in bseen
+                    and order[origin] >= lower
+                    and (origin, node) not in blocked
+                ):
+                    bseen.add(origin)
+                    stack.append(origin)
+        backward.sort(key=order.__getitem__)
+        forward.sort(key=order.__getitem__)
+        affected = backward + forward
+        slots = sorted(order[node] for node in affected)
+        for node, slot in zip(affected, slots):
+            order[node] = slot
+        self.stats.pk_reorders += 1
+
+    def _extend_frontier(
+        self, frontier: set, start: NodeId, avoid: NodeId | None, backward: bool
+    ) -> None:
+        """Grow an up-to-date reachability set after one edge insertion."""
+        self.stats.frontier_extensions += 1
+        adjacency = self._pred if backward else self._succ
+        frontier.add(start)
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for target in adjacency[node]:
+                if target not in frontier and target != avoid:
+                    frontier.add(target)
+                    stack.append(target)
+
+    def _compute_frontier(
+        self, start: NodeId, avoid: NodeId | None, backward: bool
+    ) -> set:
+        self.stats.frontier_recomputes += 1
+        adjacency = self._pred if backward else self._succ
+        if start == avoid:
+            return set()
+        frontier = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for target in adjacency[node]:
+                if target not in frontier and target != avoid:
+                    frontier.add(target)
+                    stack.append(target)
+        return frontier
+
+    # ------------------------------------------------------------------
+    # reachability frontiers (public read access)
+    # ------------------------------------------------------------------
+    def forward_frontier(self) -> frozenset:
+        """Nodes reachable from the source in the current union graph."""
+        return frozenset(self._fwd_set())
+
+    def backward_frontier(self) -> frozenset:
+        """Nodes from which the destination is reachable (incl. itself)."""
+        if self._bwd is None:
+            self._bwd = self._compute_frontier(
+                self._destination, None, backward=True
+            )
+        return frozenset(self._bwd)
+
+    def reaches_destination(self, node: NodeId) -> bool:
+        """Can ``node`` still reach the destination in some configuration?"""
+        return node in self.backward_frontier()
+
+    def _fwd_set(self) -> set:
+        if self._fwd is None:
+            self._fwd = self._compute_frontier(self._source, None, backward=False)
+        return self._fwd
+
+    def _fwd_avoid_set(self) -> set:
+        if self._fwd_avoid is None:
+            self._fwd_avoid = self._compute_frontier(
+                self._source, self._waypoint, backward=False
+            )
+        return self._fwd_avoid
+
+    # ------------------------------------------------------------------
+    # delta operations
+    # ------------------------------------------------------------------
+    def reset(self, updated=(), in_flight=()) -> None:
+        """Morph the graph to the round base ``(updated, in_flight)``."""
+        self._morph(frozenset(updated), frozenset(in_flight))
+
+    def apply(self, node: NodeId) -> None:
+        """Make ``node`` flexible (its update is in flight this round)."""
+        self.stats.applies += 1
+        self._set_state(node, _FLEX)
+
+    def revert(self, node: NodeId) -> None:
+        """Take ``node`` back out of the round (back to OLD)."""
+        self.stats.reverts += 1
+        self._set_state(node, _OLD)
+
+    def commit(self, node: NodeId) -> None:
+        """Settle ``node`` as updated (NEW): its round has completed."""
+        self.stats.commits += 1
+        self._set_state(node, _NEW)
+
+    def commit_round(self) -> None:
+        """Settle every currently flexible node as updated."""
+        for node in list(self._flex):
+            self.commit(node)
+
+    def try_apply(self, node: NodeId) -> bool:
+        """Apply ``node``; keep it when the round stays safe, else revert.
+
+        The scheduler building block: returns the safety verdict and
+        leaves the graph in the corresponding state.
+        """
+        self.apply(node)
+        if self.current_round_safe():
+            return True
+        self.revert(node)
+        return False
+
+    def updated_nodes(self) -> frozenset:
+        return frozenset(self._new)
+
+    def in_flight_nodes(self) -> frozenset:
+        return frozenset(self._flex)
+
+    def _morph(self, target_new: frozenset, target_flex: frozenset) -> None:
+        touched = self._new | self._flex | target_new | target_flex
+        forwarding = self._forwarding
+        states = self._state
+        set_state = self._set_state
+        for node in touched:
+            if node in target_flex:
+                state = _FLEX
+            elif node in target_new:
+                state = _NEW
+            else:
+                state = _OLD
+            if node in forwarding and states[node] != state:
+                set_state(node, state)
+
+    # ------------------------------------------------------------------
+    # safety evaluation
+    # ------------------------------------------------------------------
+    def current_round_safe(self) -> bool:
+        """Are all properties satisfied by the current union graph?"""
+        for prop in self.properties:
+            if prop is Property.SLF:
+                self._validate_blocked()
+                if self._blocked:
+                    return False
+            elif prop is Property.BLACKHOLE:
+                if not self._drop.isdisjoint(self._fwd_set()):
+                    return False
+            elif prop is Property.WPE:
+                if self._destination in self._fwd_avoid_set():
+                    return False
+            elif prop is Property.RLF:
+                if not self._rlf_safe():
+                    return False
+            else:  # pragma: no cover - closed enum
+                raise VerificationError(f"unknown property {prop!r}")
+        return True
+
+    def round_is_safe(self, updated, round_nodes) -> bool:
+        """Memoized verdict for the round ``(updated, round_nodes)``."""
+        key = (frozenset(updated), frozenset(round_nodes))
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        self.stats.memo_misses += 1
+        self._morph(key[0], key[1])
+        verdict = self.current_round_safe()
+        if len(memo) >= self.memo_limit:
+            memo.clear()
+            self.stats.memo_evictions += 1
+        memo[key] = verdict
+        return verdict
+
+    def _rlf_safe(self) -> bool:
+        # Fast path: the PK structure already knows the graph is acyclic,
+        # and without any union cycle there is nothing to reach.
+        self._validate_blocked()
+        if not self._blocked:
+            return True
+        # Every union cycle runs through a blocked edge (the non-blocked
+        # subgraph is acyclic by PK invariant), and the source-reachable
+        # set is successor-closed -- so a cycle lies inside it if and only
+        # if some blocked edge's tail is reachable.
+        reachable = self._fwd_set()
+        if all(u not in reachable for u, _ in self._blocked):
+            return True
+        self.stats.rlf_fallbacks += 1
+        if not self.exact_rlf:
+            return False  # conservative: a reachable union cycle counts
+        return not self._rlf_trajectory_loops()
+
+    def _rlf_trajectory_loops(self) -> bool:
+        """Branching trajectory search (bool twin of the verify.py witness).
+
+        Walk from the source, fixing each flexible node's behaviour on
+        first visit; revisiting any node on the walk is a realizable
+        source-reachable loop.  The search is confined to the *danger
+        zone* -- nodes that can still reach a blocked-edge tail: every
+        union cycle passes through a blocked edge, so every node of a
+        realizable looping walk (prefix included) can reach one, and
+        branches leaving the zone can never close a loop.
+        """
+        pred = self._pred
+        danger: set = set()
+        stack: list[NodeId] = []
+        for u, _ in self._blocked:
+            if u not in danger:
+                danger.add(u)
+                stack.append(u)
+        while stack:
+            node = stack.pop()
+            for origin in pred[node]:
+                if origin not in danger:
+                    danger.add(origin)
+                    stack.append(origin)
+        source, destination = self._source, self._destination
+        if source not in danger:
+            return False
+        succ = self._succ
+        budget = self.rlf_budget
+        states_explored = 0
+        walk: list[NodeId] = [source]
+        on_walk = {source}
+        pending: list[list[NodeId]] = [
+            [t for t in succ[source] if t in danger]
+        ]
+        while pending:
+            states_explored += 1
+            if states_explored > budget:
+                raise VerificationBudgetError(
+                    f"relaxed-loop-freedom search exceeded {budget} states"
+                )
+            options = pending[-1]
+            if not options:
+                pending.pop()
+                on_walk.discard(walk.pop())
+                continue
+            target = options.pop()
+            if target in on_walk:
+                return True
+            if target == destination:
+                continue
+            walk.append(target)
+            on_walk.add(target)
+            pending.append([t for t in succ[target] if t in danger])
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def ensure_matches(
+        self,
+        problem: UpdateProblem,
+        properties: tuple[Property, ...] | None = None,
+        exact_rlf: bool | None = None,
+        rlf_budget: int | None = None,
+    ) -> None:
+        """Guard for externally supplied oracles.
+
+        A scheduler handed an oracle built for another problem, property
+        set or RLF mode would silently emit wrong-mode (or outright
+        unsafe) schedules; this turns the mismatch into a loud error.
+        """
+        if self.problem is not problem:
+            raise VerificationError(
+                f"oracle was built for {self.problem!r}, not {problem!r}"
+            )
+        if properties is not None and frozenset(properties) != frozenset(
+            self.properties
+        ):
+            raise VerificationError(
+                f"oracle checks {[p.value for p in self.properties]}, "
+                f"caller needs {[p.value for p in properties]}"
+            )
+        if Property.RLF in self.properties:
+            if exact_rlf is not None and exact_rlf != self.exact_rlf:
+                raise VerificationError(
+                    f"oracle has exact_rlf={self.exact_rlf}, caller needs {exact_rlf}"
+                )
+            if rlf_budget is not None and rlf_budget != self.rlf_budget:
+                raise VerificationError(
+                    f"oracle has rlf_budget={self.rlf_budget}, "
+                    f"caller needs {rlf_budget}"
+                )
+
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    def clear_memo(self) -> None:
+        self._memo.clear()
+
+    def publish(self, collector=None, prefix: str = "oracle") -> None:
+        """Record the counters into a metrics collector (default: global)."""
+        if collector is None:
+            from repro.metrics import global_collector
+
+            collector = global_collector()
+        for name, value in self.stats.as_dict().items():
+            collector.record(f"{prefix}.{name}", value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        props = "+".join(p.value.split("-")[0] for p in self.properties)
+        return (
+            f"SafetyOracle({self.problem.name}, {props}, "
+            f"updated={len(self._new)}, in_flight={len(self._flex)}, "
+            f"memo={len(self._memo)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-problem oracle registry
+# ---------------------------------------------------------------------------
+
+#: Attribute under which a problem carries its own oracle cache.  Hanging
+#: the cache off the problem (instead of a module-level map) ties the
+#: oracles' lifetime to the problem's: the problem<->oracle reference
+#: cycle is ordinary garbage once the caller drops the problem.
+_CACHE_ATTR = "_safety_oracle_cache"
+
+#: Weak views over everything handed out, for stats and test isolation.
+_PROBLEMS: "weakref.WeakSet[UpdateProblem]" = weakref.WeakSet()
+_ALL_ORACLES: "weakref.WeakSet[SafetyOracle]" = weakref.WeakSet()
+
+
+def oracle_for(
+    problem: UpdateProblem,
+    properties: tuple[Property, ...],
+    exact_rlf: bool = True,
+    rlf_budget: int = 200_000,
+) -> SafetyOracle:
+    """Shared :class:`SafetyOracle` per ``(problem, properties, mode)``.
+
+    Sharing is what makes memoization pay across call sites: the analysis
+    helpers, the exact search and repeated scheduler invocations on the
+    same problem all hit one verdict table.  The property set is compared
+    order-insensitively (a verdict is a conjunction).  Oracles die with
+    their problem, so long-running controllers do not leak.
+    """
+    cache = getattr(problem, _CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(problem, _CACHE_ATTR, cache)
+        _PROBLEMS.add(problem)
+    props = frozenset(properties)
+    if Property.RLF not in props:
+        # the RLF mode cannot affect verdicts: normalize the cache key so
+        # callers with different budgets share one oracle and memo table
+        exact_rlf, rlf_budget = True, 200_000
+    key = (props, exact_rlf, rlf_budget)
+    oracle = cache.get(key)
+    if oracle is None:
+        oracle = SafetyOracle(
+            problem, properties, exact_rlf=exact_rlf, rlf_budget=rlf_budget
+        )
+        cache[key] = oracle
+        _ALL_ORACLES.add(oracle)
+    return oracle
+
+
+def clear_registry() -> None:
+    """Forget all shared oracles (cold-start benchmarks, test isolation)."""
+    for problem in list(_PROBLEMS):
+        try:
+            delattr(problem, _CACHE_ATTR)
+        except AttributeError:
+            pass
+    _PROBLEMS.clear()
+    _ALL_ORACLES.clear()
+
+
+def aggregate_stats() -> OracleStats:
+    """Summed counters over all live shared oracles."""
+    total = OracleStats()
+    for oracle in _ALL_ORACLES:
+        for spec in fields(OracleStats):
+            setattr(
+                total,
+                spec.name,
+                getattr(total, spec.name) + getattr(oracle.stats, spec.name),
+            )
+    return total

@@ -28,11 +28,11 @@ Structure of the emitted schedule:
 from __future__ import annotations
 
 from repro.errors import UpdateModelError
+from repro.core.oracle import SafetyOracle, oracle_for
 from repro.core.problem import UpdateKind, UpdateProblem
 from repro.core.schedule import UpdateSchedule
-from repro.core.transient import NodePhase, UnionGraph
-from repro.core.verify import Property, check_rlf
 from repro.topology.graph import NodeId
+from repro.core.verify import Property
 
 
 def classify_forward_backward(problem: UpdateProblem) -> tuple[set, set]:
@@ -62,33 +62,34 @@ def classify_forward_backward(problem: UpdateProblem) -> tuple[set, set]:
     return forward, backward
 
 
-def _round_is_rlf_safe(
-    problem: UpdateProblem,
-    updated: set,
-    round_nodes: set,
-    exact: bool,
-    budget: int,
-) -> bool:
-    """Would updating ``round_nodes`` (with ``updated`` done) preserve RLF?"""
-    union = UnionGraph.from_update_sets(problem, updated, round_nodes)
-    violation, _ = check_rlf(union, round_index=0, exact=exact, budget=budget)
-    return violation is None
-
-
 def peacock_schedule(
     problem: UpdateProblem,
     include_cleanup: bool = True,
     exact: bool = True,
     rlf_budget: int = 200_000,
+    oracle: SafetyOracle | None = None,
 ) -> UpdateSchedule:
     """Compute a relaxed-loop-free round schedule for ``problem``.
 
     ``exact=False`` switches the per-round safety test to the conservative
     union-graph check: still sound (never emits an unsafe round) but may
     use more rounds; use it for very large instances.
+
+    Backward-round packing runs as apply/revert deltas against the shared
+    :class:`SafetyOracle`: when the incremental topological order proves
+    the union graph acyclic, the RLF query short-circuits without any
+    reachability work.
     """
     if not problem.required_updates:
         raise UpdateModelError("Peacock invoked on a problem with no rule changes")
+    if oracle is None:
+        oracle = oracle_for(
+            problem, (Property.RLF,), exact_rlf=exact, rlf_budget=rlf_budget
+        )
+    else:
+        oracle.ensure_matches(
+            problem, (Property.RLF,), exact_rlf=exact, rlf_budget=rlf_budget
+        )
 
     install = {
         node
@@ -108,6 +109,7 @@ def peacock_schedule(
         rounds.append(forward)
         round_names.append("forward")
         updated |= forward
+    oracle.reset(updated)
 
     new_pos = {node: i for i, node in enumerate(problem.new_path.nodes)}
     pending = sorted(backward, key=lambda n: new_pos[n], reverse=True)
@@ -116,9 +118,8 @@ def peacock_schedule(
         round_nodes: set = set()
         kept: list[NodeId] = []
         for node in pending:
-            candidate = round_nodes | {node}
-            if _round_is_rlf_safe(problem, updated, candidate, exact, rlf_budget):
-                round_nodes = candidate
+            if oracle.try_apply(node):
+                round_nodes.add(node)
             else:
                 kept.append(node)
         if not round_nodes:
@@ -131,6 +132,7 @@ def peacock_schedule(
         rounds.append(round_nodes)
         round_names.append(f"backward-{backward_round}")
         updated |= round_nodes
+        oracle.commit_round()
         pending = kept
 
     if include_cleanup and problem.cleanup_updates:

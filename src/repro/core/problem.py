@@ -139,6 +139,43 @@ class UpdateProblem:
     # ------------------------------------------------------------------
     # forwarding semantics
     # ------------------------------------------------------------------
+    @cached_property
+    def old_next(self) -> dict:
+        """``{node: old next hop or None}`` for every forwarding node."""
+        return {
+            node: self.old_path.next_hop(node) if node in self.old_path else None
+            for node in self.forwarding_nodes
+        }
+
+    @cached_property
+    def new_next(self) -> dict:
+        """``{node: new next hop or None}`` for every forwarding node."""
+        return {
+            node: self.new_path.next_hop(node) if node in self.new_path else None
+            for node in self.forwarding_nodes
+        }
+
+    @cached_property
+    def kind_table(self) -> dict:
+        """``{node: UpdateKind}`` for every node (destination is a NOOP)."""
+        table: dict = {self.destination: UpdateKind.NOOP}
+        old_next, new_next = self.old_next, self.new_next
+        for node in self.forwarding_nodes:
+            on_old = node in self.old_path
+            on_new = node in self.new_path
+            if on_old and on_new:
+                kind = (
+                    UpdateKind.NOOP
+                    if old_next[node] == new_next[node]
+                    else UpdateKind.SWITCH
+                )
+            elif on_new:
+                kind = UpdateKind.INSTALL
+            else:
+                kind = UpdateKind.DELETE
+            table[node] = kind
+        return table
+
     def next_hop(self, node: NodeId, state: RuleState) -> NodeId | None:
         """Effective next hop of ``node`` in ``state``; ``None`` means drop.
 
@@ -146,27 +183,18 @@ class UpdateProblem:
         """
         if node == self.destination:
             raise UpdateModelError("the destination does not forward")
-        if node not in self.nodes:
-            raise UpdateModelError(f"{node!r} is not part of {self!r}")
-        if state is RuleState.OLD:
-            return self.old_path.next_hop(node) if node in self.old_path else None
-        return self.new_path.next_hop(node) if node in self.new_path else None
+        table = self.old_next if state is RuleState.OLD else self.new_next
+        try:
+            return table[node]
+        except KeyError:
+            raise UpdateModelError(f"{node!r} is not part of {self!r}") from None
 
     def kind(self, node: NodeId) -> UpdateKind:
         """Classify the change at ``node`` (see :class:`UpdateKind`)."""
-        if node == self.destination:
-            return UpdateKind.NOOP
-        if node not in self.nodes:
-            raise UpdateModelError(f"{node!r} is not part of {self!r}")
-        on_old = node in self.old_path
-        on_new = node in self.new_path
-        if on_old and on_new:
-            if self.old_path.next_hop(node) == self.new_path.next_hop(node):
-                return UpdateKind.NOOP
-            return UpdateKind.SWITCH
-        if on_new:
-            return UpdateKind.INSTALL
-        return UpdateKind.DELETE
+        try:
+            return self.kind_table[node]
+        except KeyError:
+            raise UpdateModelError(f"{node!r} is not part of {self!r}") from None
 
     @cached_property
     def required_updates(self) -> frozenset:
@@ -176,6 +204,16 @@ class UpdateProblem:
             for node in self.forwarding_nodes
             if self.kind(node) in (UpdateKind.INSTALL, UpdateKind.SWITCH)
         )
+
+    @cached_property
+    def canonical_updates(self) -> tuple:
+        """The required updates in a deterministic order (sorted by repr).
+
+        Analysis and exact-search code iterates the required set in a stable
+        order many times; computing the sort once per problem keeps those
+        loops off the ``sorted(..., key=repr)`` treadmill.
+        """
+        return tuple(sorted(self.required_updates, key=repr))
 
     @cached_property
     def cleanup_updates(self) -> frozenset:

@@ -1,13 +1,22 @@
 """Measurement collection and report rendering."""
 
-from repro.metrics.collector import MetricsCollector, Summary, percentile, summarize
+from repro.metrics.collector import (
+    MetricsCollector,
+    Summary,
+    global_collector,
+    percentile,
+    reset_global_collector,
+    summarize,
+)
 from repro.metrics.report import ascii_table, to_csv, to_json, write_report
 
 __all__ = [
     "MetricsCollector",
     "Summary",
     "ascii_table",
+    "global_collector",
     "percentile",
+    "reset_global_collector",
     "summarize",
     "to_csv",
     "to_json",

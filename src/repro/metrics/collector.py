@@ -71,6 +71,25 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
 
 
+#: Process-wide collector used by long-lived components (e.g. the safety
+#: oracle's hit/miss counters) that have no natural per-run collector.
+_GLOBAL: "MetricsCollector | None" = None
+
+
+def global_collector() -> "MetricsCollector":
+    """The process-wide :class:`MetricsCollector` (created on first use)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = MetricsCollector()
+    return _GLOBAL
+
+
+def reset_global_collector() -> None:
+    """Drop the process-wide collector (tests and benchmark isolation)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
 @dataclass
 class MetricsCollector:
     """Named series of float samples."""
