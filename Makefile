@@ -1,13 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-oracle bench help
+.PHONY: test bench-smoke bench-oracle bench campaign-smoke help
 
 help:
-	@echo "test         - tier-1 test suite (pytest -x -q)"
-	@echo "bench-smoke  - ~30s perf subset; writes benchmarks/results/BENCH_oracle.json"
-	@echo "bench-oracle - full oracle perf run (includes the minutes-long seed path at n=500)"
-	@echo "bench        - full pytest-benchmark experiment suite (E1-E10 tables)"
+	@echo "test           - tier-1 test suite (pytest -x -q)"
+	@echo "bench-smoke    - ~30s perf subset; writes benchmarks/results/BENCH_oracle.json"
+	@echo "bench-oracle   - full oracle perf run (includes the minutes-long seed path at n=500)"
+	@echo "bench          - full pytest-benchmark experiment suite (E1-E10 tables)"
+	@echo "campaign-smoke - ~20s tiny campaign (208 cells, 7 family entries, 4 schedulers)"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,3 +21,6 @@ bench-oracle:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="test_*"
+
+campaign-smoke:
+	$(PYTHON) -m repro campaign run examples/specs/smoke.json -j 4

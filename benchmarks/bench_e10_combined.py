@@ -6,54 +6,82 @@ concrete: on crossing-free instances everything combines; on crossings
 the combination is infeasible and the scheduler must degrade -- exactly
 the hardness frontier of Ludwig et al., SIGMETRICS'16 (reference [3] of
 the demo).
+
+Since PR 2 the matrix is a *thin campaign spec*: the instance x property
+grid is declared as data, ``combined:<props>`` scheduler names select the
+property sets, and infeasibility arrives as the cell status
+``infeasible`` instead of an exception to catch per cell.
 """
 
 import pytest
 
-from repro.core.combined import combined_greedy_schedule, strongest_feasible_schedule
-from repro.core.hardness import (
-    crossing_instance,
-    double_diamond_instance,
-    waypoint_slalom_instance,
-)
-from repro.core.verify import Property
-from repro.errors import InfeasibleUpdateError
-from repro.netlab.figure1 import figure1_problem
+from repro.campaign import CampaignSpec, run_cell
 
-INSTANCES = [
-    ("figure-1", figure1_problem),
-    ("double-diamond", double_diamond_instance),
-    ("crossing", crossing_instance),
-    ("slalom-3", lambda: waypoint_slalom_instance(3)),
-    # production scale: the incremental oracle keeps the n=603 slalom in
-    # the same feasibility matrix that used to cap out at toy sizes
-    ("slalom-300", lambda: waypoint_slalom_instance(300)),
-]
+
+def _cell_payload(cell_id):
+    for cell in CampaignSpec.from_dict(E10_SPEC).expand():
+        if cell.cell_id == cell_id:
+            return cell.payload()
+    raise KeyError(cell_id)
 
 COMBINATIONS = [
-    ("WPE", (Property.WPE, Property.BLACKHOLE)),
-    ("RLF", (Property.RLF, Property.BLACKHOLE)),
-    ("WPE+RLF", (Property.WPE, Property.RLF, Property.BLACKHOLE)),
-    ("WPE+SLF", (Property.WPE, Property.SLF, Property.BLACKHOLE)),
+    ("WPE", "combined:wpe+blackhole"),
+    ("RLF", "combined:rlf+blackhole"),
+    ("WPE+RLF", "combined:wpe+rlf+blackhole"),
+    ("WPE+SLF", "combined:wpe+slf+blackhole"),
 ]
+
+#: (display name, family, size) -- size 0 marks the fixed instances.
+INSTANCES = [
+    ("figure-1", "figure1", 0),
+    ("double-diamond", "double-diamond", 0),
+    ("crossing", "crossing", 0),
+    ("slalom-3", "slalom", 3),
+    # production scale: the incremental oracle keeps the n=603 slalom in
+    # the same feasibility matrix that used to cap out at toy sizes
+    ("slalom-300", "slalom", 300),
+]
+
+E10_SPEC = {
+    "name": "e10-combined",
+    "families": [
+        {"family": "figure1"},
+        {"family": "double-diamond"},
+        {"family": "crossing"},
+        {"family": "slalom", "sizes": [3, 300]},
+    ],
+    "schedulers": [scheduler for _, scheduler in COMBINATIONS] + ["strongest"],
+}
+
+
+def _by_instance(records, scheduler):
+    """{display instance name -> record} for one scheduler column."""
+    table = {}
+    for name, family, size in INSTANCES:
+        for record in records:
+            if record["scheduler"] == scheduler and \
+                    record["family"] == family and record["size"] == size:
+                table[name] = record
+    return table
 
 
 @pytest.mark.benchmark(group="e10-combined")
-def test_e10_feasibility_matrix(benchmark, emit):
+def test_e10_feasibility_matrix(benchmark, emit, run_campaign):
+    store = run_campaign(E10_SPEC)
+    records = store.records()
     rows = []
     feasibility = {}
-    for instance_name, factory in INSTANCES:
-        for combo_name, properties in COMBINATIONS:
-            try:
-                schedule = combined_greedy_schedule(
-                    factory(), properties, include_cleanup=False
-                )
-                cell = str(schedule.n_rounds)
-                feasibility[(instance_name, combo_name)] = True
-            except InfeasibleUpdateError:
-                cell = "infeasible"
-                feasibility[(instance_name, combo_name)] = False
-            rows.append([instance_name, combo_name, cell])
+    for instance_name, _, _ in INSTANCES:
+        for combo_name, scheduler in COMBINATIONS:
+            record = _by_instance(records, scheduler)[instance_name]
+            assert record["status"] in ("ok", "infeasible"), record
+            feasible = record["status"] == "ok"
+            feasibility[(instance_name, combo_name)] = feasible
+            rows.append([
+                instance_name,
+                combo_name,
+                str(record["rounds"]) if feasible else "infeasible",
+            ])
     emit(
         "E10a / greedy round counts per property combination",
         ["instance", "properties", "rounds"],
@@ -68,33 +96,24 @@ def test_e10_feasibility_matrix(benchmark, emit):
     assert not feasibility[("slalom-300", "WPE+SLF")]
     assert feasibility[("slalom-300", "WPE")]
 
-    benchmark.pedantic(
-        lambda: combined_greedy_schedule(
-            double_diamond_instance(),
-            (Property.WPE, Property.SLF, Property.BLACKHOLE),
-        ),
-        rounds=5,
-        iterations=1,
-    )
+    payload = _cell_payload("double-diamond-n0-r0@combined:wpe+slf+blackhole")
+    benchmark.pedantic(lambda: run_cell(payload), rounds=5, iterations=1)
 
 
 @pytest.mark.benchmark(group="e10-combined")
-def test_e10_graceful_degradation(benchmark, emit):
+def test_e10_graceful_degradation(benchmark, emit, run_campaign):
+    store = run_campaign(E10_SPEC)
+    strongest = _by_instance(store.records(), "strongest")
     rows = []
-    for instance_name, factory in INSTANCES:
-        schedule, properties = strongest_feasible_schedule(factory())
-        rows.append([
-            instance_name,
-            " + ".join(p.value.split("-")[0] for p in properties),
-            schedule.n_rounds,
-        ])
+    for instance_name, _, _ in INSTANCES:
+        record = strongest[instance_name]
+        assert record["status"] == "ok"
+        kept = (record["detail"] or "").removeprefix("kept=")
+        rows.append([instance_name, kept, record["rounds"]])
     emit(
         "E10b / strongest realizable guarantee per instance",
         ["instance", "kept properties", "rounds"],
         rows,
     )
-    benchmark.pedantic(
-        lambda: strongest_feasible_schedule(crossing_instance()),
-        rounds=3,
-        iterations=1,
-    )
+    payload = _cell_payload("crossing-n0-r0@strongest")
+    benchmark.pedantic(lambda: run_cell(payload), rounds=3, iterations=1)

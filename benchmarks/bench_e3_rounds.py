@@ -5,81 +5,131 @@ WayUp finishes any waypointed update in a constant number of rounds
 strong-loop-free schedule needs Theta(n) (PODC'15).  We regenerate the
 round-count curves on the adversarial families and cross-check small
 instances against the exact minimum-round search.
+
+Since PR 2 these experiments are *thin campaign specs*: the scenario grid
+is declared as data and executed by :mod:`repro.campaign`, and the tables
+are read back from the run directory's records -- the same engine (and the
+same records) a ``repro campaign run`` would produce.
 """
 
 import pytest
 
-from repro.core.greedy_slf import greedy_slf_schedule
-from repro.core.hardness import (
-    reversal_instance,
-    sawtooth_instance,
-    waypoint_slalom_instance,
-)
-from repro.core.optimal import minimal_round_count
-from repro.core.peacock import peacock_schedule
-from repro.core.verify import Property
-from repro.core.wayup import wayup_schedule
+from repro.campaign import run_cell
+
+E3A_SIZES = (6, 10, 20, 50, 100, 200, 500, 1000, 2000)
+E3A_EXACT_SIZES = (6, 10)  # exact minimum-round search stays exponential
+
+E3A_SPEC = {
+    "name": "e3a-reversal",
+    "families": [
+        {"family": "reversal", "sizes": list(E3A_SIZES)},
+        {
+            "family": "reversal",
+            "sizes": list(E3A_EXACT_SIZES),
+            "schedulers": ["optimal:rlf"],
+        },
+    ],
+    "schedulers": ["peacock", "greedy-slf"],
+}
+
+E3B_N = 26
+E3B_SPEC = {
+    "name": "e3b-sawtooth",
+    "families": [
+        {
+            "family": "sawtooth",
+            "sizes": [E3B_N],
+            "grid": {"block": [1, 2, 4, 8, 12, 24]},
+        }
+    ],
+    "schedulers": ["peacock", "greedy-slf"],
+}
+
+E3C_SPEC = {
+    "name": "e3c-slalom",
+    "families": [{"family": "slalom", "sizes": [1, 2, 4, 8, 16, 32]}],
+    "schedulers": ["wayup"],
+}
+
+
+def _rounds(records, scheduler, **match):
+    """Index campaign records: {size-or-param -> rounds} for one scheduler."""
+    table = {}
+    for record in records:
+        if record["scheduler"] != scheduler:
+            continue
+        if any(record.get(key) != value for key, value in match.items()):
+            continue
+        table[record["size"]] = record["rounds"]
+    return table
+
+
+def _cell_payload(store, cell_id):
+    """Rebuild one cell's worker payload from the run directory (for perf)."""
+    from repro.campaign import CampaignSpec
+
+    spec = CampaignSpec.from_dict(store.manifest()["spec"])
+    for cell in spec.expand():
+        if cell.cell_id == cell_id:
+            return cell.payload()
+    raise KeyError(cell_id)
 
 
 @pytest.mark.benchmark(group="e3-rounds")
-def test_e3_reversal_round_scaling(benchmark, emit):
-    rows = []
-    for n in (6, 10, 20, 50, 100, 200, 500, 1000, 2000):
-        problem = reversal_instance(n)
-        peacock = peacock_schedule(problem, include_cleanup=False)
-        greedy = greedy_slf_schedule(problem, include_cleanup=False)
-        optimal_rlf = (
-            minimal_round_count(problem, (Property.RLF,)) if n <= 10 else "-"
-        )
-        rows.append([n, peacock.n_rounds, optimal_rlf, greedy.n_rounds, n - 2])
+def test_e3_reversal_round_scaling(benchmark, emit, run_campaign):
+    store = run_campaign(E3A_SPEC)
+    records = store.records()
+    peacock = _rounds(records, "peacock")
+    greedy = _rounds(records, "greedy-slf")
+    optimal = _rounds(records, "optimal:rlf")
+    rows = [
+        [n, peacock[n], optimal.get(n, "-"), greedy[n], n - 2]
+        for n in E3A_SIZES
+    ]
     emit(
         "E3a / rounds on the reversal family (RLF constant, SLF linear)",
         ["n", "peacock (RLF)", "optimal RLF", "greedy (SLF)", "SLF bound"],
         rows,
     )
-    assert all(row[1] == 3 for row in rows)
-    assert all(row[3] == row[4] for row in rows)
+    assert all(record["status"] == "ok" for record in records)
+    assert all(peacock[n] == 3 for n in E3A_SIZES)
+    assert all(greedy[n] == n - 2 for n in E3A_SIZES)
+    assert all(optimal[n] == 3 for n in E3A_EXACT_SIZES)
 
-    benchmark.pedantic(
-        lambda: peacock_schedule(reversal_instance(100), include_cleanup=False),
-        rounds=3,
-        iterations=1,
-    )
+    # engine cost of one mid-size cell, instance construction included
+    payload = _cell_payload(store, "reversal-n100-r0@peacock")
+    benchmark.pedantic(lambda: run_cell(payload), rounds=3, iterations=1)
 
 
 @pytest.mark.benchmark(group="e3-rounds")
-def test_e3_sawtooth_interpolation(benchmark, emit):
-    n = 26
+def test_e3_sawtooth_interpolation(benchmark, emit, run_campaign):
+    store = run_campaign(E3B_SPEC)
+    records = store.records()
     rows = []
     for block in (1, 2, 4, 8, 12, 24):
-        problem = sawtooth_instance(n, block=block)
-        if not problem.required_updates:
-            rows.append([block, 0, 0])
-            continue
-        peacock = peacock_schedule(problem, include_cleanup=False)
-        greedy = greedy_slf_schedule(problem, include_cleanup=False)
-        rows.append([block, peacock.n_rounds, greedy.n_rounds])
+        cells = [r for r in records if r["id"].startswith(f"sawtooth-block{block}-")]
+        peacock = next(r for r in cells if r["scheduler"] == "peacock")
+        greedy = next(r for r in cells if r["scheduler"] == "greedy-slf")
+        # block=1 keeps the old order: every node a no-op, zero rounds
+        assert (peacock["status"] == "noop") == (block == 1)
+        rows.append([block, peacock["rounds"], greedy["rounds"]])
     emit(
-        f"E3b / rounds on sawtooth instances (n={n}) vs tooth size",
+        f"E3b / rounds on sawtooth instances (n={E3B_N}) vs tooth size",
         ["tooth size", "peacock (RLF)", "greedy (SLF)"],
         rows,
     )
     # bigger teeth hurt SLF far more than RLF
     assert rows[-1][2] > rows[-1][1]
 
-    benchmark.pedantic(
-        lambda: greedy_slf_schedule(sawtooth_instance(n, 12), include_cleanup=False),
-        rounds=3,
-        iterations=1,
-    )
+    payload = _cell_payload(store, "sawtooth-block12-n26-r0@greedy-slf")
+    benchmark.pedantic(lambda: run_cell(payload), rounds=3, iterations=1)
 
 
 @pytest.mark.benchmark(group="e3-rounds")
-def test_e3_wayup_constant_rounds(benchmark, emit):
-    rows = []
-    for k in (1, 2, 4, 8, 16, 32):
-        schedule = wayup_schedule(waypoint_slalom_instance(k), include_cleanup=False)
-        rows.append([2 * k + 3, k, schedule.n_rounds])
+def test_e3_wayup_constant_rounds(benchmark, emit, run_campaign):
+    store = run_campaign(E3C_SPEC)
+    wayup = _rounds(store.records(), "wayup")
+    rows = [[2 * k + 3, k, wayup[k]] for k in (1, 2, 4, 8, 16, 32)]
     emit(
         "E3c / WayUp rounds on waypoint slaloms (constant in n)",
         ["n", "crossings k", "wayup rounds"],
@@ -87,20 +137,16 @@ def test_e3_wayup_constant_rounds(benchmark, emit):
     )
     assert max(row[2] for row in rows) <= 5
 
-    benchmark.pedantic(
-        lambda: wayup_schedule(waypoint_slalom_instance(32)),
-        rounds=5,
-        iterations=1,
-    )
+    payload = _cell_payload(store, "slalom-n32-r0@wayup")
+    benchmark.pedantic(lambda: run_cell(payload), rounds=5, iterations=1)
 
 
 @pytest.mark.benchmark(group="e3-rounds")
-def test_e3_scheduler_throughput_large(benchmark):
+def test_e3_scheduler_throughput_large(benchmark, run_campaign):
     """Scheduler cost on a 2000-node reversal (exact RLF, incremental oracle)."""
-    problem = reversal_instance(2000)
-    schedule = benchmark.pedantic(
-        lambda: peacock_schedule(problem, include_cleanup=False),
-        rounds=3,
-        iterations=1,
+    store = run_campaign(E3A_SPEC)
+    payload = _cell_payload(store, "reversal-n2000-r0@peacock")
+    record, _ = benchmark.pedantic(
+        lambda: run_cell(payload), rounds=3, iterations=1
     )
-    assert schedule.n_rounds <= 5
+    assert record["status"] == "ok" and record["rounds"] <= 5

@@ -32,6 +32,27 @@ def emit():
     return _emit
 
 
+@pytest.fixture(scope="session")
+def run_campaign(tmp_path_factory):
+    """Execute a campaign spec dict inline; returns the populated RunStore.
+
+    Session-scoped on a shared root: tests reusing a spec (E3's throughput
+    probe, E10's two views) resume the finished run instead of re-executing
+    minutes of scheduling.
+    """
+    root = str(tmp_path_factory.mktemp("campaigns"))
+
+    def _run(spec_dict, workers=1):
+        from repro.campaign import CampaignRunner, CampaignSpec
+
+        spec = CampaignSpec.from_dict(spec_dict)
+        runner = CampaignRunner(spec, root=root, workers=workers)
+        runner.run()
+        return runner.store
+
+    return _run
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results():
     RESULTS_DIR.mkdir(exist_ok=True)

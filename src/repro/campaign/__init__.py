@@ -1,0 +1,48 @@
+"""Campaign engine: declarative scenario corpus + sharded experiment runner.
+
+The subsystem turns a JSON spec (:mod:`repro.campaign.spec`) into a grid of
+scenario cells over instance families (:mod:`repro.campaign.families`) and
+schedulers (:mod:`repro.campaign.schedulers`), executes them across a
+process pool with per-cell timeouts and error capture
+(:mod:`repro.campaign.runner`), streams deterministic JSONL results into a
+resumable run directory (:mod:`repro.campaign.store`), and aggregates them
+into report tables (:mod:`repro.campaign.aggregate`).
+"""
+
+from repro.campaign.aggregate import (
+    AGGREGATE_HEADERS,
+    aggregate_records,
+    aggregate_rows,
+    render_report,
+)
+from repro.campaign.families import build_unit, known_families, single_problem
+from repro.campaign.runner import CampaignRunner, run_cell
+from repro.campaign.schedulers import parse_properties, resolve
+from repro.campaign.spec import (
+    CampaignSpec,
+    Cell,
+    FamilyEntry,
+    canonical_json,
+    derive_seed,
+)
+from repro.campaign.store import RunStore
+
+__all__ = [
+    "AGGREGATE_HEADERS",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Cell",
+    "FamilyEntry",
+    "RunStore",
+    "aggregate_records",
+    "aggregate_rows",
+    "build_unit",
+    "canonical_json",
+    "derive_seed",
+    "known_families",
+    "parse_properties",
+    "render_report",
+    "resolve",
+    "run_cell",
+    "single_problem",
+]

@@ -1,0 +1,114 @@
+"""Aggregation helpers: campaign records -> report tables.
+
+Groups cell records by ``(family, scheduler)`` and computes percentile
+summaries of rounds, touches, and (when the timing sidecar is joined)
+wall-clock per cell, feeding :mod:`repro.metrics.report` renderers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.metrics.collector import percentile
+from repro.metrics.report import ascii_table, to_csv, to_json
+
+AGGREGATE_HEADERS = (
+    "family",
+    "scheduler",
+    "cells",
+    "ok",
+    "failed",
+    "rounds p50",
+    "rounds p90",
+    "rounds max",
+    "touches p50",
+    "touches max",
+    "wall ms p50",
+    "wall ms p90",
+)
+
+#: Statuses that represent successfully-executed scheduling work.
+_OK_STATUSES = {"ok", "noop"}
+#: Statuses that are expected sweep outcomes rather than failures.
+_BENIGN_STATUSES = _OK_STATUSES | {"unsupported", "infeasible"}
+
+
+def _pct(values: Sequence[float], q: float) -> float | str:
+    if not values:
+        return "-"
+    return percentile(sorted(values), q)
+
+
+def aggregate_rows(
+    records: Iterable[Mapping[str, Any]],
+    timings: Iterable[Mapping[str, Any]] = (),
+) -> list[list[Any]]:
+    """One row per (family, scheduler), sorted, for :func:`ascii_table`."""
+    wall_by_id = {timing["id"]: timing["wall_ms"] for timing in timings}
+    groups: dict[tuple[str, str], list[Mapping[str, Any]]] = {}
+    for record in records:
+        groups.setdefault((record["family"], record["scheduler"]), []).append(record)
+    rows: list[list[Any]] = []
+    for (family, scheduler) in sorted(groups):
+        cells = groups[(family, scheduler)]
+        executed = [
+            r for r in cells
+            if r["status"] in _OK_STATUSES and r.get("verified") is not False
+        ]
+        failed = [
+            r for r in cells
+            if r["status"] not in _BENIGN_STATUSES
+            or r.get("verified") is False
+        ]
+        rounds = [r["rounds"] for r in executed if r["rounds"] is not None]
+        touches = [r["touches"] for r in executed if r["touches"] is not None]
+        walls = [
+            wall_by_id[r["id"]]
+            for r in cells
+            if r["id"] in wall_by_id and r["status"] in _OK_STATUSES
+        ]
+        rows.append(
+            [
+                family,
+                scheduler,
+                len(cells),
+                len(executed),
+                len(failed),
+                _pct(rounds, 50),
+                _pct(rounds, 90),
+                max(rounds) if rounds else "-",
+                _pct(touches, 50),
+                max(touches) if touches else "-",
+                _pct(walls, 50),
+                _pct(walls, 90),
+            ]
+        )
+    return rows
+
+
+def aggregate_records(
+    records: Iterable[Mapping[str, Any]],
+    timings: Iterable[Mapping[str, Any]] = (),
+) -> list[dict]:
+    """The same aggregation as JSON-ready objects (REST report endpoint)."""
+    return [
+        dict(zip(AGGREGATE_HEADERS, row))
+        for row in aggregate_rows(records, timings)
+    ]
+
+
+def render_report(
+    records: Iterable[Mapping[str, Any]],
+    timings: Iterable[Mapping[str, Any]] = (),
+    fmt: str = "ascii",
+    title: str | None = None,
+) -> str:
+    """Render the aggregate table as ascii/csv/json text."""
+    rows = aggregate_rows(records, timings)
+    if fmt == "ascii":
+        return ascii_table(AGGREGATE_HEADERS, rows, title=title)
+    if fmt == "csv":
+        return to_csv(AGGREGATE_HEADERS, rows)
+    if fmt == "json":
+        return to_json(AGGREGATE_HEADERS, rows)
+    raise ValueError(f"unknown report format {fmt!r}")

@@ -1,0 +1,226 @@
+"""The campaign execution engine.
+
+:class:`CampaignRunner` expands a :class:`~repro.campaign.spec.CampaignSpec`
+into cells, skips cells already present in the run directory (resume),
+shards the remainder over a :mod:`multiprocessing` pool, and streams
+results into the :class:`~repro.campaign.store.RunStore`.
+
+Determinism contract: cell *records* contain only seed-derived fields
+(instance shape, schedule rounds/touches, verification verdict, error
+class) -- never wall-clock -- and are written in canonical cell order even
+when workers finish out of order (``Pool.imap`` preserves input order), so
+``results.jsonl`` is bit-identical across worker counts.  Wall-clock goes
+to the ``timings.jsonl`` sidecar.
+
+Every cell is fault-isolated: scheduler bugs, infeasible property
+combinations, and per-cell timeouts (SIGALRM-based, worker-local) become
+``status`` values in the record instead of killing the campaign.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import signal
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.errors import InfeasibleUpdateError, ReproError
+from repro.campaign.families import build_unit
+from repro.campaign.schedulers import parse_properties, resolve
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import RunStore
+
+
+class _CellTimeout(Exception):
+    """Internal: the per-cell wall-clock budget expired."""
+
+
+@contextlib.contextmanager
+def _time_limit(seconds: float | None):
+    """Raise :class:`_CellTimeout` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``, so it only arms on the main thread of a process with
+    alarm support (true for pool workers and the inline runner); elsewhere
+    -- e.g. a REST service thread -- the limit is silently skipped.
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise _CellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _truncate(text: str, limit: int = 300) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
+    """Execute one cell; returns ``(record, timing)``, never raises.
+
+    Top-level so pool workers can unpickle it regardless of start method.
+    """
+    record = {
+        "cell": payload["index"],
+        "id": payload["cell_id"],
+        "family": payload["family"],
+        "size": payload["size"],
+        "repeat": payload["repeat"],
+        "seed": payload["seed"],
+        "scheduler": payload["scheduler"],
+        "status": "ok",
+        "rounds": None,
+        "touches": None,
+        "verified": None,
+        "detail": None,
+    }
+    started = time.perf_counter()
+    try:
+        scheduler = resolve(payload["scheduler"])
+        with _time_limit(payload.get("timeout_s")):
+            unit = build_unit(
+                payload["family"],
+                payload["size"],
+                payload["params"],
+                payload["seed"],
+            )
+            active = [p for p in unit.problems if p.required_updates]
+            if scheduler.requires_waypoint and any(
+                p.waypoint is None for p in active
+            ):
+                record["status"] = "unsupported"
+                record["detail"] = f"{scheduler.name} requires a waypoint"
+            elif not active:
+                record["status"] = "noop"
+                record["rounds"] = 0
+                record["touches"] = 0
+            else:
+                rounds = 0
+                touches = 0
+                details: list[str] = []
+                verified: bool | None = None
+                explicit = (
+                    parse_properties("+".join(payload["properties"]))
+                    if payload["properties"]
+                    else None
+                )
+                for problem in active:
+                    schedule, detail, guarantee = scheduler.run(
+                        problem, payload["cleanup"]
+                    )
+                    # isolated-batch merge semantics: rounds = max, touches = sum
+                    rounds = max(rounds, schedule.n_rounds)
+                    touches += schedule.total_updates()
+                    if detail:
+                        details.append(detail)
+                    if payload["verify"]:
+                        from repro.core.verify import verify_schedule
+
+                        # explicit spec properties win; otherwise check the
+                        # scheduler against what it promises (a guarantee-free
+                        # baseline like oneshot has nothing to verify)
+                        properties = explicit or guarantee
+                        if properties:
+                            ok = verify_schedule(
+                                schedule, properties=properties
+                            ).ok
+                            verified = ok if verified is None else verified and ok
+                record["rounds"] = rounds
+                record["touches"] = touches
+                record["verified"] = verified
+                if details:
+                    record["detail"] = _truncate("; ".join(details))
+    except _CellTimeout:
+        record["status"] = "timeout"
+        record["detail"] = f"exceeded {payload.get('timeout_s')}s"
+        record["rounds"] = record["touches"] = record["verified"] = None
+    except InfeasibleUpdateError as exc:
+        record["status"] = "infeasible"
+        record["detail"] = _truncate(str(exc))
+    except ReproError as exc:
+        record["status"] = "error"
+        record["detail"] = _truncate(f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 - cell isolation is the point
+        record["status"] = "error"
+        record["detail"] = _truncate(f"{type(exc).__name__}: {exc}")
+    timing = {
+        "id": payload["cell_id"],
+        "wall_ms": round((time.perf_counter() - started) * 1000.0, 3),
+    }
+    return record, timing
+
+
+class CampaignRunner:
+    """Expand, shard, execute, and persist one campaign."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        root: str = "campaign-runs",
+        workers: int = 1,
+        store: RunStore | None = None,
+    ) -> None:
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        self.store = store or RunStore(root, spec.campaign_id)
+
+    def run(
+        self, progress: Callable[[dict, int, int], None] | None = None
+    ) -> dict:
+        """Execute all pending cells; returns the final status dict.
+
+        ``progress(record, done, total)`` is invoked after every persisted
+        cell.  Already-completed cells (from a previous, possibly
+        interrupted, run of the same spec) are skipped.
+        """
+        cells = self.spec.expand()
+        self.store.initialize(self.spec, n_cells=len(cells))
+        done_ids = self.store.completed_ids()
+        pending = [cell for cell in cells if cell.cell_id not in done_ids]
+        payloads = [cell.payload() for cell in pending]
+        total = len(cells)
+        done = total - len(pending)
+        # a timed spec must run in pool workers even at workers=1: only a
+        # process main thread can arm SIGALRM, and e.g. REST runs us from
+        # a handler thread where the inline path would drop the limit
+        inline = self.workers == 1 and (
+            self.spec.timeout_s is None
+            or (
+                hasattr(signal, "SIGALRM")
+                and threading.current_thread() is threading.main_thread()
+            )
+        )
+        try:
+            if inline or not payloads:
+                results = map(run_cell, payloads)
+                self._drain(results, progress, done, total)
+            else:
+                chunksize = max(1, len(payloads) // (self.workers * 8))
+                with multiprocessing.Pool(self.workers) as pool:
+                    results = pool.imap(run_cell, payloads, chunksize=chunksize)
+                    self._drain(results, progress, done, total)
+        finally:
+            self.store.close()
+        return self.store.status()
+
+    def _drain(self, results, progress, done: int, total: int) -> None:
+        for record, timing in results:
+            self.store.append(record, timing)
+            done += 1
+            if progress is not None:
+                progress(record, done, total)

@@ -1,0 +1,185 @@
+"""Append-only campaign run directories.
+
+Layout of ``<root>/<campaign_id>/``::
+
+    manifest.json   -- the spec plus engine version (written once; a rerun
+                       with a different spec under the same id is refused)
+    results.jsonl   -- one deterministic record per completed cell, in
+                       canonical cell order (workers may finish out of
+                       order; the runner writes in order), so the file is
+                       bit-identical across 1-worker and N-worker runs
+    timings.jsonl   -- wall-clock sidecar ({id, wall_ms}); kept out of
+                       results.jsonl precisely so the latter stays
+                       reproducible
+
+Resumability: completed cell ids are read back from ``results.jsonl`` and
+skipped on the next run; a trailing partially-written line (killed run) is
+truncated away first, so an interrupted campaign always restarts from a
+clean prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Mapping
+
+from repro.errors import CampaignError
+from repro.campaign.spec import CampaignSpec, canonical_json
+
+MANIFEST = "manifest.json"
+RESULTS = "results.jsonl"
+TIMINGS = "timings.jsonl"
+
+#: Terminal cell statuses a record may carry.
+STATUSES = ("ok", "noop", "unsupported", "infeasible", "timeout", "error")
+
+
+def encode_record(record: Mapping[str, Any]) -> str:
+    """The one true line encoding (sorted keys, compact separators)."""
+    return canonical_json(dict(record)) + "\n"
+
+
+class RunStore:
+    """One campaign's on-disk run directory."""
+
+    def __init__(self, root: str | os.PathLike, campaign_id: str) -> None:
+        self.campaign_id = campaign_id
+        self.directory = pathlib.Path(root) / campaign_id
+        self._results_handle = None
+        self._timings_handle = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open_dir(cls, directory: str | os.PathLike) -> "RunStore":
+        """Open an existing run directory (its name is the campaign id)."""
+        path = pathlib.Path(directory)
+        store = cls(path.parent, path.name)
+        if not store.exists():
+            raise CampaignError(f"{path} is not a campaign run directory")
+        return store
+
+    def exists(self) -> bool:
+        return (self.directory / MANIFEST).is_file()
+
+    def initialize(self, spec: CampaignSpec, n_cells: int) -> None:
+        """Create the directory and manifest, or check the manifest matches."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / MANIFEST
+        manifest = {
+            "campaign_id": self.campaign_id,
+            "name": spec.name,
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash,
+            "n_cells": n_cells,
+        }
+        if manifest_path.is_file():
+            existing = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if existing.get("spec_hash") != spec.spec_hash:
+                raise CampaignError(
+                    f"run directory {self.directory} belongs to a different "
+                    "spec (hash mismatch); delete it or change the spec name"
+                )
+            self._repair()
+            return
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def _repair(self) -> None:
+        """Drop trailing partial lines left behind by a killed writer."""
+        for filename in (RESULTS, TIMINGS):
+            path = self.directory / filename
+            if not path.is_file():
+                continue
+            data = path.read_bytes()
+            if not data or data.endswith(b"\n"):
+                continue
+            keep = data.rfind(b"\n") + 1
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+
+    def manifest(self) -> dict:
+        path = self.directory / MANIFEST
+        if not path.is_file():
+            raise CampaignError(f"no manifest in {self.directory}")
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: Mapping[str, Any], timing: Mapping[str, Any]) -> None:
+        """Persist one finished cell (record immediately flushed to disk)."""
+        if self._results_handle is None:
+            self._results_handle = open(
+                self.directory / RESULTS, "a", encoding="utf-8"
+            )
+            self._timings_handle = open(
+                self.directory / TIMINGS, "a", encoding="utf-8"
+            )
+        self._results_handle.write(encode_record(record))
+        self._results_handle.flush()
+        self._timings_handle.write(encode_record(timing))
+        self._timings_handle.flush()
+
+    def close(self) -> None:
+        for handle in (self._results_handle, self._timings_handle):
+            if handle is not None:
+                handle.close()
+        self._results_handle = None
+        self._timings_handle = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _read_jsonl(self, filename: str) -> list[dict]:
+        path = self.directory / filename
+        if not path.is_file():
+            return []
+        records: list[dict] = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # trailing partial line of a killed run
+        return records
+
+    def records(self) -> list[dict]:
+        return self._read_jsonl(RESULTS)
+
+    def timings(self) -> list[dict]:
+        return self._read_jsonl(TIMINGS)
+
+    def completed_ids(self) -> set:
+        return {record["id"] for record in self.records()}
+
+    def results_bytes(self) -> bytes:
+        path = self.directory / RESULTS
+        return path.read_bytes() if path.is_file() else b""
+
+    def status(self) -> dict:
+        """Progress counters for ``repro campaign status`` and REST."""
+        manifest = self.manifest()
+        records = self.records()
+        by_status = {status: 0 for status in STATUSES}
+        for record in records:
+            by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+        total = manifest.get("n_cells", len(records))
+        return {
+            "campaign_id": self.campaign_id,
+            "name": manifest.get("name"),
+            "total": total,
+            "done": len(records),
+            "remaining": max(0, total - len(records)),
+            "by_status": by_status,
+            "verification_failures": sum(
+                1 for record in records if record.get("verified") is False
+            ),
+        }

@@ -7,8 +7,10 @@ Subcommands::
     repro rounds    -- round-count scaling table on adversarial families
     repro topo      -- generate a topology JSON file
     repro serve     -- expose the demo over the REST HTTP binding
+    repro campaign  -- run / inspect / report declarative scenario campaigns
 
-Each prints human-readable tables; ``--json`` switches to machine output.
+Each prints human-readable tables; ``--json`` switches to machine output
+(and, where verification runs, a non-zero exit code flags failures).
 """
 
 from __future__ import annotations
@@ -78,10 +80,38 @@ def cmd_figure1(args: argparse.Namespace) -> int:
     return 0 if result.violations == 0 or args.algorithm == "oneshot" else 1
 
 
-def cmd_schedule(args: argparse.Namespace) -> int:
-    problem = UpdateProblem(
-        _parse_path(args.old), _parse_path(args.new), waypoint=args.wp
+def _generated_problem(args: argparse.Namespace) -> UpdateProblem:
+    """Build the instance of ``--family``/``--n``/``--seed`` (CLI sugar)."""
+    from repro.campaign.families import single_problem
+    from repro.campaign.spec import derive_seed
+
+    params = (
+        {"waypoint": True}
+        if args.family == "random-update" and getattr(args, "waypointed", False)
+        else {}
     )
+    seed = derive_seed(args.seed, args.family, args.n, 0)
+    return single_problem(args.family, args.n, params, seed)
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    if args.family is not None:
+        if args.old or args.new:
+            raise SystemExit("--family replaces --old/--new; give one or the other")
+        if args.wp is not None:
+            raise SystemExit(
+                "--wp picks a waypoint on explicit --old/--new paths; "
+                "for --family random-update use --waypointed instead"
+            )
+        if args.waypointed and args.family != "random-update":
+            raise SystemExit("--waypointed only applies to --family random-update")
+        problem = _generated_problem(args)
+    else:
+        if not (args.old and args.new):
+            raise SystemExit("either --old and --new, or --family, is required")
+        problem = UpdateProblem(
+            _parse_path(args.old), _parse_path(args.new), waypoint=args.wp
+        )
     factory = _SCHEDULERS[args.algorithm]
     schedule = factory(problem)
     properties = tuple(
@@ -121,28 +151,71 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def cmd_rounds(args: argparse.Namespace) -> int:
+    from repro.campaign.spec import derive_seed
+
+    def _random(n: int, seed: int, waypointed: bool) -> UpdateProblem:
+        from repro.campaign.families import single_problem
+
+        params = {"waypoint": True} if waypointed else {}
+        return single_problem("random-update", n, params, seed)
+
     families = {
-        "reversal": reversal_instance,
-        "sawtooth": lambda n: sawtooth_instance(n, block=max(2, n // 4)),
-        "slalom": lambda n: waypoint_slalom_instance(max(1, (n - 3) // 2)),
+        "reversal": lambda n, seed: reversal_instance(n),
+        "sawtooth": lambda n, seed: sawtooth_instance(n, block=max(2, n // 4)),
+        "slalom": lambda n, seed: waypoint_slalom_instance(max(1, (n - 3) // 2)),
+        "random": lambda n, seed: _random(n, seed, waypointed=False),
+        "random-wp": lambda n, seed: _random(n, seed, waypointed=True),
     }
     family = families[args.family]
     rows = []
+    records = []
+    all_ok = True
     for n in range(args.n_min, args.n_max + 1, args.step):
-        problem = family(n)
-        peacock = peacock_schedule(problem, include_cleanup=False)
-        greedy = greedy_slf_schedule(problem, include_cleanup=False)
-        row = [n, peacock.n_rounds, greedy.n_rounds]
+        problem = family(n, derive_seed(args.seed, args.family, n, 0))
+        if not problem.required_updates:
+            rows.append([n, 0, 0, "-"])
+            records.append({"n": n, "peacock": 0, "greedy_slf": 0, "ok": True})
+            continue
+        # each scheduler is verified against the guarantee it promises
+        schedules = {
+            "peacock": (
+                peacock_schedule(problem, include_cleanup=False),
+                (Property.RLF, Property.BLACKHOLE),
+            ),
+            "greedy_slf": (
+                greedy_slf_schedule(problem, include_cleanup=False),
+                (Property.SLF, Property.BLACKHOLE),
+            ),
+        }
         if problem.waypoint is not None:
-            row.append(wayup_schedule(problem, include_cleanup=False).n_rounds)
-        else:
-            row.append("-")
-        rows.append(row)
+            schedules["wayup"] = (
+                wayup_schedule(problem, include_cleanup=False),
+                (Property.WPE, Property.BLACKHOLE),
+            )
+        record: dict = {"n": n}
+        if args.json:
+            ok = True
+            for schedule, properties in schedules.values():
+                ok = ok and verify_schedule(schedule, properties=properties).ok
+            record["ok"] = ok
+            all_ok = all_ok and ok
+        for name, (schedule, _) in schedules.items():
+            record[name] = schedule.n_rounds
+        records.append(record)
+        rows.append([
+            n,
+            schedules["peacock"][0].n_rounds,
+            schedules["greedy_slf"][0].n_rounds,
+            schedules["wayup"][0].n_rounds if "wayup" in schedules else "-",
+        ])
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0 if all_ok else 1
     print(
         ascii_table(
             ["n", "peacock (RLF)", "greedy (SLF)", "wayup (WPE)"],
             rows,
-            title=f"rounds on {args.family} instances",
+            title=f"rounds on {args.family} instances (seed={args.seed})",
         )
     )
     return 0
@@ -159,6 +232,88 @@ def cmd_topo(args: argparse.Namespace) -> int:
     topo = kinds[args.kind]()
     save_topology(topo, args.out)
     print(f"wrote {topo.name}: {len(topo)} nodes, {len(topo.links())} links -> {args.out}")
+    return 0
+
+
+def _open_campaign_store(args: argparse.Namespace):
+    """Resolve a run-directory path or a campaign id under ``--root``."""
+    import pathlib
+
+    from repro.campaign.store import RunStore
+
+    target = pathlib.Path(args.campaign)
+    if (target / "manifest.json").is_file():
+        return RunStore.open_dir(target)
+    return RunStore.open_dir(pathlib.Path(args.root) / args.campaign)
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.spec import CampaignSpec
+
+    with open(args.spec, encoding="utf-8") as handle:
+        spec = CampaignSpec.from_dict(json.load(handle))
+
+    def progress(record: dict, done: int, total: int) -> None:
+        if not args.json and (done % 25 == 0 or done == total):
+            print(f"  [{done}/{total}] {record['id']}: {record['status']}")
+
+    runner = CampaignRunner(spec, root=args.root, workers=args.workers)
+    if not args.json:
+        print(f"campaign {spec.campaign_id} -> {runner.store.directory}")
+    status = runner.run(progress=progress)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        from repro.campaign.aggregate import render_report
+
+        store = runner.store
+        print(render_report(
+            store.records(), store.timings(), title=f"campaign {spec.campaign_id}"
+        ))
+        counts = ", ".join(
+            f"{name}={count}"
+            for name, count in status["by_status"].items()
+            if count
+        )
+        print(f"done: {status['done']}/{status['total']} cells ({counts})")
+    failed_verification = status.get("verification_failures", 0)
+    if failed_verification and not args.json:
+        print(f"verification FAILED for {failed_verification} cell(s) "
+              "(see results.jsonl)")
+    ok = status["by_status"].get("error", 0) == 0 and not failed_verification
+    return 0 if ok else 1
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    status = _open_campaign_store(args).status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    rows = [[key, value] for key, value in status["by_status"].items()]
+    print(ascii_table(
+        ["status", "cells"], rows,
+        title=f"{status['campaign_id']}: {status['done']}/{status['total']} done",
+    ))
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign.aggregate import render_report
+
+    store = _open_campaign_store(args)
+    text = render_report(
+        store.records(),
+        store.timings(),
+        fmt=args.format,
+        title=f"campaign {store.campaign_id}",
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + ("\n" if not text.endswith("\n") else ""))
+        print(f"wrote {args.format} report -> {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -212,9 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.set_defaults(func=cmd_figure1)
 
     p_sched = sub.add_parser("schedule", help="compute and verify a schedule")
-    p_sched.add_argument("--old", required=True, help="comma-separated dpids")
-    p_sched.add_argument("--new", required=True, help="comma-separated dpids")
+    p_sched.add_argument("--old", default=None, help="comma-separated dpids")
+    p_sched.add_argument("--new", default=None, help="comma-separated dpids")
     p_sched.add_argument("--wp", type=int, default=None)
+    p_sched.add_argument("--family", default=None,
+                         choices=["reversal", "sawtooth", "slalom",
+                                  "random-update", "fat-tree"],
+                         help="generate the instance instead of --old/--new")
+    p_sched.add_argument("--n", type=int, default=10,
+                         help="instance size for --family")
+    p_sched.add_argument("--seed", type=int, default=0,
+                         help="seed for randomized --family instances")
+    p_sched.add_argument("--waypointed", action="store_true",
+                         help="with --family random-update: add a waypoint")
     p_sched.add_argument("--algorithm", default="wayup", choices=sorted(_SCHEDULERS))
     p_sched.add_argument("--properties", default=None,
                          help="comma-separated: wpe,slf,rlf,blackhole")
@@ -225,11 +390,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rounds = sub.add_parser("rounds", help="round-count scaling table")
     p_rounds.add_argument("--family", default="reversal",
-                          choices=["reversal", "sawtooth", "slalom"])
+                          choices=["reversal", "sawtooth", "slalom",
+                                   "random", "random-wp"])
     p_rounds.add_argument("--n-min", type=int, default=5)
     p_rounds.add_argument("--n-max", type=int, default=25)
     p_rounds.add_argument("--step", type=int, default=5)
+    p_rounds.add_argument("--seed", type=int, default=0,
+                          help="seed for the randomized families")
+    p_rounds.add_argument("--json", action="store_true",
+                          help="machine output; verifies every schedule and "
+                               "exits non-zero on a verification failure")
     p_rounds.set_defaults(func=cmd_rounds)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="declarative scenario campaigns (run/status/report)"
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+
+    p_run = campaign_sub.add_parser("run", help="execute a campaign spec JSON")
+    p_run.add_argument("spec", help="path to the campaign spec JSON file")
+    p_run.add_argument("-j", "--workers", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    p_run.add_argument("--root", default="campaign-runs",
+                       help="directory holding campaign run directories")
+    p_run.add_argument("--json", action="store_true")
+    p_run.set_defaults(func=cmd_campaign_run)
+
+    p_status = campaign_sub.add_parser("status", help="progress of a campaign")
+    p_status.add_argument("campaign", help="campaign id or run directory path")
+    p_status.add_argument("--root", default="campaign-runs")
+    p_status.add_argument("--json", action="store_true")
+    p_status.set_defaults(func=cmd_campaign_status)
+
+    p_report = campaign_sub.add_parser("report", help="aggregate sweep table")
+    p_report.add_argument("campaign", help="campaign id or run directory path")
+    p_report.add_argument("--root", default="campaign-runs")
+    p_report.add_argument("--format", default="ascii",
+                          choices=["ascii", "csv", "json"])
+    p_report.add_argument("--out", default=None, help="write instead of print")
+    p_report.set_defaults(func=cmd_campaign_report)
 
     p_topo = sub.add_parser("topo", help="generate a topology JSON")
     p_topo.add_argument("--kind", default="figure1",

@@ -91,6 +91,14 @@ class NotFoundError(RestError):
     status = 404
 
 
+class CampaignError(ReproError):
+    """A campaign run directory or engine invariant was violated."""
+
+
+class CampaignSpecError(CampaignError):
+    """A campaign specification is malformed or references unknown names."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was driven incorrectly."""
 

@@ -17,6 +17,10 @@ Routes (mirroring ofctl_rest plus the paper's update endpoint):
 * ``POST /update``                    -- the paper's multi-round update
 * ``POST /update/<algorithm>``        -- ditto with the algorithm in the path
 * ``GET  /update/<update_id>``        -- execution status / timings
+* ``POST /campaigns``                 -- run a declarative scenario campaign
+* ``GET  /campaigns``                 -- known campaign ids
+* ``GET  /campaigns/<campaign_id>``   -- campaign progress counters
+* ``GET  /campaigns/<campaign_id>/report`` -- aggregated sweep table
 """
 
 from __future__ import annotations
@@ -26,10 +30,16 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import BadRequestError, NotFoundError, RestError
+from repro.errors import (
+    BadRequestError,
+    NotFoundError,
+    RestError,
+    UnknownDatapathError,
+)
 from repro.controller.ofctl_rest import OfctlRestApp
 from repro.controller.ofctl_rest_own import TransientUpdateApp
 from repro.controller.update_queue import UpdateQueueApp
+from repro.rest.campaigns import CampaignService
 from repro.rest.schemas import validate_flowentry_body, validate_update_body
 
 
@@ -109,6 +119,7 @@ class RestApi:
     update_app: TransientUpdateApp
     update_queue: UpdateQueueApp
     flush: Callable[[], None] | None = None
+    campaigns: CampaignService | None = None
     _stats_cache: dict = field(default_factory=dict)
 
     def handle(self, method: str, path: str, body: Any = None) -> RestResponse:
@@ -120,20 +131,24 @@ def build_rest_api(
     update_app: TransientUpdateApp,
     update_queue: UpdateQueueApp,
     flush: Callable[[], None] | None = None,
+    campaign_root: str | None = None,
 ) -> RestApi:
     """Wire the standard route table onto the given apps.
 
     ``flush`` (usually ``network.flush``) is invoked by handlers that need
     switch replies (stats) or that should settle the update synchronously
-    from the caller's point of view.
+    from the caller's point of view.  ``campaign_root`` is where campaign
+    run directories are created (a temp directory by default).
     """
     router = Router()
+    campaigns = CampaignService(root=campaign_root)
     api = RestApi(
         router=router,
         ofctl=ofctl,
         update_app=update_app,
         update_queue=update_queue,
         flush=flush,
+        campaigns=campaigns,
     )
 
     def _flush() -> None:
@@ -148,7 +163,10 @@ def build_rest_api(
             dpid_int = int(dpid)
         except ValueError:
             raise BadRequestError(f"bad dpid {dpid!r}") from None
-        future = ofctl.flow_stats(dpid_int)
+        try:
+            future = ofctl.flow_stats(dpid_int)
+        except UnknownDatapathError as exc:
+            raise NotFoundError(str(exc)) from None
         _flush()
         if not future.done:
             raise RestError("switch did not answer the stats request")
@@ -200,7 +218,23 @@ def build_rest_api(
         router.register(
             "POST", f"/stats/flowentry/{operation}", make_flowentry(operation)
         )
+    def post_campaign(body: Any) -> dict:
+        return campaigns.submit(body)
+
+    def get_campaigns(body: Any) -> list[str]:
+        return campaigns.known_ids()
+
+    def get_campaign(body: Any, campaign_id: str) -> dict:
+        return campaigns.status(campaign_id)
+
+    def get_campaign_report(body: Any, campaign_id: str) -> dict:
+        return campaigns.report(campaign_id)
+
     router.register("POST", "/update", post_update)
     router.register("POST", "/update/<algorithm>", post_update)
     router.register("GET", "/update/<update_id>", get_update)
+    router.register("POST", "/campaigns", post_campaign)
+    router.register("GET", "/campaigns", get_campaigns)
+    router.register("GET", "/campaigns/<campaign_id>", get_campaign)
+    router.register("GET", "/campaigns/<campaign_id>/report", get_campaign_report)
     return api

@@ -1,0 +1,101 @@
+"""REST-facing campaign service.
+
+Bridges the HTTP surface to the campaign engine:
+
+* ``POST /campaigns`` -- body is either a campaign spec, or
+  ``{"spec": {...}, "workers": N}``; runs the campaign (small specs are
+  expected over REST; large sweeps belong to ``repro campaign run``) and
+  returns the status summary.
+* ``GET /campaigns/<campaign_id>`` -- progress counters.
+* ``GET /campaigns/<campaign_id>/report`` -- aggregated per
+  family x scheduler percentile records.
+
+Unknown campaign ids are a 404, malformed specs a 400 -- never a raw
+``KeyError``/500 out of the router.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tempfile
+from typing import Any, Mapping
+
+from repro.errors import BadRequestError, CampaignError, CampaignSpecError, NotFoundError
+from repro.campaign.aggregate import aggregate_records
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import RunStore
+
+#: REST-side cap: campaigns beyond this size must go through the CLI.
+MAX_REST_CELLS = 5000
+
+
+class CampaignService:
+    """Run directory management + engine invocation for the REST routes."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self._root = root
+
+    @property
+    def root(self) -> str:
+        if self._root is None:
+            self._root = tempfile.mkdtemp(prefix="repro-campaigns-")
+        return self._root
+
+    def _store(self, campaign_id: str) -> RunStore:
+        store = RunStore(self.root, str(campaign_id))
+        if not store.exists():
+            raise NotFoundError(f"unknown campaign {campaign_id!r}")
+        return store
+
+    def submit(self, body: Any) -> dict:
+        if not isinstance(body, Mapping):
+            raise BadRequestError("campaign submission must be a JSON object")
+        workers = 1
+        spec_data = body
+        if "spec" in body:
+            spec_data = body["spec"]
+            workers = body.get("workers", 1)
+            if not isinstance(workers, int) or workers < 1:
+                raise BadRequestError("'workers' must be an int >= 1")
+            unknown = set(body) - {"spec", "workers"}
+            if unknown:
+                raise BadRequestError(
+                    f"unknown submission keys: {sorted(unknown)}"
+                )
+        try:
+            spec = CampaignSpec.from_dict(spec_data)
+            n_cells = len(spec.expand())
+        except CampaignSpecError as exc:
+            raise BadRequestError(f"bad campaign spec: {exc}") from None
+        if n_cells > MAX_REST_CELLS:
+            raise BadRequestError(
+                f"campaign has {n_cells} cells; REST accepts at most "
+                f"{MAX_REST_CELLS} -- use 'repro campaign run'"
+            )
+        runner = CampaignRunner(spec, root=self.root, workers=workers)
+        try:
+            status = runner.run()
+        except CampaignError as exc:
+            raise BadRequestError(str(exc)) from None
+        return status
+
+    def status(self, campaign_id: str) -> dict:
+        return self._store(campaign_id).status()
+
+    def report(self, campaign_id: str) -> dict:
+        store = self._store(campaign_id)
+        return {
+            "campaign_id": store.campaign_id,
+            "rows": aggregate_records(store.records(), store.timings()),
+        }
+
+    def known_ids(self) -> list[str]:
+        root = pathlib.Path(self.root)
+        if not root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in root.iterdir()
+            if (entry / "manifest.json").is_file()
+        )

@@ -16,6 +16,14 @@ class TestParser:
             ))
             assert args.command == command
 
+    def test_campaign_subcommands_registered(self):
+        parser = build_parser()
+        for sub, extra in (("run", ["spec.json"]), ("status", ["x"]),
+                           ("report", ["x"])):
+            args = parser.parse_args(["campaign", sub, *extra])
+            assert args.command == "campaign"
+            assert args.campaign_command == sub
+
 
 class TestScheduleCommand:
     def test_wayup_verified(self, capsys):
@@ -57,6 +65,33 @@ class TestScheduleCommand:
         with pytest.raises(SystemExit):
             main(["schedule", "--old", "1,x", "--new", "1,2"])
 
+    def test_generated_family_instance(self, capsys):
+        code = main([
+            "schedule", "--family", "slalom", "--n", "3",
+            "--algorithm", "wayup", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+
+    def test_generated_random_family_seed_deterministic(self, capsys):
+        outputs = []
+        for _ in range(2):
+            code = main([
+                "schedule", "--family", "random-update", "--n", "10",
+                "--seed", "7", "--algorithm", "peacock", "--json",
+            ])
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_family_and_paths_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--family", "reversal", "--old", "1,2",
+                  "--new", "1,2"])
+        with pytest.raises(SystemExit):
+            main(["schedule"])
+
 
 class TestRoundsCommand:
     def test_reversal_table(self, capsys):
@@ -74,6 +109,97 @@ class TestRoundsCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "wayup" in out
+
+    def test_random_family_json_verifies(self, capsys):
+        code = main(["rounds", "--family", "random-wp", "--seed", "3",
+                     "--n-min", "8", "--n-max", "12", "--step", "2", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        records = json.loads(out)
+        assert len(records) == 3
+        assert all(record["ok"] for record in records)
+        assert all("wayup" in record for record in records)
+
+    def test_random_family_seed_changes_table(self, capsys):
+        outputs = []
+        for seed in ("1", "2"):
+            assert main(["rounds", "--family", "random", "--seed", seed,
+                         "--n-min", "10", "--n-max", "14", "--step", "2",
+                         "--json"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] != outputs[1]
+
+
+CAMPAIGN_SPEC = {
+    "name": "cli-mini",
+    "seed": 2,
+    "families": [
+        {"family": "reversal", "sizes": [6, 8]},
+        {"family": "random-update", "sizes": [8], "repeats": 2},
+    ],
+    "schedulers": ["peacock", "oneshot"],
+}
+
+
+class TestCampaignCommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(CAMPAIGN_SPEC))
+        return path
+
+    def test_run_status_report(self, tmp_path, spec_file, capsys):
+        root = str(tmp_path / "runs")
+        code = main(["campaign", "run", str(spec_file),
+                     "-j", "2", "--root", root, "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        status = json.loads(out)
+        assert status["done"] == 8 and status["remaining"] == 0
+        campaign_id = status["campaign_id"]
+
+        assert main(["campaign", "status", campaign_id,
+                     "--root", root, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["done"] == 8
+
+        assert main(["campaign", "report", campaign_id, "--root", root]) == 0
+        table = capsys.readouterr().out
+        assert "reversal" in table and "peacock" in table
+
+        # a run-directory path works in place of the id
+        assert main(["campaign", "status", f"{root}/{campaign_id}"]) == 0
+        capsys.readouterr()
+
+    def test_report_written_to_file(self, tmp_path, spec_file, capsys):
+        root = str(tmp_path / "runs")
+        main(["campaign", "run", str(spec_file), "--root", root, "--json"])
+        campaign_id = json.loads(capsys.readouterr().out)["campaign_id"]
+        out_file = tmp_path / "report.csv"
+        assert main(["campaign", "report", campaign_id, "--root", root,
+                     "--format", "csv", "--out", str(out_file)]) == 0
+        assert out_file.read_text().startswith("family,")
+
+    def test_unknown_campaign_errors(self, tmp_path, capsys):
+        code = main(["campaign", "status", "ghost",
+                     "--root", str(tmp_path), "--json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_verification_failure_exits_nonzero(self, tmp_path, capsys):
+        spec = {
+            "name": "unsafe",
+            "families": [{"family": "reversal", "sizes": [6]}],
+            "schedulers": ["oneshot"],
+            "properties": ["rlf", "blackhole"],
+            "verify": True,
+        }
+        path = tmp_path / "unsafe.json"
+        path.write_text(json.dumps(spec))
+        code = main(["campaign", "run", str(path),
+                     "--root", str(tmp_path / "runs")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verification FAILED" in out
 
 
 class TestTopoCommand:

@@ -109,7 +109,7 @@ class TestSchemas:
 
 
 @pytest.fixture
-def api():
+def api(tmp_path):
     network = Network(figure1(with_hosts=True), seed=0)
     queue = UpdateQueueApp()
     ofctl = OfctlRestApp()
@@ -120,7 +120,11 @@ def api():
     for app in (queue, ofctl, update_app):
         network.controller.register_app(app)
     network.start()
-    return network, build_rest_api(ofctl, update_app, queue, flush=network.flush)
+    rest = build_rest_api(
+        ofctl, update_app, queue,
+        flush=network.flush, campaign_root=str(tmp_path),
+    )
+    return network, rest
 
 
 class TestWiredApi:
@@ -173,6 +177,65 @@ class TestWiredApi:
     def test_bad_dpid_400(self, api):
         _, rest = api
         assert rest.handle("GET", "/stats/flow/bogus").status == 400
+
+    def test_unknown_dpid_404(self, api):
+        _, rest = api
+        response = rest.handle("GET", "/stats/flow/999")
+        assert response.status == 404
+        assert "999" in response.body["error"]
+
+
+CAMPAIGN_SPEC = {
+    "name": "rest-mini",
+    "seed": 1,
+    "families": [
+        {"family": "reversal", "sizes": [6, 8]},
+        {"family": "slalom", "sizes": [2]},
+    ],
+    "schedulers": ["peacock", "wayup"],
+}
+
+
+class TestCampaignRoutes:
+    def test_submit_then_status_and_report(self, api):
+        _, rest = api
+        response = rest.handle("POST", "/campaigns", CAMPAIGN_SPEC)
+        assert response.status == 200
+        assert response.body["done"] == 6
+        campaign_id = response.body["campaign_id"]
+
+        listing = rest.handle("GET", "/campaigns")
+        assert listing.status == 200 and campaign_id in listing.body
+
+        status = rest.handle("GET", f"/campaigns/{campaign_id}")
+        assert status.status == 200
+        assert status.body["remaining"] == 0
+        assert status.body["by_status"]["error"] == 0
+
+        report = rest.handle("GET", f"/campaigns/{campaign_id}/report")
+        assert report.status == 200
+        families = {row["family"] for row in report.body["rows"]}
+        assert families == {"reversal", "slalom"}
+
+    def test_submit_wrapped_spec_with_workers(self, api):
+        _, rest = api
+        response = rest.handle(
+            "POST", "/campaigns", {"spec": CAMPAIGN_SPEC, "workers": 2}
+        )
+        assert response.status == 200
+        assert response.body["remaining"] == 0
+
+    def test_unknown_campaign_404(self, api):
+        _, rest = api
+        assert rest.handle("GET", "/campaigns/ghost").status == 404
+        assert rest.handle("GET", "/campaigns/ghost/report").status == 404
+
+    def test_bad_spec_400(self, api):
+        _, rest = api
+        response = rest.handle("POST", "/campaigns", {"name": "x"})
+        assert response.status == 400
+        assert "spec" in response.body["error"]
+        assert rest.handle("POST", "/campaigns", "not-an-object").status == 400
 
 
 class TestHttpBinding:
