@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-oracle bench campaign-smoke help
+.PHONY: test bench-smoke bench-oracle bench-exact bench campaign-smoke help
 
 help:
 	@echo "test           - tier-1 test suite (pytest -x -q)"
-	@echo "bench-smoke    - ~30s perf subset; writes benchmarks/results/BENCH_oracle.json"
+	@echo "bench-smoke    - ~40s perf subset; writes benchmarks/results/BENCH_oracle.json + BENCH_exact.json"
 	@echo "bench-oracle   - full oracle perf run (includes the minutes-long seed path at n=500)"
+	@echo "bench-exact    - full exact-search perf run (mask engine vs the PR 1 frozenset BFS)"
 	@echo "bench          - full pytest-benchmark experiment suite (E1-E10 tables)"
 	@echo "campaign-smoke - ~20s tiny campaign (208 cells, 7 family entries, 4 schedulers)"
 
@@ -18,6 +19,9 @@ bench-smoke:
 
 bench-oracle:
 	$(PYTHON) benchmarks/bench_perf_oracle.py
+
+bench-exact:
+	$(PYTHON) benchmarks/bench_perf_exact.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="test_*"

@@ -1,0 +1,233 @@
+"""Perf benchmark: the bitmask exact-search engine vs the PR 1 path.
+
+Tracks what the integer-state rewrite of :mod:`repro.core.optimal` buys
+over the frozenset BFS it replaced (the PR 1 path: oracle-backed
+``engine="sets"``).  Three series go into ``BENCH_exact.json``:
+
+* **mask_vs_pr1** -- ``minimal_round_schedule(reversal(n), RLF)`` at
+  n=10/12/14 on the PR 1 sets engine, the mask BFS (canonical order,
+  bit-identical schedules -- asserted) and the mask IDDFS mode (the
+  default for campaign ground-truthing);
+* **cap_lift** -- instances beyond the old ``DEFAULT_MAX_NODES = 12``
+  cap: reversal n=16/18 and sawtooth-18-4 (15--17 required updates),
+  plus a waypointed slalom row for the WPE property mix (its update
+  count is constant at 4: only the nodes adjacent to the crossing ever
+  switch), all settled by IDDFS;
+* **warm_memo** -- a warm repeat against the shared int-keyed verdict
+  memo.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_exact.py [--quick] [--out PATH]
+
+Acceptance targets (gated by the exit status, wired into
+``make bench-smoke`` via ``benchmarks/run_smoke.py``):
+
+* IDDFS speedup over the PR 1 path at n=12 under RLF: >= 5x;
+* reversal n=16 (15 required updates, beyond the old cap) completes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.core.hardness import (
+    reversal_instance,
+    sawtooth_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.optimal import DEFAULT_MAX_NODES, minimal_round_schedule
+from repro.core.oracle import clear_registry, oracle_for
+from repro.core.verify import Property
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_exact.json"
+
+IDDFS_TARGET_SPEEDUP = 5.0
+CAP_LIFT_BUDGET_S = 30.0
+
+
+def _time(fn, repeats=3):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def bench_mask_vs_pr1(quick: bool) -> dict:
+    """reversal(n) under RLF: PR 1 sets engine vs mask BFS vs mask IDDFS."""
+    rows = []
+    pr1_repeats = {10: 3, 12: 3 if not quick else 2, 14: 1}
+    for n in (10, 12, 14):
+        problem = reversal_instance(n)
+        properties = (Property.RLF,)
+
+        def cold(engine, search="bfs"):
+            clear_registry()
+            return minimal_round_schedule(
+                problem, properties, engine=engine, search=search
+            )
+
+        pr1_s, pr1 = _time(lambda: cold("sets"), repeats=pr1_repeats[n])
+        bfs_s, bfs = _time(lambda: cold("mask"), repeats=pr1_repeats[n])
+        iddfs_s, iddfs = _time(
+            lambda: cold("mask", "iddfs"), repeats=5 if quick else 10
+        )
+        assert bfs.rounds == pr1.rounds, (
+            "mask BFS must be bit-identical to the PR 1 path"
+        )
+        assert iddfs.n_rounds == pr1.n_rounds, (
+            "IDDFS must agree on the optimal round count"
+        )
+        rows.append({
+            "n": n,
+            "required_updates": len(problem.required_updates),
+            "rounds": pr1.n_rounds,
+            "pr1_sets_ms": round(pr1_s * 1000, 2),
+            "mask_bfs_ms": round(bfs_s * 1000, 2),
+            "mask_iddfs_ms": round(iddfs_s * 1000, 3),
+            "bfs_speedup": round(pr1_s / bfs_s, 2),
+            "iddfs_speedup": round(pr1_s / iddfs_s, 1),
+        })
+    at_12 = next(r for r in rows if r["n"] == 12)
+    return {
+        "description": (
+            "minimal_round_schedule(reversal(n), RLF): PR 1 frozenset BFS "
+            "vs bitmask BFS (bit-identical schedules) vs bitmask IDDFS"
+        ),
+        "target_iddfs_speedup_at_12": IDDFS_TARGET_SPEEDUP,
+        "rows": rows,
+        "iddfs_speedup_at_12": at_12["iddfs_speedup"],
+        "meets_target": at_12["iddfs_speedup"] >= IDDFS_TARGET_SPEEDUP,
+    }
+
+
+def bench_cap_lift(quick: bool) -> dict:
+    """Instances beyond the old n=12 cap, settled by the IDDFS mode."""
+    cases = [
+        ("reversal-16", reversal_instance(16), (Property.RLF,)),
+        ("reversal-18", reversal_instance(18), (Property.RLF,)),
+        ("sawtooth-18-4", sawtooth_instance(18, 4), (Property.RLF,)),
+        (
+            "slalom-8 (wpe+blackhole)",
+            waypoint_slalom_instance(8),
+            (Property.WPE, Property.BLACKHOLE),
+        ),
+    ]
+    rows = []
+    for label, problem, properties in cases:
+        clear_registry()
+        start = time.perf_counter()
+        try:
+            schedule = minimal_round_schedule(
+                problem, properties, search="iddfs"
+            )
+        except Exception as exc:  # noqa: BLE001 - report, then fail the gate
+            rows.append({
+                "instance": label,
+                "required_updates": len(problem.required_updates),
+                "completed": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            continue
+        rows.append({
+            "instance": label,
+            "required_updates": len(problem.required_updates),
+            "completed": True,
+            "rounds": schedule.n_rounds,
+            "seconds": round(time.perf_counter() - start, 4),
+        })
+    n16 = rows[0]
+    return {
+        "description": (
+            f"exact schedules past the old cap (DEFAULT_MAX_NODES is now "
+            f"{DEFAULT_MAX_NODES}); gate: reversal-16 completes within "
+            f"{CAP_LIFT_BUDGET_S}s"
+        ),
+        "rows": rows,
+        "meets_target": bool(
+            n16["completed"] and n16["seconds"] <= CAP_LIFT_BUDGET_S
+        ),
+    }
+
+
+def bench_warm_memo() -> dict:
+    """Warm repeat of the exact search against the int-keyed verdict memo."""
+    problem = reversal_instance(12)
+    properties = (Property.RLF,)
+    clear_registry()
+    cold_s, _ = _time(
+        lambda: minimal_round_schedule(problem, properties), repeats=1
+    )
+    warm_s, _ = _time(
+        lambda: minimal_round_schedule(problem, properties), repeats=3
+    )
+    oracle = oracle_for(problem, properties)
+    return {
+        "description": "repeat mask BFS on a warm shared oracle memo",
+        "cold_ms": round(cold_s * 1000, 2),
+        "warm_ms": round(warm_s * 1000, 2),
+        "warm_speedup": round(cold_s / warm_s, 1),
+        "memo_hits": oracle.stats.memo_hits,
+        "memo_misses": oracle.stats.memo_misses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="~10s subset (fewer repeats), for make bench-smoke",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    payload = {
+        "benchmark": "exact-search-perf",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "default_max_nodes": DEFAULT_MAX_NODES,
+        "results": {},
+    }
+    print(f"[bench_perf_exact] mode={payload['mode']}")
+    for name, fn in (
+        ("mask_vs_pr1", lambda: bench_mask_vs_pr1(args.quick)),
+        ("cap_lift", lambda: bench_cap_lift(args.quick)),
+        ("warm_memo", bench_warm_memo),
+    ):
+        section_start = time.time()
+        payload["results"][name] = fn()
+        print(f"  {name}: {time.time() - section_start:.1f}s")
+    payload["wall_seconds"] = round(time.time() - started, 1)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench_perf_exact] wrote {args.out} ({payload['wall_seconds']}s)")
+
+    versus = payload["results"]["mask_vs_pr1"]
+    cap = payload["results"]["cap_lift"]
+    print(
+        f"  iddfs speedup at n=12: {versus['iddfs_speedup_at_12']}x "
+        f"(target {IDDFS_TARGET_SPEEDUP}x, meets={versus['meets_target']})"
+    )
+    print(
+        f"  cap lift: {[r['instance'] for r in cap['rows'] if r['completed']]} "
+        f"completed (meets={cap['meets_target']})"
+    )
+    ok = versus["meets_target"] and cap["meets_target"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,9 +151,14 @@ def bench_optimal(quick: bool) -> dict:
     problem = reversal_instance(10)
     repeats = 3 if quick else 5
 
+    # pinned to the sets engine so this series keeps measuring the PR 1
+    # metric (oracle-backed frozenset BFS vs seed path); the bitmask
+    # engine has its own series in benchmarks/bench_perf_exact.py
     def cold_oracle():
         clear_registry()
-        return minimal_round_schedule(problem, (Property.RLF,), use_oracle=True)
+        return minimal_round_schedule(
+            problem, (Property.RLF,), use_oracle=True, engine="sets"
+        )
 
     oracle_s, schedule = _time(cold_oracle, repeats=repeats)
     legacy_s, legacy = _time(

@@ -1,13 +1,14 @@
-"""Benchmark smoke runner: a ~30-second perf subset with a JSON artifact.
+"""Benchmark smoke runner: a ~40-second perf subset with JSON artifacts.
 
-Runs the quick mode of :mod:`benchmarks.bench_perf_oracle` (incremental
-oracle vs from-scratch verification) and writes
-``benchmarks/results/BENCH_oracle.json``.  Wired as ``make bench-smoke``;
-exit status is non-zero when a perf target regresses, so it can gate CI.
+Runs the quick modes of :mod:`benchmarks.bench_perf_oracle` (incremental
+oracle vs from-scratch verification, ``BENCH_oracle.json``) and
+:mod:`benchmarks.bench_perf_exact` (bitmask exact-search engine vs the
+PR 1 path, ``BENCH_exact.json``).  Wired as ``make bench-smoke``; exit
+status is non-zero when any perf target regresses, so it can gate CI.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_smoke.py [--out PATH]
+    PYTHONPATH=src python benchmarks/run_smoke.py [--oracle-out PATH] [--exact-out PATH]
 """
 
 from __future__ import annotations
@@ -18,16 +19,22 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-import bench_perf_oracle  # noqa: E402  (sibling import by path)
+import bench_perf_exact  # noqa: E402  (sibling import by path)
+import bench_perf_oracle  # noqa: E402
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", type=pathlib.Path, default=bench_perf_oracle.DEFAULT_OUT
+        "--oracle-out", type=pathlib.Path, default=bench_perf_oracle.DEFAULT_OUT
+    )
+    parser.add_argument(
+        "--exact-out", type=pathlib.Path, default=bench_perf_exact.DEFAULT_OUT
     )
     args = parser.parse_args(argv)
-    return bench_perf_oracle.main(["--quick", "--out", str(args.out)])
+    oracle_rc = bench_perf_oracle.main(["--quick", "--out", str(args.oracle_out)])
+    exact_rc = bench_perf_exact.main(["--quick", "--out", str(args.exact_out)])
+    return oracle_rc or exact_rc
 
 
 if __name__ == "__main__":

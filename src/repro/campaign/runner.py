@@ -20,6 +20,7 @@ combinations, and per-cell timeouts (SIGALRM-based, worker-local) become
 from __future__ import annotations
 
 import contextlib
+import json
 import multiprocessing
 import signal
 import threading
@@ -35,6 +36,40 @@ from repro.campaign.store import RunStore
 
 class _CellTimeout(Exception):
     """Internal: the per-cell wall-clock budget expired."""
+
+
+#: Per-worker cache of built work units, keyed by the seed-derived cell
+#: identity.  A campaign sweeps the same instance across several
+#: schedulers (one cell each); sharing the problem *object* between those
+#: cells keeps every per-problem cache warm -- the canonical node↔bit
+#: index, the kind/next-hop tables, and the SafetyOracles (with their
+#: Pearce-Kelly state and verdict memos) that
+#: :func:`repro.core.oracle.oracle_for` hangs off the problem.  Bounded
+#: FIFO so long campaigns do not accumulate oracle memos without limit.
+#: Thread-local because the cached oracles are mutable and unsynchronized
+#: (the REST service can run inline campaigns from concurrent handler
+#: threads); pool workers are separate processes and unaffected.
+_UNIT_CACHE_LIMIT = 32
+_UNIT_CACHE_LOCAL = threading.local()
+
+
+def _unit_cache() -> dict:
+    cache = getattr(_UNIT_CACHE_LOCAL, "units", None)
+    if cache is None:
+        cache = _UNIT_CACHE_LOCAL.units = {}
+    return cache
+
+
+def _cached_unit(family: str, size: int, params, seed: int):
+    cache = _unit_cache()
+    key = (family, size, json.dumps(params, sort_keys=True, default=str), seed)
+    unit = cache.get(key)
+    if unit is None:
+        unit = build_unit(family, size, params, seed)
+        while len(cache) >= _UNIT_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = unit
+    return unit
 
 
 @contextlib.contextmanager
@@ -93,7 +128,7 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
     try:
         scheduler = resolve(payload["scheduler"])
         with _time_limit(payload.get("timeout_s")):
-            unit = build_unit(
+            unit = _cached_unit(
                 payload["family"],
                 payload["size"],
                 payload["params"],
@@ -149,6 +184,9 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
         record["status"] = "timeout"
         record["detail"] = f"exceeded {payload.get('timeout_s')}s"
         record["rounds"] = record["touches"] = record["verified"] = None
+        # the alarm can interrupt an oracle mid-delta; drop the cached
+        # problems so no later cell sees a half-morphed union graph
+        _unit_cache().clear()
     except InfeasibleUpdateError as exc:
         record["status"] = "infeasible"
         record["detail"] = _truncate(str(exc))

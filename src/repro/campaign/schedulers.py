@@ -6,8 +6,10 @@ Plain names select the :class:`SafetyOracle`-backed schedulers of
 * ``combined:<p1+p2+...>`` -- :func:`combined_greedy_schedule` for the
   given property set (e.g. ``combined:wpe+rlf+blackhole``); infeasible
   combinations surface as the cell status ``infeasible``.
-* ``optimal:<p1+p2+...>`` -- the exact minimum-round search (exponential;
-  keep sizes small or set a cell timeout).
+* ``optimal:<p1+p2+...>`` -- the exact minimum-round search on the
+  bitmask engine's iterative-deepening mode (exponential worst case, but
+  greedy-bounded deepening ground-truths instances up to ~18 updates;
+  set a cell timeout for adversarial property combinations).
 
 ``strongest`` runs :func:`strongest_feasible_schedule` and records the
 realized property ladder rung in the cell's ``detail`` field.
@@ -137,7 +139,12 @@ def resolve(name: str) -> SchedulerDef:
             properties = parse_properties(spec)
 
             def run_optimal(problem: UpdateProblem, cleanup: bool):
-                schedule = minimal_round_schedule(problem, properties)
+                # iterative deepening on the mask engine: bounded by the
+                # greedy witness, it ground-truths cells well past the
+                # old n=12 cap within a campaign cell timeout
+                schedule = minimal_round_schedule(
+                    problem, properties, search="iddfs"
+                )
                 if cleanup:
                     schedule = schedule.with_cleanup()
                 return schedule, None, properties

@@ -44,6 +44,7 @@ from repro.core.greedy_slf import greedy_slf_schedule
 from repro.core.hardness import (
     crossing_instance,
     double_diamond_instance,
+    hardness_profile,
     reversal_instance,
     sawtooth_instance,
     waypoint_slalom_instance,
@@ -59,11 +60,13 @@ from repro.core.multipolicy import (
 )
 from repro.core.oneshot import oneshot_schedule
 from repro.core.optimal import (
+    DEFAULT_MAX_NODES,
     is_feasible,
     minimal_round_count,
     minimal_round_schedule,
     round_is_safe,
     round_is_safe_reference,
+    symmetry_classes,
 )
 from repro.core.oracle import (
     OracleStats,
@@ -117,6 +120,7 @@ from repro.core.wayup import wayup_schedule
 __all__ = [
     "Configuration",
     "CostModel",
+    "DEFAULT_MAX_NODES",
     "EdgeChoice",
     "HARDWARE_TCAM",
     "JointUpdateProblem",
@@ -162,6 +166,7 @@ __all__ = [
     "greedy_deadlock_certificate",
     "greedy_joint_schedule",
     "greedy_slf_schedule",
+    "hardness_profile",
     "is_feasible",
     "is_order_forced",
     "is_round_safe",
@@ -180,6 +185,7 @@ __all__ = [
     "schedule_update_time",
     "sequential_schedule",
     "strongest_feasible_schedule",
+    "symmetry_classes",
     "trace_walk",
     "two_phase_schedule",
     "two_phase_update_time",

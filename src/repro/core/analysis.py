@@ -41,10 +41,11 @@ def unsafe_alone(
 ) -> set:
     """Nodes whose update, applied first (alone), already violates."""
     oracle = oracle_for(problem, tuple(properties))
+    bits = problem.node_bit
     return {
         node
         for node in problem.canonical_updates
-        if not oracle.round_is_safe((), (node,))
+        if not oracle.round_is_safe(0, 1 << bits[node])
     }
 
 
@@ -57,14 +58,16 @@ def unlock_constraints(
     can exploit.  Nodes needing several predecessors contribute no pairs.
     """
     oracle = oracle_for(problem, tuple(properties))
+    bits = problem.node_bit
     constraints: set[tuple[NodeId, NodeId]] = set()
     nodes = problem.canonical_updates
-    blocked = [n for n in nodes if not oracle.round_is_safe((), (n,))]
+    blocked = [n for n in nodes if not oracle.round_is_safe(0, 1 << bits[n])]
     for u in blocked:
+        u_bit = 1 << bits[u]
         for v in nodes:
             if u == v:
                 continue
-            if oracle.round_is_safe((v,), (u,)):
+            if oracle.round_is_safe(1 << bits[v], u_bit):
                 constraints.add((v, u))
     return constraints
 
@@ -79,11 +82,12 @@ def cannot_be_last(
     some other ordering constraint, not ``u``'s own position, is at fault.
     """
     oracle = oracle_for(problem, tuple(properties))
-    required = problem.required_updates
+    bits = problem.node_bit
+    everyone = problem.required_mask
     return {
         u
         for u in problem.canonical_updates
-        if not oracle.round_is_safe(required - {u}, (u,))
+        if not oracle.round_is_safe(everyone & ~(1 << bits[u]), 1 << bits[u])
     }
 
 
@@ -93,6 +97,8 @@ def is_order_forced(
     u: NodeId,
     properties: tuple[Property, ...],
     max_nodes: int = 10,
+    use_oracle: bool = True,
+    search: str = "bfs",
 ) -> bool:
     """Must ``v`` be updated strictly before ``u`` in *every* safe schedule?
 
@@ -100,7 +106,9 @@ def is_order_forced(
     than ``v``'s (enforced with a transition filter on the exhaustive
     search); if none exists, the order is forced.  Infeasible instances
     force nothing (there are no safe schedules to constrain).  Exponential
-    -- intended for the small diagnostic instances.
+    -- intended for the small diagnostic instances.  ``use_oracle`` and
+    ``search`` are forwarded to the exact search (the filtered queries
+    were previously stuck on the default path).
     """
     required = problem.required_updates
     for node in (v, u):
@@ -119,12 +127,23 @@ def is_order_forced(
 
     try:
         minimal_round_schedule(
-            problem, properties, max_nodes=max_nodes, round_filter=u_not_after_v
+            problem,
+            properties,
+            max_nodes=max_nodes,
+            round_filter=u_not_after_v,
+            use_oracle=use_oracle,
+            search=search,
         )
     except InfeasibleUpdateError:
         # no safe schedule with u <= v; forced only if some schedule exists
         try:
-            minimal_round_schedule(problem, properties, max_nodes=max_nodes)
+            minimal_round_schedule(
+                problem,
+                properties,
+                max_nodes=max_nodes,
+                use_oracle=use_oracle,
+                search=search,
+            )
         except InfeasibleUpdateError:
             return False
         return True
@@ -135,6 +154,8 @@ def dependency_graph(
     problem: UpdateProblem,
     properties: tuple[Property, ...],
     max_nodes: int = 10,
+    use_oracle: bool = True,
+    search: str = "bfs",
 ) -> nx.DiGraph:
     """Forced-precedence edges ``v -> u`` (v strictly before u, exactly).
 
@@ -147,7 +168,9 @@ def dependency_graph(
     graph.add_nodes_from(nodes)
     for v in nodes:
         for u in nodes:
-            if v != u and is_order_forced(problem, v, u, properties, max_nodes):
+            if v != u and is_order_forced(
+                problem, v, u, properties, max_nodes, use_oracle, search
+            ):
                 graph.add_edge(v, u)
     return graph
 

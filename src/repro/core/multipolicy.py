@@ -22,6 +22,7 @@ from functools import cached_property
 from typing import Sequence
 
 from repro.errors import InfeasibleUpdateError, UpdateModelError
+from repro.core.oracle import SafetyOracle
 from repro.core.problem import RuleState, UpdateKind, UpdateProblem
 from repro.core.schedule import UpdateSchedule
 from repro.core.transient import UnionGraph
@@ -128,10 +129,22 @@ class JointUpdateProblem:
 
 @dataclass(frozen=True)
 class PolicyView:
-    """One policy's perspective on the shared state (for the verifiers)."""
+    """One policy's perspective on the shared state.
+
+    Duck-types enough of :class:`~repro.core.problem.UpdateProblem` for
+    both the from-scratch verifiers (:class:`UnionGraph`) and the
+    incremental :class:`~repro.core.oracle.SafetyOracle`: the node set
+    and next-hop tables come from the *joint* rule state, while source,
+    waypoint and the initial path ordering come from the policy whose
+    property verdicts are being asked.
+    """
 
     joint: JointUpdateProblem
     policy: UpdateProblem
+
+    @property
+    def name(self):
+        return f"{self.joint.name}:{self.policy.name}"
 
     @property
     def source(self):
@@ -146,8 +159,26 @@ class PolicyView:
         return self.policy.waypoint
 
     @property
+    def nodes(self):
+        return self.joint.nodes
+
+    @property
     def forwarding_nodes(self):
         return self.joint.forwarding_nodes
+
+    @property
+    def old_path(self):
+        return self.policy.old_path
+
+    @cached_property
+    def old_next(self) -> dict:
+        table = self.joint._old_next
+        return {node: table.get(node) for node in self.joint.forwarding_nodes}
+
+    @cached_property
+    def new_next(self) -> dict:
+        table = self.joint._new_next
+        return {node: table.get(node) for node in self.joint.forwarding_nodes}
 
     def next_hop(self, node, state):
         return self.joint.next_hop(node, state)
@@ -206,13 +237,43 @@ def greedy_joint_schedule(
     joint: JointUpdateProblem,
     properties: tuple[Property, ...] = (Property.RLF, Property.BLACKHOLE),
     include_cleanup: bool = True,
+    use_oracle: bool = True,
 ) -> UpdateSchedule:
     """Greedy maximal safe rounds over the shared rule set.
 
     Unlike the single-policy schedulers there is no progress guarantee:
     policies can deadlock each other (DSN'16), in which case
     :class:`InfeasibleUpdateError` is raised.
+
+    By default every round-safety probe runs against one persistent
+    :class:`~repro.core.oracle.SafetyOracle` per policy view, so the
+    candidate walk is a sequence of one-node deltas on maintained union
+    graphs instead of per-probe rebuilds; ``use_oracle=False`` restores
+    the from-scratch :func:`verify_joint_round` pipeline (the reference
+    the oracle path is cross-checked against in the tests).
     """
+    properties = tuple(properties)
+    if use_oracle:
+        oracles = []
+        for policy in joint.policies:
+            view_props = tuple(
+                prop
+                for prop in properties
+                if prop is not Property.WPE or policy.waypoint is not None
+            )
+            if view_props:
+                oracles.append(SafetyOracle(PolicyView(joint, policy), view_props))
+
+        def round_unsafe(updated: set, candidate: set) -> bool:
+            return any(
+                not oracle.round_is_safe(updated, candidate) for oracle in oracles
+            )
+
+    else:
+
+        def round_unsafe(updated: set, candidate: set) -> bool:
+            return bool(verify_joint_round(joint, updated, candidate, properties))
+
     install = {
         node
         for node in joint.required_updates
@@ -221,7 +282,7 @@ def greedy_joint_schedule(
     rounds: list[set] = []
     updated: set = set()
     if install:
-        if verify_joint_round(joint, updated, install, properties):
+        if round_unsafe(updated, install):
             raise InfeasibleUpdateError(
                 "installing new-only rules is already unsafe for some policy"
             )
@@ -233,7 +294,7 @@ def greedy_joint_schedule(
         kept: list = []
         for node in pending:
             candidate = round_nodes | {node}
-            if not verify_joint_round(joint, updated, candidate, properties):
+            if not round_unsafe(updated, candidate):
                 round_nodes = candidate
             else:
                 kept.append(node)

@@ -2,11 +2,32 @@
 
 Deciding how few rounds suffice for a property combination is NP-hard in
 general (Ludwig et al., SIGMETRICS'16), so this module brute-forces small
-instances: breadth-first search over *sets of already-updated nodes*, where
-one transition applies any subset of the pending nodes that forms a safe
-round.  It is the ground truth the greedy schedulers are compared against
-in tests and in the E3 ablations, and it doubles as an infeasibility prover
-(e.g. WPE together with strong loop freedom can be unachievable).
+instances.  It is the ground truth the greedy schedulers are compared
+against in tests and in the E3 ablations, and it doubles as an
+infeasibility prover (e.g. WPE together with strong loop freedom can be
+unachievable).
+
+Two engines implement the search:
+
+* the **mask engine** (default) encodes every state, round and oracle
+  memo key as a plain int over the problem's canonical node↔bit index
+  (:attr:`~repro.core.problem.UpdateProblem.node_bit`).  On top of the
+  integer state space it layers monotonicity memoization (a round
+  containing a known-unsafe round is unsafe, a round contained in a
+  known-safe round is safe -- so one "roof" query per state often settles
+  thousands of combinations), symmetry reduction over interchangeable
+  nodes, and an optional iterative-deepening mode (``search="iddfs"``)
+  that enumerates big rounds first via ``sub = (sub - 1) & pending`` and
+  is bounded by the greedy schedule's round count;
+* the **sets engine** (``engine="sets"``) is the original breadth-first
+  search over ``frozenset`` states, kept byte-for-byte as the
+  cross-checked reference -- with ``use_oracle=False`` it additionally
+  swaps every verdict for the from-scratch
+  :func:`round_is_safe_reference` pipeline, the seed-era ground truth.
+
+Both engines visit transitions in the same canonical order, so for the
+BFS mode they return *bit-identical* schedules (pinned by the
+equivalence suite in ``tests/core/test_optimal_mask.py``).
 """
 
 from __future__ import annotations
@@ -26,8 +47,11 @@ from repro.core.verify import (
     check_wpe,
 )
 
-#: Safety limit: BFS over subsets is O(3^n); 14 nodes is ~4.7M transitions.
-DEFAULT_MAX_NODES = 12
+#: Safety limit on the number of required updates the exact search
+#: accepts.  The mask engine's integer states, monotonicity memo and
+#: IDDFS mode keep 18 nodes tractable (the seed-era frozenset BFS was
+#: capped at 12); beyond that, wall clock -- not memory -- is the limit.
+DEFAULT_MAX_NODES = 18
 
 
 def round_is_safe_reference(
@@ -76,6 +100,8 @@ def round_is_safe(
     Routed through the shared per-problem :class:`SafetyOracle`, so
     repeated probes (the analysis helpers, the exact search, diagnostics)
     hit one memoized verdict table instead of rebuilding union graphs.
+    ``updated`` and ``round_nodes`` may be node sets or int bitmasks over
+    the problem's canonical node↔bit index.
     """
     if oracle is None:
         oracle = oracle_for(problem, tuple(properties), rlf_budget=rlf_budget)
@@ -84,38 +110,374 @@ def round_is_safe(
     return oracle.round_is_safe(updated, round_nodes)
 
 
-def minimal_round_schedule(
-    problem: UpdateProblem,
-    properties: tuple[Property, ...],
-    max_nodes: int = DEFAULT_MAX_NODES,
-    max_rounds: int | None = None,
-    round_filter=None,
-    use_oracle: bool = True,
-) -> UpdateSchedule:
-    """Find a schedule with the *fewest* rounds satisfying ``properties``.
+# ---------------------------------------------------------------------------
+# symmetry reduction
+# ---------------------------------------------------------------------------
 
-    Only the required updates (installs and switches) are scheduled; stale
-    deletions can always be appended afterwards.  ``round_filter`` (called
-    as ``round_filter(updated_set, round_set)``) can veto transitions --
-    the hook behind the forced-order analysis in
-    :mod:`repro.core.analysis`.  Raises :class:`InfeasibleUpdateError`
-    when no schedule of any length exists (or none within ``max_rounds``),
-    and :class:`VerificationError` when the instance exceeds ``max_nodes``.
+def symmetry_classes(problem) -> tuple[tuple[int, ...], ...]:
+    """Bit-position classes of interchangeable required updates.
 
-    BFS transitions are safety queries against the shared per-problem
-    :class:`SafetyOracle`: successive subset candidates differ in a few
-    nodes, so each query is an apply/revert delta walk on the persistent
-    union graph rather than a rebuild (``use_oracle=False`` restores the
-    from-scratch reference path, for benchmarks and cross-checks).
+    Two required nodes are *interchangeable* when swapping them is an
+    automorphism of the forwarding tables fixing source, destination and
+    waypoint: they share the same old and new next hop and neither is
+    anybody's next hop.  Every union-graph verdict is invariant under
+    permuting such twins, so the exact search only needs one
+    representative per "how many of the class are updated" count.
+
+    On a single path-pair :class:`UpdateProblem` the pred-freedom
+    condition is never satisfiable (every on-path node has a
+    predecessor), so classes are trivial there and the reduction is
+    free; it fires on duck-typed multi-flow problems where parallel
+    sources share their rewiring structure.
     """
-    todo = frozenset(problem.required_updates)
-    if not todo:
-        raise InfeasibleUpdateError("no updates required; nothing to schedule")
-    if len(todo) > max_nodes:
-        raise VerificationError(
-            f"instance has {len(todo)} updates; exact search capped at {max_nodes}"
+    canonical = problem.canonical_updates
+    old_next = problem.old_next
+    new_next = problem.new_next
+    special = {problem.source, problem.destination, problem.waypoint}
+    targeted = set(old_next.values()) | set(new_next.values())
+    groups: dict[tuple, list[int]] = {}
+    for index, node in enumerate(canonical):
+        if node in special or node in targeted:
+            continue
+        groups.setdefault(
+            (old_next.get(node), new_next.get(node)), []
+        ).append(index)
+    return tuple(
+        tuple(members) for members in groups.values() if len(members) > 1
+    )
+
+
+def _canonical_perm(state: int, classes, k: int) -> list[int]:
+    """Bit permutation ``sigma`` with ``sigma(state)`` class-canonical.
+
+    Within every class the set bits of ``state`` are moved onto the
+    class's lowest positions; bits outside the classes stay put.  Any
+    such permutation is a problem automorphism (see
+    :func:`symmetry_classes`), so verdicts are preserved.
+    """
+    sigma = list(range(k))
+    for cls in classes:
+        inside = [b for b in cls if (state >> b) & 1]
+        if not inside or len(inside) == len(cls):
+            continue
+        outside = [b for b in cls if not (state >> b) & 1]
+        for src, dst in zip(inside + outside, cls):
+            sigma[src] = dst
+    return sigma
+
+
+def _apply_perm(sigma, mask: int) -> int:
+    out = 0
+    while mask:
+        low = mask & -mask
+        out |= 1 << sigma[low.bit_length() - 1]
+        mask ^= low
+    return out
+
+
+def _canonicalize(state: int, classes, k: int) -> int:
+    return _apply_perm(_canonical_perm(state, classes, k), state)
+
+
+# ---------------------------------------------------------------------------
+# the mask engine
+# ---------------------------------------------------------------------------
+
+class _MaskSearch:
+    """Shared state of one exact-search invocation (mask engine).
+
+    Wraps the oracle behind a monotonicity-memoizing verdict layer:
+    verdicts are cached under single-int ``(state << k) | round`` keys,
+    and per state the maximal known-safe and minimal known-unsafe round
+    masks settle sub-/super-set candidates without touching the graph
+    (round safety is monotone in the in-flight set: more flexible nodes
+    only add union edges and configurations).
+    """
+
+    def __init__(self, problem, properties, round_filter, monotone_prune):
+        self.problem = problem
+        self.canonical = problem.canonical_updates
+        self.k = len(self.canonical)
+        self.full = (1 << self.k) - 1
+        self.oracle = oracle_for(problem, properties)
+        self.round_filter = round_filter
+        self.monotone_prune = monotone_prune
+        # symmetry canonicalization would permute the node labels the
+        # caller's filter refers to, so filtered searches disable it
+        self.classes = () if round_filter is not None else symmetry_classes(
+            problem
         )
-    properties = tuple(properties)
+        self._verdicts: dict[int, bool] = {}
+        self._max_safe: dict[int, list[int]] = {}
+        self._min_unsafe: dict[int, list[int]] = {}
+
+    # -- verdict layer -------------------------------------------------
+    def round_ok(self, state: int, rmask: int) -> bool:
+        key = (state << self.k) | rmask
+        verdicts = self._verdicts
+        cached = verdicts.get(key)
+        if cached is not None:
+            return cached
+        if self.monotone_prune:
+            for unsafe in self._min_unsafe.get(state, ()):
+                if unsafe & rmask == unsafe:
+                    verdicts[key] = False
+                    return False
+            for safe in self._max_safe.get(state, ()):
+                if rmask & safe == rmask:
+                    verdicts[key] = True
+                    return True
+        verdict = self.oracle.round_is_safe(state, rmask)
+        verdicts[key] = verdict
+        if self.monotone_prune:
+            if verdict:
+                known = self._max_safe.setdefault(state, [])
+                known[:] = [s for s in known if s & rmask != s]
+                known.append(rmask)
+            else:
+                known = self._min_unsafe.setdefault(state, [])
+                known[:] = [u for u in known if u & rmask != rmask]
+                known.append(rmask)
+        return verdict
+
+    def safe_singleton_mask(self, state: int) -> int:
+        """OR of the pending bits that are safe to flip alone from ``state``.
+
+        A combination containing an unsafe singleton is unsafe by
+        monotonicity, so the IDDFS enumeration is restricted to subsets
+        of this mask.  When more than one bit survives, the whole
+        surviving mask is probed once (the "roof" query): if it is safe,
+        *every* subset is settled for free by the safe-subset memo.
+
+        The BFS mode deliberately does *not* pre-scan singletons: it
+        checks the visited-set first and only pays a safety query for
+        genuinely new successors, so states whose expansions are fully
+        deduplicated cost no graph work at all (the per-state scan was
+        the dominant query load of the PR 1 search).
+        """
+        pending = self.full & ~state
+        mask = 0
+        scan = pending
+        while scan:
+            low = scan & -scan
+            if self.round_ok(state, low):
+                mask |= low
+            scan ^= low
+        if self.monotone_prune and mask & (mask - 1):
+            self.round_ok(state, mask)
+        return mask
+
+    def filter_ok(self, state: int, rmask: int) -> bool:
+        if self.round_filter is None:
+            return True
+        nodes = self.oracle.nodes_of
+        return self.round_filter(set(nodes(state)), set(nodes(rmask)))
+
+    def round_nodes(self, rmask: int) -> frozenset:
+        # the oracle shares the problem's node<->bit index, so its
+        # decoder is the canonical one
+        return self.oracle.nodes_of(rmask)
+
+
+def _bits_ascending(mask: int) -> list[int]:
+    bits = []
+    while mask:
+        low = mask & -mask
+        bits.append(low)
+        mask ^= low
+    return bits
+
+
+def _search_mask_bfs(
+    search: _MaskSearch,
+    properties: tuple[Property, ...],
+    max_rounds: int | None,
+) -> UpdateSchedule:
+    """Breadth-first mask search, canonical (reference-matching) order.
+
+    Per state, candidate rounds are enumerated by ascending size and
+    lexicographic canonical node order -- exactly the order the sets
+    reference engine visits them -- so the first-found optimal schedule
+    is bit-identical across engines.
+    """
+    full = search.full
+    classes = search.classes
+    k = search.k
+    parents: dict[int, tuple[int, int] | None] = {0: None}
+    frontier = [0]
+    depth = 0
+    while frontier:
+        depth += 1
+        if max_rounds is not None and depth > max_rounds:
+            break
+        next_frontier: list[int] = []
+        for state in frontier:
+            bits = _bits_ascending(full & ~state)
+            for size in range(1, len(bits) + 1):
+                for combo in itertools.combinations(bits, size):
+                    rmask = sum(combo)
+                    successor = state | rmask
+                    if classes:
+                        successor = _canonicalize(successor, classes, k)
+                    if successor in parents:
+                        continue
+                    if not search.filter_ok(state, rmask):
+                        continue
+                    if not search.round_ok(state, rmask):
+                        continue
+                    parents[successor] = (state, rmask)
+                    if successor == full:
+                        return _unwind_mask(search, parents, properties)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    raise InfeasibleUpdateError(
+        f"no schedule satisfies {[p.value for p in properties]}"
+        + (f" within {max_rounds} rounds" if max_rounds is not None else "")
+    )
+
+
+def _search_mask_iddfs(
+    search: _MaskSearch,
+    properties: tuple[Property, ...],
+    max_rounds: int | None,
+) -> UpdateSchedule:
+    """Iterative-deepening mask search: big rounds first, greedy-bounded.
+
+    Depth-limited DFS enumerates each state's candidate rounds largest
+    first via ``sub = (sub - 1) & safe_mask``, so on permissive property
+    sets the maximal round is tried immediately and deep frontiers are
+    skipped.  The deepening limit is capped by the greedy schedule's
+    round count when one exists (the optimum can never exceed a witness),
+    else by the update count (every round flips at least one node).
+    Iterating limits from 1 upward keeps the first schedule found
+    minimal.
+    """
+    full = search.full
+    classes = search.classes
+    k = search.k
+    bound = k
+    if max_rounds is not None:
+        bound = min(bound, max_rounds)
+    elif search.round_filter is None:
+        # a greedy witness upper-bounds the optimum (only valid when no
+        # filter constrains the schedule space the witness lives in)
+        from repro.errors import UpdateModelError
+        from repro.core.combined import combined_greedy_schedule
+
+        try:
+            witness = combined_greedy_schedule(
+                search.problem, properties, include_cleanup=False
+            )
+        except (InfeasibleUpdateError, UpdateModelError):
+            pass
+        else:
+            bound = min(bound, witness.n_rounds)
+
+    #: canonical state -> highest remaining-round budget already proven
+    #: fruitless (persists across deepening iterations: larger budgets
+    #: re-open the state, smaller ones are settled)
+    failed: dict[int, int] = {}
+
+    def dfs(state: int, remaining: int) -> list[int] | None:
+        safe_mask = search.safe_singleton_mask(state)
+        if not safe_mask:
+            return None
+        if remaining == 1:
+            pending = full & ~state
+            if (
+                safe_mask == pending
+                and search.filter_ok(state, pending)
+                and search.round_ok(state, pending)
+            ):
+                return [pending]
+            return None
+        sub = safe_mask
+        while sub:
+            successor = state | sub
+            key = (
+                _canonicalize(successor, classes, k) if classes else successor
+            )
+            if failed.get(key, -1) < remaining - 1:
+                if search.filter_ok(state, sub) and search.round_ok(state, sub):
+                    if successor == full:
+                        return [sub]
+                    tail = dfs(successor, remaining - 1)
+                    if tail is not None:
+                        return [sub, *tail]
+                    failed[key] = remaining - 1
+            sub = (sub - 1) & safe_mask
+        return None
+
+    for limit in range(1, bound + 1):
+        rounds = dfs(0, limit)
+        if rounds is not None:
+            return UpdateSchedule(
+                search.problem,
+                [search.round_nodes(rmask) for rmask in rounds],
+                algorithm="optimal",
+                metadata={"properties": [p.value for p in properties]},
+            )
+    raise InfeasibleUpdateError(
+        f"no schedule satisfies {[p.value for p in properties]}"
+        + (f" within {max_rounds} rounds" if max_rounds is not None else "")
+    )
+
+
+def _unwind_mask(
+    search: _MaskSearch, parents: dict, properties: tuple[Property, ...]
+) -> UpdateSchedule:
+    """Rebuild the schedule from mask parent pointers.
+
+    With symmetry reduction active the stored chain lives in canonical
+    labels: each stored round is safe *from its canonical predecessor*.
+    The replay keeps a running automorphism ``sigma`` mapping the actual
+    state onto its canonical twin and plays every stored round through
+    ``sigma``'s inverse, which preserves safety verdict-for-verdict.
+    """
+    chain: list[int] = []
+    state = search.full
+    while parents[state] is not None:
+        previous, rmask = parents[state]
+        chain.append(rmask)
+        state = previous
+    chain.reverse()
+    classes, k = search.classes, search.k
+    if classes:
+        sigma = list(range(k))  # actual -> canonical
+        canonical_state = 0
+        rounds_masks: list[int] = []
+        for stored in chain:
+            inverse = [0] * k
+            for src, dst in enumerate(sigma):
+                inverse[dst] = src
+            rounds_masks.append(_apply_perm(inverse, stored))
+            merged = canonical_state | stored
+            tau = _canonical_perm(merged, classes, k)
+            canonical_state = _apply_perm(tau, merged)
+            sigma = [tau[dst] for dst in sigma]
+    else:
+        rounds_masks = chain
+    return UpdateSchedule(
+        search.problem,
+        [search.round_nodes(rmask) for rmask in rounds_masks],
+        algorithm="optimal",
+        metadata={"properties": [p.value for p in properties]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# the sets engine (cross-checked reference, byte-compatible with PR 1)
+# ---------------------------------------------------------------------------
+
+def _search_sets(
+    problem,
+    properties: tuple[Property, ...],
+    max_rounds: int | None,
+    round_filter,
+    use_oracle: bool,
+) -> UpdateSchedule:
+    """The original frozenset BFS, kept as the reference implementation."""
+    todo = frozenset(problem.required_updates)
     oracle = oracle_for(problem, properties) if use_oracle else None
     canonical = problem.canonical_updates
 
@@ -170,7 +532,7 @@ def minimal_round_schedule(
 
 
 def _unwind_schedule(
-    problem: UpdateProblem,
+    problem,
     parents: dict,
     state: frozenset,
     properties: tuple[Property, ...],
@@ -189,15 +551,103 @@ def _unwind_schedule(
     )
 
 
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+def minimal_round_schedule(
+    problem: UpdateProblem,
+    properties: tuple[Property, ...],
+    max_nodes: int = DEFAULT_MAX_NODES,
+    max_rounds: int | None = None,
+    round_filter=None,
+    use_oracle: bool = True,
+    engine: str | None = None,
+    search: str = "bfs",
+    monotone_prune: bool = True,
+) -> UpdateSchedule:
+    """Find a schedule with the *fewest* rounds satisfying ``properties``.
+
+    Only the required updates (installs and switches) are scheduled; stale
+    deletions can always be appended afterwards.  A problem with nothing
+    to schedule gets a valid zero-round schedule (so feasibility probes
+    report no-op instances as trivially feasible).  ``round_filter``
+    (called as ``round_filter(updated_set, round_set)``) can veto
+    transitions -- the hook behind the forced-order analysis in
+    :mod:`repro.core.analysis`.  Raises :class:`InfeasibleUpdateError`
+    when no schedule of any length exists (or none within ``max_rounds``),
+    and :class:`VerificationError` when the instance exceeds ``max_nodes``.
+
+    ``engine`` selects the state representation: ``"mask"`` (default when
+    the oracle is on) runs the integer-bitmask engine with monotonicity
+    memoization and symmetry reduction; ``"sets"`` runs the frozenset
+    reference BFS, with ``use_oracle=False`` further downgrading every
+    verdict to the from-scratch :func:`round_is_safe_reference` pipeline.
+    ``search`` picks ``"bfs"`` (canonical order, bit-identical to the
+    reference engine) or ``"iddfs"`` (mask engine only: big-rounds-first
+    iterative deepening bounded by the greedy witness -- the mode that
+    makes n=16+ instances complete).  ``monotone_prune=False`` disables
+    the sub-/super-set verdict memo, for cross-checking.
+    """
+    properties = tuple(properties)
+    todo = frozenset(problem.required_updates)
+    if not todo:
+        return UpdateSchedule(
+            problem,
+            [],
+            algorithm="optimal",
+            metadata={"properties": [p.value for p in properties]},
+        )
+    if len(todo) > max_nodes:
+        raise VerificationError(
+            f"instance has {len(todo)} updates; exact search capped at {max_nodes}"
+        )
+    if engine is None:
+        engine = "mask" if use_oracle else "sets"
+    if engine == "mask":
+        if not use_oracle:
+            raise VerificationError(
+                "the mask engine runs on the safety oracle; "
+                "use engine='sets' for the oracle-free reference path"
+            )
+        state = _MaskSearch(problem, properties, round_filter, monotone_prune)
+        if search == "bfs":
+            return _search_mask_bfs(state, properties, max_rounds)
+        if search == "iddfs":
+            return _search_mask_iddfs(state, properties, max_rounds)
+        raise VerificationError(f"unknown search mode {search!r}")
+    if engine != "sets":
+        raise VerificationError(f"unknown exact-search engine {engine!r}")
+    if search != "bfs":
+        raise VerificationError("the sets reference engine only supports BFS")
+    return _search_sets(problem, properties, max_rounds, round_filter, use_oracle)
+
+
 def minimal_round_count(
     problem: UpdateProblem,
     properties: tuple[Property, ...],
     max_nodes: int = DEFAULT_MAX_NODES,
     max_rounds: int | None = None,
+    round_filter=None,
+    use_oracle: bool = True,
+    engine: str | None = None,
+    search: str = "bfs",
 ) -> int:
-    """Round count of the optimal schedule (see :func:`minimal_round_schedule`)."""
+    """Round count of the optimal schedule (see :func:`minimal_round_schedule`).
+
+    All search knobs -- including ``round_filter`` and ``use_oracle`` --
+    are forwarded, so forced-order analyses and reference cross-checks
+    can use the counting shorthand too.
+    """
     return minimal_round_schedule(
-        problem, properties, max_nodes=max_nodes, max_rounds=max_rounds
+        problem,
+        properties,
+        max_nodes=max_nodes,
+        max_rounds=max_rounds,
+        round_filter=round_filter,
+        use_oracle=use_oracle,
+        engine=engine,
+        search=search,
     ).n_rounds
 
 
@@ -205,10 +655,28 @@ def is_feasible(
     problem: UpdateProblem,
     properties: tuple[Property, ...],
     max_nodes: int = DEFAULT_MAX_NODES,
+    max_rounds: int | None = None,
+    round_filter=None,
+    use_oracle: bool = True,
+    engine: str | None = None,
+    search: str = "bfs",
 ) -> bool:
-    """Does *any* round schedule satisfy ``properties``?"""
+    """Does *any* round schedule satisfy ``properties``?
+
+    Forwards the same knobs as :func:`minimal_round_schedule` (a no-op
+    instance is trivially feasible via its zero-round schedule).
+    """
     try:
-        minimal_round_schedule(problem, properties, max_nodes=max_nodes)
+        minimal_round_schedule(
+            problem,
+            properties,
+            max_nodes=max_nodes,
+            max_rounds=max_rounds,
+            round_filter=round_filter,
+            use_oracle=use_oracle,
+            engine=engine,
+            search=search,
+        )
     except InfeasibleUpdateError:
         return False
     return True

@@ -22,7 +22,11 @@ persistent union graph per problem**:
   pre-filter) are extended incrementally on edge insertions and recomputed
   lazily only when an edge removal actually touched them;
 * full ``(updated, round_nodes)`` verdicts are memoized per oracle with
-  hit/miss counters, published through :mod:`repro.metrics`.
+  hit/miss counters, published through :mod:`repro.metrics`; queries and
+  memo keys are plain-int bitmasks over the problem's canonical node↔bit
+  index (:attr:`~repro.core.problem.UpdateProblem.node_bit`), so the
+  exact search can probe millions of rounds without building a single
+  frozenset.
 
 The oracle returns **boolean verdicts only**.  Witness-producing
 verification (and the exhaustive configuration oracle) deliberately stays
@@ -114,12 +118,29 @@ class SafetyOracle:
         self._new_next = problem.new_next
         self._forwarding = problem.forwarding_nodes
 
+        # --- canonical node<->bit index (shared with the exact search) --
+        # Duck-typed problems without a node_bit table get the same
+        # convention derived on the fly: required updates on the low bits
+        # in canonical order, remaining forwarding nodes after them -- so
+        # int masks mean the same thing to every caller.
+        node_bit = getattr(problem, "node_bit", None)
+        if node_bit is None:
+            order = list(getattr(problem, "canonical_updates", ()))
+            order.extend(sorted(self._forwarding - set(order), key=repr))
+            node_bit = {node: index for index, node in enumerate(order)}
+        self._node_bit: dict[NodeId, int] = node_bit
+        inverse = sorted(node_bit.items(), key=lambda item: item[1])
+        self._bit_node: tuple = tuple(node for node, _ in inverse)
+        self._width = len(self._bit_node)
+
         # --- persistent union graph -----------------------------------
         self._state: dict[NodeId, int] = {n: _OLD for n in self._forwarding}
         self._succ: dict[NodeId, set] = {n: set() for n in problem.nodes}
         self._pred: dict[NodeId, set] = {n: set() for n in problem.nodes}
         self._new: set = set()
         self._flex: set = set()
+        self._new_mask = 0
+        self._flex_mask = 0
         self._drop: set = set()  # nodes whose current phase may drop packets
 
         # --- Pearce-Kelly topological order over the non-blocked edges
@@ -147,7 +168,7 @@ class SafetyOracle:
             else:
                 self._add_edge(node, target)
 
-        self._memo: dict[tuple[frozenset, frozenset], bool] = {}
+        self._memo: dict[int, bool] = {}
 
     # ------------------------------------------------------------------
     # per-node phase semantics
@@ -197,14 +218,19 @@ class SafetyOracle:
             self._drop.add(node)
         else:
             self._drop.discard(node)
+        bit = 1 << self._node_bit[node]
         if current == _NEW:
             self._new.discard(node)
+            self._new_mask &= ~bit
         elif current == _FLEX:
             self._flex.discard(node)
+            self._flex_mask &= ~bit
         if state == _NEW:
             self._new.add(node)
+            self._new_mask |= bit
         elif state == _FLEX:
             self._flex.add(node)
+            self._flex_mask |= bit
         self._state[node] = state
 
     # ------------------------------------------------------------------
@@ -395,7 +421,7 @@ class SafetyOracle:
     # ------------------------------------------------------------------
     def reset(self, updated=(), in_flight=()) -> None:
         """Morph the graph to the round base ``(updated, in_flight)``."""
-        self._morph(frozenset(updated), frozenset(in_flight))
+        self._morph(self.mask_of(updated), self.mask_of(in_flight))
 
     def apply(self, node: NodeId) -> None:
         """Make ``node`` flexible (its update is in flight this round)."""
@@ -435,19 +461,48 @@ class SafetyOracle:
     def in_flight_nodes(self) -> frozenset:
         return frozenset(self._flex)
 
-    def _morph(self, target_new: frozenset, target_flex: frozenset) -> None:
-        touched = self._new | self._flex | target_new | target_flex
-        forwarding = self._forwarding
+    def mask_of(self, nodes) -> int:
+        """Encode nodes as a bitmask (ints pass through unchanged).
+
+        Nodes outside the forwarding set (the destination, foreign ids)
+        are silently ignored, matching the set-based morph semantics.
+        """
+        if type(nodes) is int:
+            return nodes
+        bits = self._node_bit
+        mask = 0
+        for node in nodes:
+            bit = bits.get(node)
+            if bit is not None:
+                mask |= 1 << bit
+        return mask
+
+    def nodes_of(self, mask: int) -> frozenset:
+        """Decode a bitmask back into the frozenset of its nodes."""
+        order = self._bit_node
+        nodes = []
+        while mask:
+            low = mask & -mask
+            nodes.append(order[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(nodes)
+
+    def _morph(self, target_new: int, target_flex: int) -> None:
+        touched = (self._new_mask | self._flex_mask | target_new | target_flex)
         states = self._state
         set_state = self._set_state
-        for node in touched:
-            if node in target_flex:
+        order = self._bit_node
+        while touched:
+            low = touched & -touched
+            touched ^= low
+            node = order[low.bit_length() - 1]
+            if low & target_flex:
                 state = _FLEX
-            elif node in target_new:
+            elif low & target_new:
                 state = _NEW
             else:
                 state = _OLD
-            if node in forwarding and states[node] != state:
+            if states[node] != state:
                 set_state(node, state)
 
     # ------------------------------------------------------------------
@@ -474,15 +529,25 @@ class SafetyOracle:
         return True
 
     def round_is_safe(self, updated, round_nodes) -> bool:
-        """Memoized verdict for the round ``(updated, round_nodes)``."""
-        key = (frozenset(updated), frozenset(round_nodes))
+        """Memoized verdict for the round ``(updated, round_nodes)``.
+
+        Both arguments may be node iterables or plain-int bitmasks over
+        the canonical node↔bit index; the memo key is a single int either
+        way, so mask-native callers (the exact search) and set-based
+        callers share one verdict table.
+        """
+        updated_mask = updated if type(updated) is int else self.mask_of(updated)
+        round_mask = (
+            round_nodes if type(round_nodes) is int else self.mask_of(round_nodes)
+        )
+        key = (updated_mask << self._width) | round_mask
         memo = self._memo
         cached = memo.get(key)
         if cached is not None:
             self.stats.memo_hits += 1
             return cached
         self.stats.memo_misses += 1
-        self._morph(key[0], key[1])
+        self._morph(updated_mask, round_mask)
         verdict = self.current_round_safe()
         if len(memo) >= self.memo_limit:
             memo.clear()

@@ -222,3 +222,63 @@ class TestStatusCounters:
             assert json.dumps(
                 record, sort_keys=True, separators=(",", ":")
             ) == line
+
+
+class TestUnitCache:
+    """Per-worker work-unit cache: same cell identity -> same problem objects."""
+
+    def test_same_identity_reuses_the_unit(self):
+        from repro.campaign import runner as runner_mod
+
+        runner_mod._unit_cache().clear()
+        first = runner_mod._cached_unit("reversal", 6, {}, 1)
+        again = runner_mod._cached_unit("reversal", 6, {}, 1)
+        assert again is first
+        other = runner_mod._cached_unit("reversal", 7, {}, 1)
+        assert other is not first
+        runner_mod._unit_cache().clear()
+
+    def test_cache_is_bounded(self, monkeypatch):
+        from repro.campaign import runner as runner_mod
+
+        runner_mod._unit_cache().clear()
+        monkeypatch.setattr(runner_mod, "_UNIT_CACHE_LIMIT", 2)
+        units = [runner_mod._cached_unit("reversal", n, {}, 0) for n in (5, 6, 7)]
+        assert len(runner_mod._unit_cache()) <= 2
+        # the evicted first entry is rebuilt as a fresh object
+        rebuilt = runner_mod._cached_unit("reversal", 5, {}, 0)
+        assert rebuilt is not units[0]
+        runner_mod._unit_cache().clear()
+
+    def test_scheduler_sweep_shares_oracles_across_cells(self):
+        from repro.campaign import runner as runner_mod
+
+        runner_mod._unit_cache().clear()
+        spec = {
+            "name": "warm",
+            "families": [{"family": "reversal", "sizes": [8]}],
+            "schedulers": ["peacock", "greedy-slf"],
+            "verify": False,
+        }
+        records = []
+        for cell in CampaignSpec.from_dict(spec).expand():
+            record, _ = run_cell(cell.payload())
+            records.append(record)
+        assert all(record["status"] == "ok" for record in records)
+        # both scheduler cells ran against one shared problem object
+        assert len(runner_mod._unit_cache()) == 1
+        (unit,) = runner_mod._unit_cache().values()
+        from repro.core.oracle import _CACHE_ATTR
+
+        assert hasattr(unit.problems[0], _CACHE_ATTR)
+        # caches are thread-local: another thread sees a fresh one
+        import threading
+
+        seen = {}
+        thread = threading.Thread(
+            target=lambda: seen.setdefault("size", len(runner_mod._unit_cache()))
+        )
+        thread.start()
+        thread.join()
+        assert seen["size"] == 0
+        runner_mod._unit_cache().clear()

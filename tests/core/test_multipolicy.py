@@ -114,6 +114,56 @@ class TestJointScheduling:
             )
 
 
+class TestJointOracleEquivalence:
+    """The per-policy SafetyOracle path vs the from-scratch reference."""
+
+    def test_schedules_identical_on_shared_fixture(self, two_policies):
+        joint = JointUpdateProblem(two_policies)
+        for properties in (
+            (Property.RLF, Property.BLACKHOLE),
+            (Property.SLF, Property.BLACKHOLE),
+            (Property.BLACKHOLE,),
+        ):
+            fast = greedy_joint_schedule(
+                joint, properties=properties, use_oracle=True
+            )
+            slow = greedy_joint_schedule(
+                joint, properties=properties, use_oracle=False
+            )
+            assert fast.rounds == slow.rounds, properties
+
+    def test_schedules_identical_with_mixed_waypoints(self):
+        p1 = UpdateProblem([1, 3, 4, 6], [1, 3, 5, 6], waypoint=3, name="wp1")
+        p2 = UpdateProblem([2, 3, 4, 6], [2, 3, 5, 6], name="plain")
+        joint = JointUpdateProblem([p1, p2])
+        properties = (Property.WPE, Property.RLF, Property.BLACKHOLE)
+        fast = greedy_joint_schedule(joint, properties=properties, use_oracle=True)
+        slow = greedy_joint_schedule(joint, properties=properties, use_oracle=False)
+        assert fast.rounds == slow.rounds
+        assert verify_joint_schedule(joint, fast, properties).ok
+
+    def test_deadlock_raised_on_both_paths(self):
+        from repro.core.hardness import crossing_instance
+
+        joint = JointUpdateProblem([crossing_instance()])
+        for use_oracle in (True, False):
+            with pytest.raises(InfeasibleUpdateError):
+                greedy_joint_schedule(
+                    joint,
+                    properties=(Property.WPE, Property.SLF),
+                    use_oracle=use_oracle,
+                )
+
+    def test_policy_view_duck_surface(self, two_policies):
+        joint = JointUpdateProblem(two_policies)
+        view = PolicyView(joint, two_policies[0])
+        assert view.nodes == joint.nodes
+        assert view.old_next[3] == 4 and view.new_next[3] == 5
+        # nodes outside a policy's own paths still resolve via the joint
+        assert view.old_next[2] == 3
+        assert view.name.endswith(two_policies[0].name)
+
+
 class TestIsolatedMerge:
     def test_merge_rounds(self):
         p1 = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4], name="a")

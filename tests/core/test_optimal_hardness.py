@@ -76,10 +76,15 @@ class TestOptimal:
         with pytest.raises(VerificationError, match="capped"):
             minimal_round_schedule(problem, (Property.RLF,), max_nodes=5)
 
-    def test_nothing_to_schedule(self):
+    def test_nothing_to_schedule_is_a_noop(self):
+        # regression: a no-op instance used to raise InfeasibleUpdateError,
+        # making is_feasible wrongly report it as infeasible
         problem = UpdateProblem([1, 2, 3], [1, 2, 3])
-        with pytest.raises(InfeasibleUpdateError):
-            minimal_round_schedule(problem, (Property.RLF,))
+        schedule = minimal_round_schedule(problem, (Property.RLF,))
+        assert schedule.n_rounds == 0
+        assert schedule.scheduled_nodes() == frozenset()
+        assert minimal_round_count(problem, (Property.RLF,)) == 0
+        assert is_feasible(problem, (Property.RLF,))
 
     def test_round_is_safe_helper(self):
         problem = crossing_instance()

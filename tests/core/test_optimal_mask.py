@@ -1,0 +1,389 @@
+"""Equivalence suite: the bitmask exact-search engine vs the frozenset reference.
+
+The mask engine must be a pure re-encoding of the search: for the BFS
+mode it visits transitions in the same canonical order as the sets
+reference, so it has to return *bit-identical* round counts **and**
+schedules -- including with the monotonicity prune disabled, which pins
+that the sub-/super-set verdict memo never changes a verdict.  The IDDFS
+mode may pick a different optimal schedule but must agree on the round
+count and produce verified-safe rounds.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hardness import (
+    crossing_instance,
+    double_diamond_instance,
+    hardness_profile,
+    reversal_instance,
+    sawtooth_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.optimal import (
+    is_feasible,
+    minimal_round_count,
+    minimal_round_schedule,
+    round_is_safe_reference,
+    symmetry_classes,
+)
+from repro.core.problem import RuleState, UpdateKind, UpdateProblem
+from repro.core.verify import Property, verify_schedule
+from repro.errors import InfeasibleUpdateError, VerificationError
+from repro.topology.random_graphs import random_update_instance
+
+_RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALL_PROPERTY_SETS = [
+    (Property.SLF,),
+    (Property.RLF,),
+    (Property.BLACKHOLE,),
+    (Property.SLF, Property.BLACKHOLE),
+    (Property.RLF, Property.BLACKHOLE),
+]
+WAYPOINT_PROPERTY_SETS = ALL_PROPERTY_SETS + [
+    (Property.WPE,),
+    (Property.WPE, Property.BLACKHOLE),
+    (Property.WPE, Property.SLF),
+    (Property.WPE, Property.RLF),
+]
+
+
+@st.composite
+def instances(draw, with_waypoint: bool = False):
+    n = draw(st.integers(min_value=4, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    overlap = draw(st.floats(min_value=0.0, max_value=1.0))
+    old, new, waypoint = random_update_instance(
+        n, seed=seed, overlap=overlap, with_waypoint=with_waypoint
+    )
+    return UpdateProblem(old, new, waypoint=waypoint if with_waypoint else None)
+
+
+def _schedules_or_infeasible(problem, properties, **kwargs):
+    try:
+        return minimal_round_schedule(problem, properties, **kwargs)
+    except InfeasibleUpdateError:
+        return None
+
+
+class TestBitIdenticalEquivalence:
+    """Mask BFS vs the frozenset reference: identical schedules, always."""
+
+    @_RELAXED
+    @given(instances())
+    def test_matches_sets_reference(self, problem):
+        if len(problem.required_updates) > 7:
+            return
+        for properties in ALL_PROPERTY_SETS:
+            mask = _schedules_or_infeasible(problem, properties, engine="mask")
+            reference = _schedules_or_infeasible(
+                problem, properties, engine="sets", use_oracle=False
+            )
+            pr1 = _schedules_or_infeasible(
+                problem, properties, engine="sets", use_oracle=True
+            )
+            if mask is None:
+                assert reference is None and pr1 is None, properties
+                continue
+            assert reference is not None and pr1 is not None, properties
+            assert mask.rounds == reference.rounds == pr1.rounds, (
+                properties, problem.old_path, problem.new_path,
+            )
+
+    @_RELAXED
+    @given(instances(with_waypoint=True))
+    def test_matches_sets_reference_with_waypoint(self, problem):
+        if len(problem.required_updates) > 7:
+            return
+        for properties in WAYPOINT_PROPERTY_SETS:
+            mask = _schedules_or_infeasible(problem, properties, engine="mask")
+            reference = _schedules_or_infeasible(
+                problem, properties, engine="sets", use_oracle=False
+            )
+            if mask is None:
+                assert reference is None, properties
+                continue
+            assert reference is not None, properties
+            assert mask.rounds == reference.rounds, (
+                properties, problem.old_path, problem.new_path,
+            )
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: reversal_instance(7),
+            lambda: sawtooth_instance(9, 3),
+            crossing_instance,
+            double_diamond_instance,
+            lambda: waypoint_slalom_instance(2),
+        ],
+    )
+    def test_hardness_families_bit_identical(self, factory):
+        problem = factory()
+        sets_ = (
+            WAYPOINT_PROPERTY_SETS
+            if problem.waypoint is not None
+            else ALL_PROPERTY_SETS
+        )
+        for properties in sets_:
+            mask = _schedules_or_infeasible(problem, properties, engine="mask")
+            reference = _schedules_or_infeasible(
+                problem, properties, engine="sets", use_oracle=False
+            )
+            if mask is None:
+                assert reference is None, properties
+            else:
+                assert reference is not None, properties
+                assert mask.rounds == reference.rounds, properties
+
+
+class TestMonotonePruneInvariance:
+    """The sub-/super-set verdict memo must never change a verdict."""
+
+    @_RELAXED
+    @given(instances(with_waypoint=True))
+    def test_prune_off_is_bit_identical(self, problem):
+        if len(problem.required_updates) > 7:
+            return
+        for properties in (
+            (Property.RLF,),
+            (Property.WPE, Property.BLACKHOLE),
+        ):
+            pruned = _schedules_or_infeasible(
+                problem, properties, engine="mask", monotone_prune=True
+            )
+            bare = _schedules_or_infeasible(
+                problem, properties, engine="mask", monotone_prune=False
+            )
+            if pruned is None:
+                assert bare is None, properties
+            else:
+                assert bare is not None and pruned.rounds == bare.rounds, properties
+
+    def test_prune_off_on_hardness_families(self):
+        for factory in (lambda: reversal_instance(8), crossing_instance):
+            problem = factory()
+            sets_ = (
+                [(Property.WPE,), (Property.WPE, Property.SLF)]
+                if problem.waypoint is not None
+                else [(Property.SLF,), (Property.RLF,)]
+            )
+            for properties in sets_:
+                pruned = _schedules_or_infeasible(
+                    problem, properties, engine="mask", monotone_prune=True
+                )
+                bare = _schedules_or_infeasible(
+                    problem, properties, engine="mask", monotone_prune=False
+                )
+                if pruned is None:
+                    assert bare is None
+                else:
+                    assert bare is not None and pruned.rounds == bare.rounds
+
+
+class TestIddfs:
+    def test_round_counts_match_bfs(self):
+        for factory, properties in [
+            (lambda: reversal_instance(7), (Property.RLF,)),
+            (lambda: reversal_instance(6), (Property.SLF,)),
+            (crossing_instance, (Property.WPE,)),
+            (
+                double_diamond_instance,
+                (Property.WPE, Property.SLF, Property.BLACKHOLE),
+            ),
+        ]:
+            problem = factory()
+            bfs = minimal_round_schedule(problem, properties, search="bfs")
+            iddfs = minimal_round_schedule(problem, properties, search="iddfs")
+            assert iddfs.n_rounds == bfs.n_rounds
+            assert verify_schedule(iddfs, properties=properties).ok
+
+    @_RELAXED
+    @given(instances())
+    def test_random_counts_match_bfs(self, problem):
+        if len(problem.required_updates) > 6:
+            return
+        for properties in ((Property.RLF,), (Property.SLF,)):
+            bfs = _schedules_or_infeasible(problem, properties, search="bfs")
+            iddfs = _schedules_or_infeasible(problem, properties, search="iddfs")
+            if bfs is None:
+                assert iddfs is None
+            else:
+                assert iddfs is not None and iddfs.n_rounds == bfs.n_rounds
+
+    def test_iddfs_infeasibility_matches(self):
+        problem = crossing_instance()
+        with pytest.raises(InfeasibleUpdateError):
+            minimal_round_schedule(
+                problem, (Property.WPE, Property.SLF), search="iddfs"
+            )
+
+    def test_lifts_the_old_cap(self):
+        # n=14 (13 required updates) was beyond the seed-era default cap
+        # of 12; the iddfs mode settles it in well under a second
+        schedule = minimal_round_schedule(
+            reversal_instance(14), (Property.RLF,), search="iddfs"
+        )
+        assert schedule.n_rounds == 3
+        assert verify_schedule(schedule, properties=(Property.RLF,)).ok
+
+    def test_hardness_profile_uses_the_engine(self):
+        profile = hardness_profile(reversal_instance(14), (Property.RLF,))
+        assert profile["exact_rounds"] == 3
+        assert profile["greedy_rounds"] >= profile["exact_rounds"]
+        assert profile["gap"] == profile["greedy_rounds"] - 3
+        clash = hardness_profile(
+            crossing_instance(), (Property.WPE, Property.SLF)
+        )
+        assert clash["exact_rounds"] is None
+        assert not clash["capped"]
+
+    def test_hardness_profile_degrades_over_the_cap(self):
+        profile = hardness_profile(reversal_instance(25), (Property.RLF,))
+        assert profile["capped"]
+        assert profile["exact_rounds"] is None and profile["gap"] is None
+        assert profile["greedy_rounds"] is not None
+
+
+class TestSearchKnobValidation:
+    def test_mask_engine_requires_oracle(self):
+        with pytest.raises(VerificationError, match="oracle"):
+            minimal_round_schedule(
+                reversal_instance(6), (Property.SLF,),
+                engine="mask", use_oracle=False,
+            )
+
+    def test_unknown_engine_and_search_rejected(self):
+        problem = reversal_instance(6)
+        with pytest.raises(VerificationError):
+            minimal_round_schedule(problem, (Property.SLF,), engine="tarot")
+        with pytest.raises(VerificationError):
+            minimal_round_schedule(problem, (Property.SLF,), search="dfs?")
+        with pytest.raises(VerificationError):
+            minimal_round_schedule(
+                problem, (Property.SLF,), engine="sets", search="iddfs"
+            )
+
+
+class TestKwargThreading:
+    """minimal_round_count / is_feasible used to drop these kwargs."""
+
+    def test_round_filter_threads_through_count(self):
+        problem = reversal_instance(6)
+        sequential_only = lambda updated, round_nodes: len(round_nodes) == 1
+        free = minimal_round_count(problem, (Property.SLF,))
+        forced = minimal_round_count(
+            problem, (Property.SLF,), round_filter=sequential_only
+        )
+        assert free == 4
+        assert forced == len(problem.required_updates) == 5
+
+    def test_use_oracle_threads_through_count(self):
+        problem = crossing_instance()
+        assert minimal_round_count(problem, (Property.WPE,), use_oracle=False) == 3
+
+    def test_max_rounds_threads_through_is_feasible(self):
+        problem = reversal_instance(6)
+        assert is_feasible(problem, (Property.SLF,))
+        assert not is_feasible(problem, (Property.SLF,), max_rounds=2)
+
+    def test_round_filter_threads_through_is_feasible(self):
+        problem = crossing_instance()
+        # node 4 must move before node 2 under WPE; forbid that order
+        two_before_four = lambda updated, rn: not (
+            4 in rn and not (2 in updated or 2 in rn)
+        )
+        assert is_feasible(problem, (Property.WPE,))
+        assert not is_feasible(
+            problem, (Property.WPE,), round_filter=two_before_four
+        )
+
+
+class _TwinFlows:
+    """Duck-typed multi-source problem with interchangeable parallel sources.
+
+    Three roots ``s``, ``a``, ``b`` are rewired from ``u`` onto ``v``
+    while the shared tail segment ``u -> v`` reverses to ``v -> u``.
+    ``a`` and ``b`` share their old/new next hops and are nobody's next
+    hop, so swapping them is a problem automorphism: the exact search
+    may collapse their states.  (On a single path-pair UpdateProblem
+    this situation cannot arise -- every on-path node has a predecessor
+    -- which is exactly why this test needs a duck.)
+    """
+
+    name = "twin-flows"
+    waypoint = None
+
+    def __init__(self):
+        self.source = "s"
+        self.destination = "d"
+        self.old_next = {"s": "u", "a": "u", "b": "u", "u": "v", "v": "d"}
+        self.new_next = {"s": "v", "a": "v", "b": "v", "u": "d", "v": "u"}
+        self.forwarding_nodes = frozenset(self.old_next)
+        self.nodes = self.forwarding_nodes | {"d"}
+        self.required_updates = frozenset(
+            node
+            for node in self.forwarding_nodes
+            if self.old_next[node] != self.new_next[node]
+        )
+        self.canonical_updates = tuple(sorted(self.required_updates))
+        self.cleanup_updates = frozenset()
+        self.all_updates = self.required_updates
+        self.old_path = SimpleNamespace(nodes=("s", "u", "v", "d"))
+        self.new_path = SimpleNamespace(nodes=("s", "a", "b", "v", "u", "d"))
+
+    def kind(self, node):
+        if node in self.required_updates:
+            return UpdateKind.SWITCH
+        return UpdateKind.NOOP
+
+    def next_hop(self, node, state):
+        table = self.old_next if state is RuleState.OLD else self.new_next
+        return table.get(node)
+
+
+class TestSymmetryReduction:
+    def test_single_path_problems_have_trivial_classes(self):
+        for factory in (
+            lambda: reversal_instance(8),
+            crossing_instance,
+            double_diamond_instance,
+            lambda: waypoint_slalom_instance(3),
+        ):
+            assert symmetry_classes(factory()) == ()
+
+    def test_twin_flows_classes(self):
+        problem = _TwinFlows()
+        classes = symmetry_classes(problem)
+        assert len(classes) == 1
+        names = {problem.canonical_updates[bit] for bit in classes[0]}
+        assert names == {"a", "b"}
+
+    def test_twin_flows_search_matches_reference(self):
+        problem = _TwinFlows()
+        properties = (Property.SLF,)
+        reference = minimal_round_schedule(
+            problem, properties, engine="sets", use_oracle=False
+        )
+        mask = minimal_round_schedule(problem, properties, engine="mask")
+        iddfs = minimal_round_schedule(problem, properties, search="iddfs")
+        assert reference.n_rounds == mask.n_rounds == iddfs.n_rounds == 2
+        # the replayed schedule must be genuinely safe round by round
+        for schedule in (mask, iddfs):
+            updated: set = set()
+            for round_nodes in schedule.rounds:
+                assert round_is_safe_reference(
+                    problem, updated, set(round_nodes), properties
+                )
+                updated |= round_nodes
+            assert updated == set(problem.required_updates)
