@@ -1,18 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-oracle bench-exact bench campaign-smoke help
+.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke help
 
 help:
 	@echo "test           - tier-1 test suite (pytest -x -q)"
+	@echo "api-surface    - public-API snapshot check (tests/test_api_surface.py)"
 	@echo "bench-smoke    - ~40s perf subset; writes benchmarks/results/BENCH_oracle.json + BENCH_exact.json"
 	@echo "bench-oracle   - full oracle perf run (includes the minutes-long seed path at n=500)"
 	@echo "bench-exact    - full exact-search perf run (mask engine vs the PR 1 frozenset BFS)"
 	@echo "bench          - full pytest-benchmark experiment suite (E1-E10 tables)"
-	@echo "campaign-smoke - ~20s tiny campaign (208 cells, 7 family entries, 4 schedulers)"
+	@echo "campaign-smoke - ~20s tiny campaign (260 cells, 7 family entries, 5 schedulers)"
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+api-surface:
+	$(PYTHON) -m pytest tests/test_api_surface.py -q
 
 bench-smoke:
 	$(PYTHON) benchmarks/run_smoke.py

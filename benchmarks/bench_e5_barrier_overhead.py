@@ -10,14 +10,14 @@ update.
 
 import pytest
 
+from repro.core.api import schedule_update
 from repro.core.cost import CostModel, round_time_breakdown, schedule_update_time
-from repro.core.wayup import wayup_schedule
 from repro.netlab.figure1 import figure1_problem, run_figure1
 
 
 @pytest.mark.benchmark(group="e5-barriers")
 def test_e5_model_vs_simulation_rtt_sweep(benchmark, emit):
-    schedule = wayup_schedule(figure1_problem())
+    schedule = schedule_update(figure1_problem(), "wayup").schedule
     rows = []
     for one_way_ms in (0.5, 1.0, 2.0, 5.0, 10.0):
         result = run_figure1(
@@ -48,7 +48,7 @@ def test_e5_model_vs_simulation_rtt_sweep(benchmark, emit):
 
 @pytest.mark.benchmark(group="e5-barriers")
 def test_e5_round_decomposition(benchmark, emit):
-    schedule = wayup_schedule(figure1_problem())
+    schedule = schedule_update(figure1_problem(), "wayup").schedule
     cost = CostModel(rtt_ms=2.0, install_ms=0.3, barrier_ms=0.05)
     rows = [
         [row["round"], schedule.metadata["round_names"][row["round"]],

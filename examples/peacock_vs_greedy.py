@@ -11,30 +11,31 @@ Run: ``python examples/peacock_vs_greedy.py``
 """
 
 from repro.core import (
-    Property,
-    greedy_slf_schedule,
-    minimal_round_schedule,
-    peacock_schedule,
     reversal_instance,
     sawtooth_instance,
-    verify_schedule,
+    schedule_update,
 )
 from repro.metrics import ascii_table
 
 
 def main() -> None:
+    # every scheduler -- greedy and exact -- goes through the one
+    # registry envelope; verify=True checks each against its guarantee
     rows = []
     for n in (6, 8, 10, 14, 20, 30, 50):
         problem = reversal_instance(n)
-        rlf = peacock_schedule(problem, include_cleanup=False)
-        slf = greedy_slf_schedule(problem, include_cleanup=False)
-        assert verify_schedule(rlf, properties=(Property.RLF,)).ok
-        assert verify_schedule(slf, properties=(Property.SLF,)).ok
+        rlf = schedule_update(problem, "peacock", include_cleanup=False, verify=True)
+        slf = schedule_update(problem, "greedy-slf", include_cleanup=False, verify=True)
+        assert rlf.verified and slf.verified
         optimal_rlf = "-"
         optimal_slf = "-"
         if n <= 10:
-            optimal_rlf = minimal_round_schedule(problem, (Property.RLF,)).n_rounds
-            optimal_slf = minimal_round_schedule(problem, (Property.SLF,)).n_rounds
+            optimal_rlf = schedule_update(
+                problem, "optimal:rlf", include_cleanup=False
+            ).n_rounds
+            optimal_slf = schedule_update(
+                problem, "optimal:slf", include_cleanup=False
+            ).n_rounds
         rows.append([n, rlf.n_rounds, optimal_rlf, slf.n_rounds, optimal_slf])
     print(ascii_table(
         ["n", "peacock (RLF)", "optimal RLF", "greedy (SLF)", "optimal SLF"],
@@ -46,8 +47,8 @@ def main() -> None:
     rows = []
     for block in (2, 3, 4, 6, 8):
         problem = sawtooth_instance(18, block=block)
-        rlf = peacock_schedule(problem, include_cleanup=False)
-        slf = greedy_slf_schedule(problem, include_cleanup=False)
+        rlf = schedule_update(problem, "peacock", include_cleanup=False)
+        slf = schedule_update(problem, "greedy-slf", include_cleanup=False)
         rows.append([block, rlf.n_rounds, slf.n_rounds])
     print(ascii_table(
         ["tooth size", "peacock (RLF)", "greedy (SLF)"],

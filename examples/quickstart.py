@@ -12,12 +12,7 @@ Covers the library's three layers in ~60 lines:
 Run: ``python examples/quickstart.py``
 """
 
-from repro import (
-    UpdateProblem,
-    oneshot_schedule,
-    verify_schedule,
-    wayup_schedule,
-)
+from repro import UpdateProblem, schedule_update
 from repro.core import Property
 from repro.netlab import run_figure1
 
@@ -32,23 +27,21 @@ def main() -> None:
     )
     print(f"problem: {problem}")
 
-    # -- 2. schedule and verify ----------------------------------------------
-    schedule = wayup_schedule(problem)
+    # -- 2. schedule and verify (one envelope for every scheduler) -----------
+    result = schedule_update(problem, "wayup", verify=True)
+    schedule = result.schedule
     names = schedule.metadata["round_names"]
     for index, nodes in enumerate(schedule.rounds):
         print(f"  round {index} ({names[index]:>13}): update {sorted(nodes)}")
 
-    report = verify_schedule(
-        schedule, properties=(Property.WPE, Property.BLACKHOLE)
-    )
-    print(f"WayUp transiently secure: {report.ok}")
+    print(f"WayUp transiently secure: {result.verified}")
 
-    naive = oneshot_schedule(problem)
-    naive_report = verify_schedule(
-        naive, properties=(Property.WPE, Property.BLACKHOLE)
+    naive = schedule_update(
+        problem, "oneshot", verify=True,
+        properties=(Property.WPE, Property.BLACKHOLE),
     )
-    print(f"one-shot transiently secure: {naive_report.ok}")
-    for violation in naive_report.violations:
+    print(f"one-shot transiently secure: {naive.verified}")
+    for violation in naive.report.violations:
         print(f"  counterexample: {violation}")
 
     # -- 3. run the paper's demo on the simulated network ---------------------

@@ -9,12 +9,16 @@ lab).
 
 Quick taste::
 
-    from repro import UpdateProblem, wayup_schedule, verify_schedule
+    from repro import UpdateProblem, schedule_update
 
     problem = UpdateProblem([1, 2, 3, 4, 5], [1, 6, 3, 7, 5], waypoint=3)
-    schedule = wayup_schedule(problem)
-    assert verify_schedule(schedule).ok
+    result = schedule_update(problem, "wayup", verify=True)
+    assert result.verified
 
+Every scheduler resolves through one registry (``scheduler_names()``
+lists them; specs like ``"combined:wpe+rlf"`` or
+``"optimal:slf?search=bfs"`` parameterize them) and returns the same
+``ScheduleResult`` envelope across the CLI, REST, and campaign layers.
 See ``examples/quickstart.py`` for the end-to-end network-lab version.
 """
 
@@ -23,19 +27,27 @@ from repro.core import (
     JointUpdateProblem,
     Property,
     RuleState,
+    ScheduleRequest,
+    ScheduleResult,
+    Scheduler,
     TwoPhaseSchedule,
     UpdateKind,
     UpdateProblem,
     UpdateSchedule,
     VerificationReport,
     Violation,
+    execute_request,
     greedy_joint_schedule,
     greedy_slf_schedule,
     merge_isolated_schedules,
     minimal_round_schedule,
     oneshot_schedule,
     peacock_schedule,
+    register_scheduler,
+    resolve_scheduler,
+    schedule_update,
     schedule_update_time,
+    scheduler_names,
     sequential_schedule,
     trace_walk,
     two_phase_schedule,
@@ -55,6 +67,9 @@ __all__ = [
     "Property",
     "ReproError",
     "RuleState",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "Scheduler",
     "Topology",
     "TwoPhaseSchedule",
     "UpdateKind",
@@ -63,6 +78,7 @@ __all__ = [
     "VerificationReport",
     "Violation",
     "__version__",
+    "execute_request",
     "figure1",
     "figure1_paths",
     "greedy_joint_schedule",
@@ -71,7 +87,11 @@ __all__ = [
     "minimal_round_schedule",
     "oneshot_schedule",
     "peacock_schedule",
+    "register_scheduler",
+    "resolve_scheduler",
+    "schedule_update",
     "schedule_update_time",
+    "scheduler_names",
     "sequential_schedule",
     "trace_walk",
     "two_phase_schedule",

@@ -19,7 +19,6 @@ combinations, and per-cell timeouts (SIGALRM-based, worker-local) become
 
 from __future__ import annotations
 
-import contextlib
 import json
 import multiprocessing
 import signal
@@ -27,15 +26,16 @@ import threading
 import time
 from typing import Any, Callable, Mapping
 
-from repro.errors import InfeasibleUpdateError, ReproError
+from repro.errors import (
+    InfeasibleUpdateError,
+    ReproError,
+    ScheduleTimeoutError,
+)
 from repro.campaign.families import build_unit
 from repro.campaign.schedulers import parse_properties, resolve
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import RunStore
-
-
-class _CellTimeout(Exception):
-    """Internal: the per-cell wall-clock budget expired."""
+from repro.core.api import ScheduleRequest, execute_request, time_limit
 
 
 #: Per-worker cache of built work units, keyed by the seed-derived cell
@@ -72,35 +72,6 @@ def _cached_unit(family: str, size: int, params, seed: int):
     return unit
 
 
-@contextlib.contextmanager
-def _time_limit(seconds: float | None):
-    """Raise :class:`_CellTimeout` after ``seconds`` of wall clock.
-
-    Uses ``SIGALRM``, so it only arms on the main thread of a process with
-    alarm support (true for pool workers and the inline runner); elsewhere
-    -- e.g. a REST service thread -- the limit is silently skipped.
-    """
-    usable = (
-        seconds is not None
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def on_alarm(signum, frame):
-        raise _CellTimeout()
-
-    previous = signal.signal(signal.SIGALRM, on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
 def _truncate(text: str, limit: int = 300) -> str:
     return text if len(text) <= limit else text[: limit - 3] + "..."
 
@@ -127,7 +98,7 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
     started = time.perf_counter()
     try:
         scheduler = resolve(payload["scheduler"])
-        with _time_limit(payload.get("timeout_s")):
+        with time_limit(payload.get("timeout_s")):
             unit = _cached_unit(
                 payload["family"],
                 payload["size"],
@@ -149,38 +120,39 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
                 touches = 0
                 details: list[str] = []
                 verified: bool | None = None
+                # explicit spec properties win; otherwise the envelope
+                # checks the scheduler against what it promises (a
+                # guarantee-free baseline like oneshot verifies nothing)
                 explicit = (
                     parse_properties("+".join(payload["properties"]))
                     if payload["properties"]
                     else None
                 )
                 for problem in active:
-                    schedule, detail, guarantee = scheduler.run(
-                        problem, payload["cleanup"]
-                    )
+                    result = execute_request(ScheduleRequest(
+                        problem=problem,
+                        scheduler=scheduler.name,
+                        include_cleanup=payload["cleanup"],
+                        verify=payload["verify"],
+                        properties=explicit,
+                    ))
                     # isolated-batch merge semantics: rounds = max, touches = sum
-                    rounds = max(rounds, schedule.n_rounds)
-                    touches += schedule.total_updates()
-                    if detail:
-                        details.append(detail)
-                    if payload["verify"]:
-                        from repro.core.verify import verify_schedule
-
-                        # explicit spec properties win; otherwise check the
-                        # scheduler against what it promises (a guarantee-free
-                        # baseline like oneshot has nothing to verify)
-                        properties = explicit or guarantee
-                        if properties:
-                            ok = verify_schedule(
-                                schedule, properties=properties
-                            ).ok
-                            verified = ok if verified is None else verified and ok
+                    rounds = max(rounds, result.schedule.n_rounds)
+                    touches += result.schedule.total_updates()
+                    if result.detail:
+                        details.append(result.detail)
+                    if result.verified is not None:
+                        verified = (
+                            result.verified
+                            if verified is None
+                            else verified and result.verified
+                        )
                 record["rounds"] = rounds
                 record["touches"] = touches
                 record["verified"] = verified
                 if details:
                     record["detail"] = _truncate("; ".join(details))
-    except _CellTimeout:
+    except ScheduleTimeoutError:
         record["status"] = "timeout"
         record["detail"] = f"exceeded {payload.get('timeout_s')}s"
         record["rounds"] = record["touches"] = record["verified"] = None

@@ -1,158 +1,48 @@
-"""Scheduler registry: names a campaign spec can put in ``schedulers``.
+"""Campaign-facing bridge to the process-wide scheduler registry.
 
-Plain names select the :class:`SafetyOracle`-backed schedulers of
-:mod:`repro.core`; two parameterized forms exist:
-
-* ``combined:<p1+p2+...>`` -- :func:`combined_greedy_schedule` for the
-  given property set (e.g. ``combined:wpe+rlf+blackhole``); infeasible
-  combinations surface as the cell status ``infeasible``.
-* ``optimal:<p1+p2+...>`` -- the exact minimum-round search on the
-  bitmask engine's iterative-deepening mode (exponential worst case, but
-  greedy-bounded deepening ground-truths instances up to ~18 updates;
-  set a cell timeout for adversarial property combinations).
-
-``strongest`` runs :func:`strongest_feasible_schedule` and records the
-realized property ladder rung in the cell's ``detail`` field.
+A campaign spec's ``schedulers`` list holds registry spec strings
+(:mod:`repro.core.registry` grammar): plain names (``peacock``,
+``greedy-slf``, ``two-phase``, ``strongest``, ...), any registered alias
+(``greedy_slf``), and the parameterized forms ``combined:<p1+p2+...>`` /
+``optimal:<p1+p2+...>[?search=...]``.  This module no longer keeps its
+own name→callable map -- it translates registry errors into
+:class:`~repro.errors.CampaignSpecError` so spec validation keeps its
+error taxonomy, and re-exports the property-list parser the spec layer
+shares.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
-from repro.errors import CampaignSpecError
-from repro.core.combined import combined_greedy_schedule, strongest_feasible_schedule
-from repro.core.greedy_slf import greedy_slf_schedule
-from repro.core.oneshot import oneshot_schedule
-from repro.core.optimal import minimal_round_schedule
-from repro.core.peacock import peacock_schedule
-from repro.core.problem import UpdateProblem
-from repro.core.schedule import UpdateSchedule, sequential_schedule
+from repro.errors import CampaignSpecError, SchedulerSpecError
+from repro.core.registry import (
+    PROPERTY_BY_NAME,
+    Scheduler,
+    resolve_scheduler,
+    scheduler_names,
+)
+from repro.core.registry import parse_properties as _parse_properties
 from repro.core.verify import Property
-from repro.core.wayup import wayup_schedule
 
-PROPERTY_BY_NAME = {
-    "wpe": Property.WPE,
-    "slf": Property.SLF,
-    "rlf": Property.RLF,
-    "blackhole": Property.BLACKHOLE,
-}
+__all__ = [
+    "PROPERTY_BY_NAME",
+    "Scheduler",
+    "parse_properties",
+    "resolve",
+    "scheduler_names",
+]
 
 
 def parse_properties(text: str) -> tuple[Property, ...]:
-    """Parse ``"wpe+rlf+blackhole"`` into a Property tuple."""
-    names = [name for name in text.split("+") if name]
-    if not names:
-        raise CampaignSpecError("empty property list")
-    unknown = [name for name in names if name not in PROPERTY_BY_NAME]
-    if unknown:
-        raise CampaignSpecError(
-            f"unknown properties {unknown}; known: {sorted(PROPERTY_BY_NAME)}"
-        )
-    return tuple(PROPERTY_BY_NAME[name] for name in names)
+    """Parse ``"wpe+rlf+blackhole"`` into a Property tuple (campaign errors)."""
+    try:
+        return _parse_properties(text)
+    except SchedulerSpecError as exc:
+        raise CampaignSpecError(str(exc)) from None
 
 
-@dataclass(frozen=True)
-class SchedulerDef:
-    """A resolved scheduler.
-
-    ``run`` returns ``(schedule, detail-or-None, guarantee)``, where
-    ``guarantee`` is the property tuple the scheduler *promises* -- the
-    default verification target when the spec does not pin explicit
-    properties (an empty guarantee, e.g. the one-shot baseline, means
-    there is nothing to verify against).
-    """
-
-    name: str
-    run: Callable[
-        [UpdateProblem, bool],
-        tuple[UpdateSchedule, str | None, tuple[Property, ...]],
-    ]
-    requires_waypoint: bool = False
-
-
-def _plain(factory, guarantee: tuple[Property, ...]) -> Callable:
-    def run(problem: UpdateProblem, cleanup: bool):
-        return factory(problem, include_cleanup=cleanup), None, guarantee
-
-    return run
-
-
-def _sequential(problem: UpdateProblem, cleanup: bool):
-    order = [
-        node
-        for node in sorted(problem.all_updates, key=repr)
-        if cleanup or node in problem.required_updates
-    ]
-    return sequential_schedule(problem, order=order), None, ()
-
-
-def _strongest(problem: UpdateProblem, cleanup: bool):
-    schedule, properties = strongest_feasible_schedule(
-        problem, include_cleanup=cleanup
-    )
-    kept = "+".join(
-        name for name, prop in PROPERTY_BY_NAME.items() if prop in properties
-    )
-    return schedule, f"kept={kept}", tuple(properties)
-
-
-_STATIC: dict[str, SchedulerDef] = {
-    "peacock": SchedulerDef(
-        "peacock",
-        _plain(peacock_schedule, (Property.RLF, Property.BLACKHOLE)),
-    ),
-    "greedy-slf": SchedulerDef(
-        "greedy-slf",
-        _plain(greedy_slf_schedule, (Property.SLF, Property.BLACKHOLE)),
-    ),
-    "oneshot": SchedulerDef("oneshot", _plain(oneshot_schedule, ())),
-    "sequential": SchedulerDef("sequential", _sequential),
-    "wayup": SchedulerDef(
-        "wayup",
-        _plain(wayup_schedule, (Property.WPE, Property.BLACKHOLE)),
-        requires_waypoint=True,
-    ),
-    "strongest": SchedulerDef("strongest", _strongest),
-}
-
-
-def resolve(name: str) -> SchedulerDef:
-    """Look up (or construct, for parameterized forms) a scheduler by name."""
-    if name in _STATIC:
-        return _STATIC[name]
-    if ":" in name:
-        prefix, _, spec = name.partition(":")
-        if prefix == "combined":
-            properties = parse_properties(spec)
-
-            def run_combined(problem: UpdateProblem, cleanup: bool):
-                schedule = combined_greedy_schedule(
-                    problem, properties, include_cleanup=cleanup
-                )
-                return schedule, None, properties
-
-            return SchedulerDef(
-                name, run_combined, requires_waypoint=Property.WPE in properties
-            )
-        if prefix == "optimal":
-            properties = parse_properties(spec)
-
-            def run_optimal(problem: UpdateProblem, cleanup: bool):
-                # iterative deepening on the mask engine: bounded by the
-                # greedy witness, it ground-truths cells well past the
-                # old n=12 cap within a campaign cell timeout
-                schedule = minimal_round_schedule(
-                    problem, properties, search="iddfs"
-                )
-                if cleanup:
-                    schedule = schedule.with_cleanup()
-                return schedule, None, properties
-
-            return SchedulerDef(
-                name, run_optimal, requires_waypoint=Property.WPE in properties
-            )
-    raise CampaignSpecError(
-        f"unknown scheduler {name!r}; known: {sorted(_STATIC)} "
-        "plus 'combined:<props>' and 'optimal:<props>'"
-    )
+def resolve(name: str) -> Scheduler:
+    """Resolve a spec string against the registry (campaign errors)."""
+    try:
+        return resolve_scheduler(name)
+    except SchedulerSpecError as exc:
+        raise CampaignSpecError(str(exc)) from None

@@ -20,35 +20,25 @@ import json
 import sys
 from typing import Sequence
 
-from repro.core.greedy_slf import greedy_slf_schedule
+from repro.core.api import schedule_update
 from repro.core.hardness import (
     reversal_instance,
     sawtooth_instance,
     waypoint_slalom_instance,
 )
-from repro.core.oneshot import oneshot_schedule
-from repro.core.peacock import peacock_schedule
 from repro.core.problem import UpdateProblem
-from repro.core.verify import Property, verify_schedule
-from repro.core.wayup import wayup_schedule
+from repro.core.registry import PROPERTY_NAMES, parse_properties, scheduler_names
+from repro.core.schedule import UpdateSchedule
+from repro.core.verify import default_properties
 from repro.errors import ReproError
 from repro.metrics.report import ascii_table
 from repro.topology import builders
 from repro.topology.io import save_topology
 
-_PROPERTY_BY_NAME = {
-    "wpe": Property.WPE,
-    "slf": Property.SLF,
-    "rlf": Property.RLF,
-    "blackhole": Property.BLACKHOLE,
-}
 
-_SCHEDULERS = {
-    "wayup": wayup_schedule,
-    "peacock": peacock_schedule,
-    "greedy-slf": greedy_slf_schedule,
-    "oneshot": oneshot_schedule,
-}
+def available_schedulers() -> list[str]:
+    """The registry's scheduler names -- the CLI exposes exactly these."""
+    return scheduler_names()
 
 
 def _parse_path(text: str) -> list[int]:
@@ -112,17 +102,28 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         problem = UpdateProblem(
             _parse_path(args.old), _parse_path(args.new), waypoint=args.wp
         )
-    factory = _SCHEDULERS[args.algorithm]
-    schedule = factory(problem)
-    properties = tuple(
-        _PROPERTY_BY_NAME[name] for name in (args.properties or "").split(",") if name
-    ) or None
-    report = verify_schedule(schedule, properties=properties)
+    names = [name for name in (args.properties or "").split(",") if name]
+    properties = parse_properties("+".join(names)) if names else ()
+    # CLI policy: without --properties, verify against the default
+    # transient-security expectations of the problem (blackhole freedom,
+    # plus WPE when waypointed) -- the registry's guarantee is what the
+    # scheduler promises, the default is what the operator expects
+    result = schedule_update(
+        problem,
+        args.algorithm,
+        verify=True,
+        properties=properties or default_properties(problem),
+    )
+    schedule = result.schedule
+    report = result.report
     if args.json:
         print(
             json.dumps(
                 {
+                    "scheduler": result.scheduler,
                     "schedule": schedule.to_dict(),
+                    # short names, same vocabulary as --properties and REST
+                    "guarantee": [PROPERTY_NAMES[p] for p in result.guarantee],
                     "ok": report.ok,
                     "violations": [str(v) for v in report.violations],
                 },
@@ -138,15 +139,19 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         [index, names[index], ", ".join(map(str, sorted(nodes, key=repr)))]
         for index, nodes in enumerate(schedule.rounds)
     ]
-    print(ascii_table(["round", "name", "switches"], rows, title=args.algorithm))
+    print(ascii_table(["round", "name", "switches"], rows, title=result.scheduler))
     print(f"verified: {report.ok}")
     for violation in report.violations:
         print(f"  {violation}")
     if args.explain:
-        from repro.core.analysis import explain_schedule
+        if isinstance(schedule, UpdateSchedule):
+            from repro.core.analysis import explain_schedule
 
-        for line in explain_schedule(schedule):
-            print(line)
+            for line in explain_schedule(schedule):
+                print(line)
+        else:
+            print("(--explain only narrates round schedules, "
+                  "not two-phase plans)")
     return 0 if report.ok else 1
 
 
@@ -174,39 +179,34 @@ def cmd_rounds(args: argparse.Namespace) -> int:
         problem = family(n, derive_seed(args.seed, args.family, n, 0))
         if not problem.required_updates:
             rows.append([n, 0, 0, "-"])
-            records.append({"n": n, "peacock": 0, "greedy_slf": 0, "ok": True})
+            records.append({"n": n, "peacock": 0, "greedy-slf": 0, "ok": True})
             continue
         # each scheduler is verified against the guarantee it promises
-        schedules = {
-            "peacock": (
-                peacock_schedule(problem, include_cleanup=False),
-                (Property.RLF, Property.BLACKHOLE),
-            ),
-            "greedy_slf": (
-                greedy_slf_schedule(problem, include_cleanup=False),
-                (Property.SLF, Property.BLACKHOLE),
-            ),
-        }
+        # (the envelope's default); records key on the canonical
+        # registry name, whatever spelling the table uses
+        sweep = ["peacock", "greedy-slf"]
         if problem.waypoint is not None:
-            schedules["wayup"] = (
-                wayup_schedule(problem, include_cleanup=False),
-                (Property.WPE, Property.BLACKHOLE),
-            )
+            sweep.append("wayup")
+        results = {}
         record: dict = {"n": n}
+        ok = True
+        for spec in sweep:
+            result = schedule_update(
+                problem, spec, include_cleanup=False, verify=args.json
+            )
+            results[result.scheduler] = result
+            record[result.scheduler] = result.schedule.n_rounds
+            if result.verified is not None:
+                ok = ok and result.verified
         if args.json:
-            ok = True
-            for schedule, properties in schedules.values():
-                ok = ok and verify_schedule(schedule, properties=properties).ok
             record["ok"] = ok
             all_ok = all_ok and ok
-        for name, (schedule, _) in schedules.items():
-            record[name] = schedule.n_rounds
         records.append(record)
         rows.append([
             n,
-            schedules["peacock"][0].n_rounds,
-            schedules["greedy_slf"][0].n_rounds,
-            schedules["wayup"][0].n_rounds if "wayup" in schedules else "-",
+            results["peacock"].schedule.n_rounds,
+            results["greedy-slf"].schedule.n_rounds,
+            results["wayup"].schedule.n_rounds if "wayup" in results else "-",
         ])
     if args.json:
         print(json.dumps(records, indent=2, sort_keys=True))
@@ -380,7 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seed for randomized --family instances")
     p_sched.add_argument("--waypointed", action="store_true",
                          help="with --family random-update: add a waypoint")
-    p_sched.add_argument("--algorithm", default="wayup", choices=sorted(_SCHEDULERS))
+    p_sched.add_argument("--algorithm", default="wayup", metavar="SCHEDULER",
+                         help="registry scheduler spec: "
+                              f"{', '.join(available_schedulers())}; "
+                              "aliases and parameterized forms like "
+                              "'combined:wpe+rlf' or 'optimal:slf?search=bfs' "
+                              "resolve too")
     p_sched.add_argument("--properties", default=None,
                          help="comma-separated: wpe,slf,rlf,blackhole")
     p_sched.add_argument("--explain", action="store_true",

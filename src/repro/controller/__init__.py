@@ -16,11 +16,7 @@ from repro.controller.events import (
 )
 from repro.controller.monitoring import MonitoringApp, RttStats
 from repro.controller.ofctl_rest import OfctlRestApp, StatsFuture
-from repro.controller.ofctl_rest_own import (
-    SCHEDULERS,
-    TransientUpdateApp,
-    contract_properties,
-)
+from repro.controller.ofctl_rest_own import TransientUpdateApp
 from repro.controller.rules import (
     POLICY_PRIORITY,
     TAGGED_PRIORITY,
@@ -56,7 +52,6 @@ __all__ = [
     "RoundTiming",
     "RttStats",
     "RyuLikeApp",
-    "SCHEDULERS",
     "StatsFuture",
     "TAGGED_PRIORITY",
     "TraceEntry",
@@ -68,5 +63,4 @@ __all__ = [
     "compile_initial_rules",
     "compile_schedule",
     "compile_two_phase",
-    "contract_properties",
 ]

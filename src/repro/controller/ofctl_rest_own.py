@@ -25,9 +25,16 @@ from the topology, exactly like our scenario runner does.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Mapping
 
-from repro.errors import BadRequestError, ControllerError, UpdateModelError
+from repro.errors import (
+    BadRequestError,
+    ControllerError,
+    InfeasibleUpdateError,
+    SchedulerSpecError,
+    UpdateModelError,
+    VerificationError,
+)
 from repro.controller.app import RyuLikeApp
 from repro.controller.rules import (
     POLICY_PRIORITY,
@@ -36,42 +43,14 @@ from repro.controller.rules import (
     compile_two_phase,
 )
 from repro.controller.update_queue import UpdateExecution, UpdateQueueApp
-from repro.core.greedy_slf import greedy_slf_schedule
-from repro.core.oneshot import oneshot_schedule
-from repro.core.peacock import peacock_schedule
+from repro.core.api import execute_request, ScheduleRequest
 from repro.core.problem import UpdateProblem
-from repro.core.schedule import UpdateSchedule, sequential_schedule
-from repro.core.twophase import two_phase_schedule
-from repro.core.verify import Property, default_properties, verify_schedule
-from repro.core.wayup import wayup_schedule
+from repro.core.registry import REGISTRY, resolve_scheduler, scheduler_names
+from repro.core.twophase import TwoPhaseSchedule
+from repro.core.verify import default_properties
 from repro.openflow.flowmod import FlowMod
 from repro.openflow.match import Match
 from repro.topology.graph import Topology
-
-#: Scheduler registry: REST ``algorithm`` value -> schedule factory.
-SCHEDULERS: dict[str, Callable[[UpdateProblem], UpdateSchedule]] = {
-    "wayup": wayup_schedule,
-    "peacock": peacock_schedule,
-    "oneshot": oneshot_schedule,
-    "greedy-slf": greedy_slf_schedule,
-    "sequential": sequential_schedule,
-}
-
-
-def contract_properties(algorithm: str, problem: UpdateProblem) -> tuple[Property, ...]:
-    """What each scheduler *promises* -- the properties it is verified for.
-
-    WayUp guarantees waypoint enforcement; Peacock relaxed loop freedom;
-    the greedy comparator strong loop freedom.  One-shot and sequential
-    promise nothing beyond the default expectations, which is the point.
-    """
-    if algorithm == "wayup":
-        return (Property.WPE, Property.BLACKHOLE)
-    if algorithm == "peacock":
-        return (Property.RLF, Property.BLACKHOLE)
-    if algorithm == "greedy-slf":
-        return (Property.SLF, Property.BLACKHOLE)
-    return default_properties(problem)
 
 
 class TransientUpdateApp(RyuLikeApp):
@@ -106,39 +85,60 @@ class TransientUpdateApp(RyuLikeApp):
         )
         priority = int(body.get("priority", POLICY_PRIORITY))
 
-        if algorithm == "two-phase":
-            plan = two_phase_schedule(problem)
-            compiled = compile_two_phase(self.topology, plan, match, priority=priority)
+        try:
+            scheduler = resolve_scheduler(algorithm)
+        except SchedulerSpecError as exc:
+            # a known scheduler with a bad spec (missing ':<props>', bad
+            # param) gets the registry's precise message; a truly unknown
+            # name gets the listing
+            base = algorithm.partition("?")[0].partition(":")[0]
+            if base in REGISTRY:
+                raise BadRequestError(str(exc)) from None
+            raise BadRequestError(
+                f"unknown algorithm {algorithm!r}; "
+                f"pick one of {scheduler_names()}"
+            ) from None
+        try:
+            # verification policy of the update app: a scheduler is held to
+            # its own guarantee, guarantee-free baselines to the problem's
+            # default transient-security expectations (that gap is the demo)
+            result = execute_request(ScheduleRequest(
+                problem=problem,
+                scheduler=scheduler.name,
+                verify=self.verify,
+                properties=(
+                    None if scheduler.guarantee
+                    else default_properties(problem)
+                ),
+            ))
+        except (UpdateModelError, InfeasibleUpdateError, VerificationError) as exc:
+            raise BadRequestError(str(exc)) from exc
+        schedule = result.schedule
+        if isinstance(schedule, TwoPhaseSchedule):
+            compiled = compile_two_phase(
+                self.topology, schedule, match, priority=priority
+            )
             summary = {
-                "algorithm": algorithm,
+                "algorithm": result.scheduler,
                 "rounds": len(compiled.rounds),
                 "verified": "by-construction",
             }
         else:
-            try:
-                factory = SCHEDULERS[algorithm]
-            except KeyError:
-                raise BadRequestError(
-                    f"unknown algorithm {algorithm!r}; "
-                    f"pick one of {sorted(SCHEDULERS) + ['two-phase']}"
-                ) from None
-            try:
-                schedule = factory(problem)
-            except UpdateModelError as exc:
-                raise BadRequestError(str(exc)) from exc
             summary = {
-                "algorithm": algorithm,
+                "algorithm": result.scheduler,
                 "rounds": schedule.n_rounds,
                 "round_names": schedule.metadata.get("round_names"),
                 "schedule": schedule.to_dict(),
             }
-            if self.verify:
-                properties = contract_properties(algorithm, problem)
-                report = verify_schedule(schedule, properties=properties)
-                summary["verified"] = report.ok
-                summary["verified_properties"] = [p.value for p in properties]
-                if not report.ok:
-                    summary["violations"] = [str(v) for v in report.violations]
+            if result.report is not None:
+                summary["verified"] = result.report.ok
+                summary["verified_properties"] = [
+                    p.value for p in result.report.properties
+                ]
+                if not result.report.ok:
+                    summary["violations"] = [
+                        str(v) for v in result.report.violations
+                    ]
             compiled = compile_schedule(self.topology, schedule, match, priority=priority)
 
         self._apply_body_overrides(compiled, body)

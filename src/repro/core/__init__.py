@@ -1,12 +1,34 @@
 """The paper's contribution: transiently secure update scheduling.
 
+The **scheduler-service API** is the intended entry point: every
+scheduler in the family -- WayUp, Peacock, greedy SLF, combined,
+strongest, the exact minimum-round search, and the one-shot / sequential
+/ two-phase baselines -- lives behind one process-wide registry and one
+request/result envelope, shared by the CLI, REST, campaign, and
+benchmark layers::
+
+    from repro.core import schedule_update, scheduler_names
+
+    result = schedule_update(problem, "peacock", verify=True)
+    result.schedule      # the UpdateSchedule (TwoPhaseSchedule for "two-phase")
+    result.guarantee     # realized Property tuple
+    result.report        # VerificationReport or None
+    result.oracle_stats  # SafetyOracle counter deltas of this request
+
 Public surface:
 
+* scheduler service -- :func:`schedule_update`, :func:`execute_request`,
+  :class:`ScheduleRequest`, :class:`ScheduleResult`;
+  :func:`resolve_scheduler`, :func:`register_scheduler`,
+  :func:`scheduler_names`, :class:`Scheduler`, :data:`SCHEDULER_REGISTRY`
+  (spec grammar ``name[:<p1+p2>][?key=value]`` -- e.g. ``combined:wpe+rlf``,
+  ``optimal:slf?search=bfs``; aliases like ``greedy_slf`` resolve too)
 * model -- :class:`UpdateProblem`, :class:`UpdateSchedule`, :class:`RuleState`,
   :class:`UpdateKind`, :class:`Configuration`
 * verification -- :func:`verify_schedule`, :func:`verify_exhaustive`,
   :class:`Property`, :class:`VerificationReport`
-* schedulers -- :func:`wayup_schedule`, :func:`peacock_schedule`,
+* scheduler functions (the registry's building blocks, still callable
+  directly) -- :func:`wayup_schedule`, :func:`peacock_schedule`,
   :func:`greedy_slf_schedule`, :func:`oneshot_schedule`,
   :func:`two_phase_schedule`, :func:`minimal_round_schedule`,
   :func:`sequential_schedule`
@@ -16,6 +38,13 @@ Public surface:
 * analytic cost -- :class:`CostModel`, :func:`schedule_update_time`
 """
 
+from repro.core.api import (
+    ScheduleRequest,
+    ScheduleResult,
+    execute_request,
+    schedule_update,
+    time_limit,
+)
 from repro.core.analysis import (
     cannot_be_last,
     dependency_graph,
@@ -75,6 +104,15 @@ from repro.core.oracle import (
     oracle_for,
 )
 from repro.core.peacock import classify_forward_backward, peacock_schedule
+from repro.core.registry import REGISTRY as SCHEDULER_REGISTRY
+from repro.core.registry import (
+    Scheduler,
+    SchedulerDefinition,
+    SchedulerRun,
+    register_scheduler,
+    resolve_scheduler,
+    scheduler_names,
+)
 from repro.core.problem import (
     Configuration,
     RuleState,
@@ -136,6 +174,12 @@ __all__ = [
     "PolicyView",
     "Property",
     "RuleState",
+    "SCHEDULER_REGISTRY",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "Scheduler",
+    "SchedulerDefinition",
+    "SchedulerRun",
     "TwoPhaseSchedule",
     "UnionGraph",
     "UpdateKind",
@@ -160,6 +204,7 @@ __all__ = [
     "dependency_graph",
     "double_diamond_instance",
     "enumerate_round_configurations",
+    "execute_request",
     "explain_schedule",
     "functional_cycle",
     "functional_graph",
@@ -177,15 +222,20 @@ __all__ = [
     "oracle_for",
     "peacock_schedule",
     "phases_for_round",
+    "register_scheduler",
+    "resolve_scheduler",
     "reversal_instance",
     "round_is_safe",
     "round_is_safe_reference",
     "round_time_breakdown",
     "sawtooth_instance",
+    "schedule_update",
     "schedule_update_time",
+    "scheduler_names",
     "sequential_schedule",
     "strongest_feasible_schedule",
     "symmetry_classes",
+    "time_limit",
     "trace_walk",
     "two_phase_schedule",
     "two_phase_update_time",

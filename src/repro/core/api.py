@@ -1,0 +1,281 @@
+"""The uniform scheduling envelope: ``ScheduleRequest`` → ``ScheduleResult``.
+
+Every layer above :mod:`repro.core` -- CLI, REST, campaign engine,
+benchmarks, examples -- schedules through this module instead of calling
+individual scheduler functions with their private kwargs:
+
+* a :class:`ScheduleRequest` carries the problem, the registry spec string
+  (see :mod:`repro.core.registry` for the grammar), cleanup and verify
+  flags, an explicit verification target, an oracle-reuse handle, engine
+  params, and an optional wall-clock budget;
+* :func:`execute_request` resolves the scheduler, runs it under the
+  budget, verifies the produced schedule (against the explicit properties
+  if given, else against the scheduler's realized guarantee -- a
+  guarantee-free baseline has nothing to verify), and packages everything
+  into a :class:`ScheduleResult` with wall time and the
+  :class:`~repro.core.oracle.SafetyOracle` counter deltas observed across
+  the request (published through :mod:`repro.metrics`; the counters are
+  process-wide, so under concurrent requests the deltas interleave);
+* :func:`schedule_update` is the one-line convenience wrapper::
+
+      from repro import schedule_update
+
+      result = schedule_update(problem, "peacock", verify=True)
+      assert result.verified and result.schedule.n_rounds <= 4
+
+Two-phase plans ride the same envelope: their verification holds by
+construction (version isolation), so the report is synthesized rather
+than model-checked, and the ``schedule`` field carries the
+:class:`~repro.core.twophase.TwoPhaseSchedule` (which speaks the common
+rounds / ``total_updates`` / ``to_dict`` surface).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ScheduleTimeoutError, UpdateModelError, VerificationError
+from repro.core.oracle import SafetyOracle, aggregate_stats
+from repro.core.problem import UpdateProblem
+from repro.core.registry import PROPERTY_NAMES, Scheduler, resolve_scheduler
+from repro.core.twophase import TwoPhaseSchedule
+from repro.core.verify import Property, VerificationReport, verify_schedule
+
+
+@contextlib.contextmanager
+def time_limit(seconds: float | None):
+    """Raise :class:`ScheduleTimeoutError` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``, so it only arms on the main thread of a process with
+    alarm support (true for campaign pool workers and plain scripts);
+    elsewhere -- e.g. a REST service thread -- the limit is silently
+    skipped (the campaign runner routes timed cells into pool workers for
+    exactly this reason).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise ScheduleTimeoutError(f"exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One scheduling request against the registry.
+
+    ``properties`` is the explicit verification target; ``None`` means
+    "verify the scheduler against what it promises".  ``oracle`` lets a
+    caller thread a pre-warmed :class:`SafetyOracle` through (schedulers
+    that take no oracle ignore it via their registry adapter).  ``params``
+    are engine options merged over the spec string's ``?key=value`` ones.
+    """
+
+    problem: UpdateProblem
+    scheduler: str = "wayup"
+    include_cleanup: bool = True
+    verify: bool = False
+    properties: tuple[Property, ...] | None = None
+    oracle: SafetyOracle | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.properties is not None:
+            object.__setattr__(self, "properties", tuple(self.properties))
+        object.__setattr__(self, "params", dict(self.params))
+
+    def resolved(self) -> Scheduler:
+        return resolve_scheduler(self.scheduler)
+
+    def cache_key(self) -> tuple:
+        """Hashable request identity (canonical spec + options).
+
+        For callers that memoize results per request: alias spellings
+        collapse to one key.  The problem object is deliberately
+        excluded -- combine with your own instance identity (the
+        campaign runner keys its work-unit cache on the seed-derived
+        cell identity precisely so one cached problem, with its warm
+        oracles, serves every request swept over it).
+        """
+        properties = (
+            None
+            if self.properties is None
+            else tuple(prop.value for prop in self.properties)
+        )
+        return (
+            self.resolved().name,
+            self.include_cleanup,
+            self.verify,
+            properties,
+            json.dumps(dict(self.params), sort_keys=True, default=str),
+            self.timeout_s,
+        )
+
+
+@dataclass
+class ScheduleResult:
+    """The uniform result envelope.
+
+    ``scheduler`` is the canonical registry name actually used (aliases
+    and property lists normalized); ``guarantee`` the realized property
+    tuple; ``report`` the verification outcome (``None`` when nothing was
+    verified); ``oracle_stats`` the :class:`SafetyOracle` counter deltas
+    observed while the request ran (memo hits/misses, applies,
+    Pearce-Kelly work).  The counters are summed process-wide, so when
+    requests run concurrently their deltas interleave -- exact
+    per-request attribution holds only for serial callers.
+    """
+
+    scheduler: str
+    schedule: Any
+    guarantee: tuple[Property, ...]
+    detail: str | None
+    report: VerificationReport | None
+    wall_ms: float
+    oracle_stats: dict[str, int]
+    request: ScheduleRequest
+
+    @property
+    def verified(self) -> bool | None:
+        """Verification verdict: True/False, or None if nothing verified."""
+        return None if self.report is None else self.report.ok
+
+    @property
+    def n_rounds(self) -> int:
+        return self.schedule.n_rounds
+
+    def total_updates(self) -> int:
+        return self.schedule.total_updates()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible serialization (the REST / CLI wire format)."""
+        data: dict = {
+            "scheduler": self.scheduler,
+            "schedule": self.schedule.to_dict(),
+            "rounds": self.schedule.n_rounds,
+            "touches": self.schedule.total_updates(),
+            "guarantee": [PROPERTY_NAMES[p] for p in self.guarantee],
+            "detail": self.detail,
+            "verified": self.verified,
+            "wall_ms": round(self.wall_ms, 3),
+            "oracle": dict(self.oracle_stats),
+        }
+        if self.report is not None:
+            data["verified_properties"] = [
+                PROPERTY_NAMES[p] for p in self.report.properties
+            ]
+            data["verification_method"] = self.report.method
+            data["violations"] = [str(v) for v in self.report.violations]
+        return data
+
+
+def _verify_outcome(schedule, properties) -> VerificationReport | None:
+    """The envelope's verification half (``None`` = nothing to check)."""
+    if isinstance(schedule, TwoPhaseSchedule):
+        report = schedule.verification_report()
+        if not properties:
+            return report
+        missing = [p for p in properties if p not in report.properties]
+        if missing:
+            # only WPE-without-waypoint can be missing; mirror the
+            # model-checking path, which refuses that query outright
+            raise VerificationError(
+                f"cannot check {[p.value for p in missing]} on this plan"
+            )
+        return VerificationReport(
+            ok=True,
+            rounds_checked=report.rounds_checked,
+            properties=tuple(properties),
+            method=report.method,
+        )
+    if not properties:
+        return None
+    return verify_schedule(schedule, properties=tuple(properties))
+
+
+def execute_request(request: ScheduleRequest) -> ScheduleResult:
+    """Run one :class:`ScheduleRequest` through the registry.
+
+    Raises the scheduler's own errors untranslated --
+    :class:`~repro.errors.InfeasibleUpdateError`,
+    :class:`~repro.errors.UpdateModelError`,
+    :class:`~repro.errors.SchedulerSpecError`,
+    :class:`~repro.errors.ScheduleTimeoutError` -- so callers keep their
+    existing error taxonomy (the campaign runner maps them to cell
+    statuses, REST to HTTP codes).
+    """
+    scheduler = request.resolved()
+    problem = request.problem
+    if scheduler.requires_waypoint and problem.waypoint is None:
+        raise UpdateModelError(
+            f"scheduler {scheduler.name!r} requires a waypointed problem"
+        )
+    before = aggregate_stats().as_dict()
+    started = time.perf_counter()
+    with time_limit(request.timeout_s):
+        run = scheduler.run(
+            problem,
+            include_cleanup=request.include_cleanup,
+            oracle=request.oracle,
+            params=request.params,
+        )
+        report = (
+            _verify_outcome(run.schedule, request.properties or run.guarantee)
+            if request.verify
+            else None
+        )
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    after = aggregate_stats().as_dict()
+    oracle_stats = {
+        key: value - before.get(key, 0)
+        for key, value in after.items()
+        if value - before.get(key, 0) > 0
+    }
+    from repro.metrics import global_collector
+
+    collector = global_collector()
+    collector.record("api.schedule.wall_ms", wall_ms)
+    collector.record("api.schedule.rounds", run.schedule.n_rounds)
+    return ScheduleResult(
+        scheduler=scheduler.name,
+        schedule=run.schedule,
+        guarantee=run.guarantee,
+        detail=run.detail,
+        report=report,
+        wall_ms=wall_ms,
+        oracle_stats=oracle_stats,
+        request=request,
+    )
+
+
+def schedule_update(
+    problem: UpdateProblem, scheduler: str = "wayup", **options: Any
+) -> ScheduleResult:
+    """Convenience wrapper: build the request, execute it, return the result.
+
+    ``options`` are :class:`ScheduleRequest` fields (``include_cleanup``,
+    ``verify``, ``properties``, ``oracle``, ``params``, ``timeout_s``).
+    """
+    return execute_request(
+        ScheduleRequest(problem=problem, scheduler=scheduler, **options)
+    )

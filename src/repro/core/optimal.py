@@ -632,6 +632,7 @@ def minimal_round_count(
     use_oracle: bool = True,
     engine: str | None = None,
     search: str = "bfs",
+    monotone_prune: bool = True,
 ) -> int:
     """Round count of the optimal schedule (see :func:`minimal_round_schedule`).
 
@@ -648,6 +649,7 @@ def minimal_round_count(
         use_oracle=use_oracle,
         engine=engine,
         search=search,
+        monotone_prune=monotone_prune,
     ).n_rounds
 
 
@@ -660,6 +662,7 @@ def is_feasible(
     use_oracle: bool = True,
     engine: str | None = None,
     search: str = "bfs",
+    monotone_prune: bool = True,
 ) -> bool:
     """Does *any* round schedule satisfy ``properties``?
 
@@ -676,6 +679,7 @@ def is_feasible(
             use_oracle=use_oracle,
             engine=engine,
             search=search,
+            monotone_prune=monotone_prune,
         )
     except InfeasibleUpdateError:
         return False

@@ -18,7 +18,7 @@ simulated switches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import UpdateModelError
 from repro.core.problem import UpdateKind, UpdateProblem
@@ -48,11 +48,8 @@ class TwoPhaseSchedule:
 
     @property
     def n_rounds(self) -> int:
-        """Three barrier-separated phases (prepare / flip / collect)."""
-        rounds = 2  # prepare + flip are always needed
-        if self.garbage:
-            rounds += 1
-        return rounds
+        """Barrier-separated phases (prepare / flip / collect, empty skipped)."""
+        return len(self.rounds)
 
     @property
     def rounds(self) -> tuple[frozenset, ...]:
@@ -64,6 +61,54 @@ class TwoPhaseSchedule:
         if self.garbage:
             phases.append(self.garbage)
         return tuple(phases)
+
+    @property
+    def metadata(self) -> dict:
+        """Envelope parity with :class:`~repro.core.schedule.UpdateSchedule`."""
+        names: list[str] = []
+        if self.prepare:
+            names.append("prepare")
+        names.append("flip-ingress")
+        if self.garbage:
+            names.append("collect")
+        return {
+            "round_names": names,
+            "version_tags": [OLD_VERSION_TAG, NEW_VERSION_TAG],
+        }
+
+    def scheduled_nodes(self) -> frozenset:
+        return frozenset().union(*self.rounds)
+
+    def total_updates(self) -> int:
+        """FlowMod touches across phases (versioned adds + flip + deletes)."""
+        return sum(len(phase) for phase in self.rounds)
+
+    def includes_cleanup(self) -> bool:
+        """True when every stale old rule is garbage-collected at the end."""
+        return self.problem.cleanup_updates <= self.scheduled_nodes()
+
+    def without_cleanup(self) -> "TwoPhaseSchedule":
+        """The plan minus its garbage-collection phase (stale rules stay)."""
+        if not self.garbage:
+            return self
+        return replace(self, garbage=frozenset())
+
+    def with_cleanup(self) -> "TwoPhaseSchedule":
+        """Restore the garbage-collection phase (no-op if already present)."""
+        if self.garbage:
+            return self
+        return two_phase_schedule(self.problem)
+
+    def to_dict(self) -> dict:
+        """Wire format, shaped like ``UpdateSchedule.to_dict`` plus phases."""
+        return {
+            "algorithm": self.algorithm,
+            "rounds": [sorted(r, key=repr) for r in self.rounds],
+            "metadata": self.metadata,
+            "prepare": sorted(self.prepare, key=repr),
+            "ingress": self.ingress,
+            "garbage": sorted(self.garbage, key=repr),
+        }
 
     def rule_overhead(self) -> int:
         """Extra rules resident during the transition (vs in-place rounds)."""

@@ -29,6 +29,14 @@ class ScheduleError(ReproError):
     """A schedule is structurally invalid (node repeated, unknown node, ...)."""
 
 
+class SchedulerSpecError(ReproError):
+    """A scheduler spec string is unknown, malformed, or carries bad params."""
+
+
+class ScheduleTimeoutError(ReproError):
+    """A scheduling request exceeded its wall-clock budget."""
+
+
 class InfeasibleUpdateError(ReproError):
     """No schedule satisfying the requested properties exists."""
 

@@ -3,10 +3,13 @@
 from repro.rest.api import RestApi, RestResponse, Route, Router, build_rest_api
 from repro.rest.http_binding import RestHttpServer
 from repro.rest.schemas import (
+    SCHEDULE_BODY_KEYS,
     UPDATE_BODY_KEYS,
     UPDATE_EXTENSION_KEYS,
     UPDATE_HEADER_FIELDS,
+    schedule_result_to_body,
     validate_flowentry_body,
+    validate_schedule_body,
     validate_update_body,
 )
 
@@ -16,10 +19,13 @@ __all__ = [
     "RestResponse",
     "Route",
     "Router",
+    "SCHEDULE_BODY_KEYS",
     "UPDATE_BODY_KEYS",
     "UPDATE_EXTENSION_KEYS",
     "UPDATE_HEADER_FIELDS",
     "build_rest_api",
+    "schedule_result_to_body",
     "validate_flowentry_body",
+    "validate_schedule_body",
     "validate_update_body",
 ]

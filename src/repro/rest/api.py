@@ -17,6 +17,9 @@ Routes (mirroring ofctl_rest plus the paper's update endpoint):
 * ``POST /update``                    -- the paper's multi-round update
 * ``POST /update/<algorithm>``        -- ditto with the algorithm in the path
 * ``GET  /update/<update_id>``        -- execution status / timings
+* ``POST /schedule``                  -- scheduler service: compute + verify a
+  schedule through the registry envelope, without executing it
+* ``GET  /schedulers``                -- registry capability listing
 * ``POST /campaigns``                 -- run a declarative scenario campaign
 * ``GET  /campaigns``                 -- known campaign ids
 * ``GET  /campaigns/<campaign_id>``   -- campaign progress counters
@@ -32,15 +35,27 @@ from typing import Any, Callable
 
 from repro.errors import (
     BadRequestError,
+    InfeasibleUpdateError,
     NotFoundError,
     RestError,
+    SchedulerSpecError,
     UnknownDatapathError,
+    UpdateModelError,
+    VerificationError,
 )
 from repro.controller.ofctl_rest import OfctlRestApp
 from repro.controller.ofctl_rest_own import TransientUpdateApp
 from repro.controller.update_queue import UpdateQueueApp
+from repro.core.api import schedule_update
+from repro.core.problem import UpdateProblem
+from repro.core.registry import REGISTRY, parse_properties
 from repro.rest.campaigns import CampaignService
-from repro.rest.schemas import validate_flowentry_body, validate_update_body
+from repro.rest.schemas import (
+    schedule_result_to_body,
+    validate_flowentry_body,
+    validate_schedule_body,
+    validate_update_body,
+)
 
 
 @dataclass
@@ -190,6 +205,60 @@ def build_rest_api(
         _flush()
         return summary
 
+    def post_schedule(body: Any) -> dict:
+        """Scheduler-service endpoint: the envelope over the wire."""
+        validate_schedule_body(body)
+        try:
+            problem = UpdateProblem(
+                [int(v) for v in body["oldpath"]],
+                [int(v) for v in body["newpath"]],
+                waypoint=int(body["wp"])
+                if body.get("wp") is not None
+                else None,
+            )
+        except UpdateModelError as exc:
+            raise BadRequestError(f"bad schedule request: {exc}") from None
+        properties = None
+        if body.get("properties"):
+            try:
+                properties = parse_properties("+".join(body["properties"]))
+            except SchedulerSpecError as exc:
+                raise BadRequestError(str(exc)) from None
+        spec = body.get("scheduler", "wayup")
+        try:
+            result = schedule_update(
+                problem,
+                spec,
+                include_cleanup=body.get("cleanup", True),
+                verify=body.get("verify", True),
+                properties=properties,
+                params=body.get("params") or {},
+            )
+        except (SchedulerSpecError, UpdateModelError, VerificationError) as exc:
+            # bad spec, model precondition, or an engine refusing the
+            # request (size cap, unknown search mode, WPE sans waypoint)
+            raise BadRequestError(str(exc)) from None
+        except (TypeError, ValueError) as exc:
+            # client-supplied params of the wrong type reach the engines
+            # as kwargs -- that is a 400; with no params in play the same
+            # exceptions mean a library bug and must stay loud
+            if not body.get("params"):
+                raise
+            raise BadRequestError(f"bad engine params: {exc}") from None
+        except InfeasibleUpdateError as exc:
+            # a well-formed request whose instance admits no schedule is
+            # an answer, not a client error; the spec resolved before the
+            # scheduler ran, so the canonical name is available
+            return {"status": "infeasible",
+                    "scheduler": REGISTRY.resolve(spec).name,
+                    "detail": str(exc)}
+        data = schedule_result_to_body(result)
+        data["status"] = "ok"
+        return data
+
+    def get_schedulers(body: Any) -> list[dict]:
+        return REGISTRY.describe()
+
     def get_update(body: Any, update_id: str) -> dict:
         for execution in update_queue.completed:
             if execution.update_id == update_id:
@@ -233,6 +302,8 @@ def build_rest_api(
     router.register("POST", "/update", post_update)
     router.register("POST", "/update/<algorithm>", post_update)
     router.register("GET", "/update/<update_id>", get_update)
+    router.register("POST", "/schedule", post_schedule)
+    router.register("GET", "/schedulers", get_schedulers)
     router.register("POST", "/campaigns", post_campaign)
     router.register("GET", "/campaigns", get_campaigns)
     router.register("GET", "/campaigns/<campaign_id>", get_campaign)

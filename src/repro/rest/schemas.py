@@ -29,6 +29,15 @@ def _require_dict(body: Any, what: str) -> dict:
     return body
 
 
+def _require_wp(body: dict) -> None:
+    if "wp" in body and body["wp"] is not None:
+        wp = body["wp"]
+        if isinstance(wp, bool) or not isinstance(wp, (int, str)):
+            raise BadRequestError(f"'wp' must be a datapath id, got {wp!r}")
+        if isinstance(wp, str) and not wp.isdigit():
+            raise BadRequestError(f"'wp' must be numeric, got {wp!r}")
+
+
 def _require_path(body: dict, key: str) -> None:
     value = body.get(key)
     if not isinstance(value, (list, tuple)) or len(value) < 2:
@@ -50,12 +59,7 @@ def validate_update_body(body: Any) -> dict:
         if key not in body:
             raise BadRequestError(f"update request needs {key!r}")
         _require_path(body, key)
-    if "wp" in body and body["wp"] is not None:
-        wp = body["wp"]
-        if isinstance(wp, bool) or not isinstance(wp, (int, str)):
-            raise BadRequestError(f"'wp' must be a datapath id, got {wp!r}")
-        if isinstance(wp, str) and not wp.isdigit():
-            raise BadRequestError(f"'wp' must be numeric, got {wp!r}")
+    _require_wp(body)
     if "interval" in body:
         interval = body["interval"]
         if isinstance(interval, bool) or not isinstance(interval, (int, float)):
@@ -72,6 +76,53 @@ def validate_update_body(body: Any) -> dict:
                 if "dpid" not in entry:
                     raise BadRequestError(f"{key!r} entry without 'dpid': {entry!r}")
     return body
+
+
+#: Keys of the scheduler-service request (``POST /schedule``).
+SCHEDULE_BODY_KEYS = (
+    "oldpath", "newpath", "wp", "scheduler", "properties",
+    "cleanup", "verify", "params",
+)
+
+
+def validate_schedule_body(body: Any) -> dict:
+    """Validate a ``POST /schedule`` request (the envelope's wire form).
+
+    The path/waypoint part follows the paper's update format; the rest
+    maps one-to-one onto :class:`repro.core.api.ScheduleRequest` fields:
+    ``scheduler`` (registry spec string), ``properties`` (explicit
+    verification target), ``cleanup``/``verify`` flags, and ``params``
+    (engine options).  Scheduler-spec validity itself is checked by the
+    registry at execution time.
+    """
+    body = _require_dict(body, "schedule request")
+    unknown = set(body) - set(SCHEDULE_BODY_KEYS)
+    if unknown:
+        raise BadRequestError(f"unknown schedule request keys: {sorted(unknown)}")
+    for key in ("oldpath", "newpath"):
+        if key not in body:
+            raise BadRequestError(f"schedule request needs {key!r}")
+        _require_path(body, key)
+    _require_wp(body)
+    if "scheduler" in body and not isinstance(body["scheduler"], str):
+        raise BadRequestError("'scheduler' must be a registry spec string")
+    if "properties" in body and body["properties"] is not None:
+        properties = body["properties"]
+        if not isinstance(properties, list) or not all(
+            isinstance(p, str) for p in properties
+        ):
+            raise BadRequestError("'properties' must be a list of property names")
+    for key in ("cleanup", "verify"):
+        if key in body and not isinstance(body[key], bool):
+            raise BadRequestError(f"{key!r} must be a boolean")
+    if "params" in body and not isinstance(body["params"], dict):
+        raise BadRequestError("'params' must be an object of engine options")
+    return body
+
+
+def schedule_result_to_body(result: Any) -> dict:
+    """Serialize a :class:`repro.core.api.ScheduleResult` for the wire."""
+    return result.to_dict()
 
 
 def validate_flowentry_body(body: Any) -> dict:

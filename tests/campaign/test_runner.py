@@ -112,6 +112,27 @@ class TestRunCell:
         assert not thread.is_alive()
         assert outcome["status"]["by_status"]["timeout"] == 1
 
+    def test_two_phase_baseline_sweeps(self):
+        # the registry made the two-phase plan sweepable: rounds/touches
+        # surface through the envelope, verification is by construction
+        spec = {
+            "name": "2pc",
+            "families": [{"family": "reversal", "sizes": [8]}],
+            "schedulers": ["two-phase"],
+            "verify": True,
+        }
+        record, _ = run_cell(_payload(spec, "reversal-n8-r0@two-phase"))
+        assert record["status"] == "ok"
+        assert record["rounds"] == 2  # prepare + flip (reversals need no GC)
+        assert record["touches"] >= 7
+        assert record["verified"] is True
+
+    def test_scheduler_alias_resolves_in_cells(self):
+        payload = _payload(SWEEP, "reversal-n6-r0@peacock")
+        payload["scheduler"] = "greedy_slf"
+        record, _ = run_cell(payload)
+        assert record["status"] == "ok"
+
     def test_noop_instance(self):
         spec = {
             "name": "noop",

@@ -85,6 +85,51 @@ class TestScheduleCommand:
             outputs.append(capsys.readouterr().out)
         assert outputs[0] == outputs[1]
 
+    def test_alias_resolves_to_canonical_name(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3,4", "--new", "1,3,2,4",
+            "--algorithm", "greedy_slf", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scheduler"] == "greedy-slf"
+        assert data["schedule"]["algorithm"] == "greedy-slf"
+
+    def test_parameterized_registry_spec_accepted(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3,4", "--new", "1,3,2,4",
+            "--algorithm", "combined:slf+blackhole", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scheduler"] == "combined:slf+blackhole"
+
+    def test_two_phase_through_registry(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3,4,5", "--new", "1,4,3,2,5",
+            "--wp", "3", "--algorithm", "two-phase",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flip-ingress" in out
+        assert "verified: True" in out
+
+    def test_unknown_scheduler_is_a_clean_error(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3", "--new", "1,4,3",
+            "--algorithm", "magic",
+        ])
+        assert code == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_unknown_property_is_a_clean_error(self, capsys):
+        code = main([
+            "schedule", "--old", "1,2,3", "--new", "1,4,3",
+            "--algorithm", "peacock", "--properties", "bogus",
+        ])
+        assert code == 2
+        assert "unknown properties" in capsys.readouterr().err
+
     def test_family_and_paths_conflict(self):
         with pytest.raises(SystemExit):
             main(["schedule", "--family", "reversal", "--old", "1,2",
@@ -119,6 +164,9 @@ class TestRoundsCommand:
         assert len(records) == 3
         assert all(record["ok"] for record in records)
         assert all("wayup" in record for record in records)
+        # records key on the canonical registry spelling
+        assert all("greedy-slf" in record for record in records)
+        assert all("greedy_slf" not in record for record in records)
 
     def test_random_family_seed_changes_table(self, capsys):
         outputs = []

@@ -3,13 +3,9 @@
 import pytest
 
 from repro.controller.ofctl_rest import OfctlRestApp
-from repro.controller.ofctl_rest_own import (
-    SCHEDULERS,
-    TransientUpdateApp,
-    contract_properties,
-)
+from repro.controller.ofctl_rest_own import TransientUpdateApp
 from repro.controller.update_queue import UpdateQueueApp
-from repro.core.problem import UpdateProblem
+from repro.core.registry import REGISTRY, resolve_scheduler
 from repro.core.verify import Property
 from repro.errors import BadRequestError
 from repro.netlab.figure1 import figure1_problem
@@ -105,10 +101,16 @@ class TestTransientUpdateApp:
 
     def test_all_registered_algorithms_run(self, rig):
         network, queue, _, update_app = rig
-        for algorithm in sorted(SCHEDULERS):
+        for algorithm in REGISTRY.plain_names():
             summary = update_app.submit_update(_update_request(algorithm=algorithm))
             network.flush()
             assert queue.find_completed(summary["update_id"]).done, algorithm
+
+    def test_alias_resolves_to_canonical_name(self, rig):
+        network, _, _, update_app = rig
+        summary = update_app.submit_update(_update_request(algorithm="greedy_slf"))
+        network.flush()
+        assert summary["algorithm"] == "greedy-slf"
 
     def test_two_phase_runs(self, rig):
         network, queue, _, update_app = rig
@@ -121,6 +123,13 @@ class TestTransientUpdateApp:
         _, _, _, update_app = rig
         with pytest.raises(BadRequestError, match="unknown algorithm"):
             update_app.submit_update(_update_request(algorithm="magic"))
+
+    def test_known_scheduler_bad_spec_keeps_precise_message(self, rig):
+        _, _, _, update_app = rig
+        with pytest.raises(BadRequestError, match="needs a property list"):
+            update_app.submit_update(_update_request(algorithm="optimal"))
+        with pytest.raises(BadRequestError, match="does not accept params"):
+            update_app.submit_update(_update_request(algorithm="peacock?bogus=1"))
 
     def test_missing_paths_rejected(self, rig):
         _, _, _, update_app = rig
@@ -171,10 +180,8 @@ class TestTransientUpdateApp:
 
 
 class TestContracts:
-    def test_contract_properties(self):
-        problem = figure1_problem()
-        assert Property.WPE in contract_properties("wayup", problem)
-        assert Property.RLF in contract_properties("peacock", problem)
-        assert Property.SLF in contract_properties("greedy-slf", problem)
-        plain = UpdateProblem([1, 2, 3], [1, 4, 3])
-        assert Property.WPE not in contract_properties("oneshot", plain)
+    def test_registry_guarantees(self):
+        assert Property.WPE in resolve_scheduler("wayup").guarantee
+        assert Property.RLF in resolve_scheduler("peacock").guarantee
+        assert Property.SLF in resolve_scheduler("greedy-slf").guarantee
+        assert resolve_scheduler("oneshot").guarantee == ()

@@ -1,0 +1,268 @@
+"""Registry + envelope parity: every scheduler, every layer, one surface.
+
+The contract pinned here:
+
+* every registered scheduler runs on a reference instance set through the
+  ``ScheduleRequest`` → ``ScheduleResult`` envelope;
+* ``include_cleanup`` is honored by every scheduler;
+* the guarantee a scheduler declares (or realizes) actually holds --
+  ``verify_schedule`` passes on the produced schedule;
+* CLI, REST, and campaign all resolve the *identical* scheduler list
+  (the old per-layer name→callable dicts are gone);
+* aliases and parameterized specs normalize to canonical names.
+"""
+
+import pytest
+
+from repro.core import (
+    Property,
+    ScheduleRequest,
+    SCHEDULER_REGISTRY,
+    TwoPhaseSchedule,
+    UpdateProblem,
+    execute_request,
+    schedule_update,
+    scheduler_names,
+    verify_schedule,
+)
+from repro.core.hardness import reversal_instance, waypoint_slalom_instance
+from repro.core.registry import (
+    SchedulerDefinition,
+    SchedulerRun,
+    register_scheduler,
+    resolve_scheduler,
+    split_spec,
+)
+from repro.errors import (
+    InfeasibleUpdateError,
+    SchedulerSpecError,
+    UpdateModelError,
+)
+
+
+def reference_problems():
+    """Small instances covering waypointed / plain / cleanup-heavy shapes."""
+    return [
+        reversal_instance(6),
+        waypoint_slalom_instance(2),
+        UpdateProblem([1, 2, 3, 4, 5], [1, 6, 3, 7, 5], waypoint=3),
+        UpdateProblem([1, 2, 3, 4], [1, 5, 6, 4]),
+    ]
+
+
+def sweepable_specs():
+    """Every plain registry name plus parameterized samples."""
+    return SCHEDULER_REGISTRY.plain_names() + [
+        "combined:rlf+blackhole",
+        "combined:slf+blackhole",
+        "optimal:slf",
+        "optimal:rlf?search=bfs",
+    ]
+
+
+class TestRegistryParity:
+    @pytest.mark.parametrize("spec", sweepable_specs())
+    def test_every_scheduler_runs_and_keeps_its_guarantee(self, spec):
+        scheduler = resolve_scheduler(spec)
+        ran = 0
+        for problem in reference_problems():
+            if scheduler.requires_waypoint and problem.waypoint is None:
+                with pytest.raises(UpdateModelError):
+                    schedule_update(problem, spec)
+                continue
+            try:
+                result = execute_request(
+                    ScheduleRequest(problem=problem, scheduler=spec, verify=True)
+                )
+            except InfeasibleUpdateError:
+                continue  # a legitimate outcome for combined property sets
+            ran += 1
+            assert result.scheduler == scheduler.name
+            assert result.schedule.n_rounds >= 1
+            assert result.schedule.total_updates() >= 1
+            # the realized guarantee must actually hold
+            if result.guarantee and not isinstance(
+                result.schedule, TwoPhaseSchedule
+            ):
+                assert verify_schedule(
+                    result.schedule, properties=result.guarantee
+                ).ok, spec
+            if result.guarantee:
+                assert result.verified is True, spec
+        assert ran > 0, f"{spec} never ran on the reference set"
+
+    @pytest.mark.parametrize("spec", sweepable_specs())
+    def test_include_cleanup_is_honored(self, spec):
+        problem = UpdateProblem([1, 2, 3, 4, 5], [1, 6, 3, 7, 5], waypoint=3)
+        assert problem.cleanup_updates, "reference problem must need cleanup"
+        scheduler = resolve_scheduler(spec)
+        if scheduler.requires_waypoint and problem.waypoint is None:
+            pytest.skip("needs waypoint")
+        try:
+            kept = schedule_update(problem, spec, include_cleanup=True)
+            dropped = schedule_update(problem, spec, include_cleanup=False)
+        except InfeasibleUpdateError:
+            pytest.skip("infeasible on the cleanup reference instance")
+        assert kept.schedule.includes_cleanup()
+        assert not dropped.schedule.includes_cleanup()
+
+    def test_layers_resolve_identical_scheduler_lists(self):
+        from repro.campaign.schedulers import resolve as campaign_resolve
+        from repro.cli.main import available_schedulers
+        from repro.core.registry import REGISTRY
+
+        names = scheduler_names()
+        # CLI
+        assert available_schedulers() == names
+        # campaign: every registry spec resolves to the same object
+        for spec in sweepable_specs():
+            assert campaign_resolve(spec) is resolve_scheduler(spec)
+        # REST: capability listing covers exactly the registry
+        assert [row["name"] for row in REGISTRY.describe()] == names
+
+    def test_aliases_resolve_to_one_canonical_spelling(self):
+        assert resolve_scheduler("greedy_slf") is resolve_scheduler("greedy-slf")
+        assert resolve_scheduler("two_phase") is resolve_scheduler("two-phase")
+        assert resolve_scheduler("twophase").name == "two-phase"
+        assert resolve_scheduler("minimal:slf").name == "optimal:slf"
+
+    def test_reference_engine_specs_stay_reachable(self):
+        # the documented PR 1 / PR 3 reference modes must not be broken
+        # by the iddfs default
+        problem = reversal_instance(6)
+        baseline = schedule_update(problem, "optimal:rlf", include_cleanup=False)
+        for spec in ("optimal:rlf?engine=sets", "optimal:rlf?use_oracle=false",
+                     "optimal:rlf?search=bfs"):
+            result = schedule_update(problem, spec, include_cleanup=False)
+            assert result.n_rounds == baseline.n_rounds, spec
+
+    def test_property_lists_normalize_to_one_spelling(self):
+        a = resolve_scheduler("combined:rlf+wpe")
+        b = resolve_scheduler("combined:wpe+rlf")
+        c = resolve_scheduler("combined:wpe+wpe+rlf")
+        assert a is b is c
+        assert a.name == "combined:wpe+rlf"
+        assert a.guarantee == (Property.WPE, Property.RLF)
+
+    def test_canonical_name_normalizes_params(self):
+        scheduler = resolve_scheduler("optimal:slf?use_oracle=true&search=bfs")
+        assert scheduler.name == "optimal:slf?search=bfs&use_oracle=true"
+        assert scheduler.params == {"search": "bfs", "use_oracle": True}
+
+    def test_spec_grammar_errors(self):
+        with pytest.raises(SchedulerSpecError):
+            resolve_scheduler("no-such-scheduler")
+        with pytest.raises(SchedulerSpecError):
+            resolve_scheduler("optimal:")  # empty property list
+        with pytest.raises(SchedulerSpecError):
+            resolve_scheduler("optimal:bogus")
+        with pytest.raises(SchedulerSpecError):
+            resolve_scheduler("peacock:slf")  # not parameterized
+        with pytest.raises(SchedulerSpecError):
+            resolve_scheduler("optimal:slf?nonsense=1")  # unknown param
+        with pytest.raises(SchedulerSpecError):
+            resolve_scheduler("optimal:slf?search")  # not key=value
+
+    def test_split_spec_coercion(self):
+        name, props, params = split_spec("optimal:slf+rlf?a=true&b=3&c=x")
+        assert name == "optimal" and props == "slf+rlf"
+        assert params == {"a": True, "b": 3, "c": "x"}
+
+
+class TestEnvelope:
+    def test_result_carries_provenance(self):
+        result = schedule_update(reversal_instance(8), "greedy-slf")
+        assert result.wall_ms >= 0.0
+        assert result.oracle_stats.get("applies", 0) > 0
+
+    def test_cache_key_is_canonical_and_hashable(self):
+        problem = reversal_instance(6)
+        a = ScheduleRequest(problem=problem, scheduler="greedy_slf")
+        b = ScheduleRequest(problem=problem, scheduler="greedy-slf")
+        assert a.cache_key() == b.cache_key()
+        assert hash(a.cache_key())
+        c = ScheduleRequest(problem=problem, scheduler="greedy-slf",
+                            include_cleanup=False)
+        assert c.cache_key() != a.cache_key()
+
+    def test_explicit_properties_override_guarantee(self):
+        problem = reversal_instance(6)
+        result = schedule_update(
+            problem, "oneshot", verify=True,
+            properties=(Property.RLF, Property.BLACKHOLE),
+        )
+        assert result.verified is False
+        assert result.report.violations
+
+    def test_guarantee_free_scheduler_verifies_nothing(self):
+        result = schedule_update(reversal_instance(6), "oneshot", verify=True)
+        assert result.report is None and result.verified is None
+
+    def test_timeout_surfaces_as_schedule_timeout(self):
+        from repro.errors import ScheduleTimeoutError
+
+        with pytest.raises(ScheduleTimeoutError):
+            schedule_update(
+                reversal_instance(12), "optimal:rlf?search=bfs",
+                timeout_s=0.001,
+            )
+
+    def test_two_phase_rides_the_envelope(self):
+        problem = UpdateProblem([1, 2, 3, 4, 5], [1, 6, 3, 7, 5], waypoint=3)
+        result = schedule_update(problem, "two-phase", verify=True)
+        assert isinstance(result.schedule, TwoPhaseSchedule)
+        assert result.verified is True
+        assert Property.WPE in result.guarantee
+        data = result.to_dict()
+        assert data["schedule"]["algorithm"] == "two-phase"
+        assert data["rounds"] == result.schedule.n_rounds
+        # and campaigns can sweep it: the batch merge surface is there
+        assert result.schedule.total_updates() == sum(
+            len(phase) for phase in result.schedule.rounds
+        )
+
+
+class TestThirdPartyRegistration:
+    def test_register_function_and_teardown(self):
+        from repro.core.schedule import sequential_schedule
+
+        def reverse_sequential(problem, include_cleanup=True):
+            order = [
+                node
+                for node in sorted(problem.all_updates, key=repr, reverse=True)
+                if include_cleanup or node in problem.required_updates
+            ]
+            return sequential_schedule(problem, order=order)
+
+        register_scheduler(
+            "reverse-sequential",
+            reverse_sequential,
+            aliases=("rseq",),
+            description="docs example",
+        )
+        try:
+            assert "reverse-sequential" in scheduler_names()
+            result = schedule_update(reversal_instance(6), "rseq")
+            assert result.scheduler == "reverse-sequential"
+            # duplicate registration is refused
+            with pytest.raises(SchedulerSpecError):
+                register_scheduler("reverse-sequential", reverse_sequential)
+        finally:
+            SCHEDULER_REGISTRY.unregister("reverse-sequential")
+        assert "reverse-sequential" not in scheduler_names()
+
+    def test_register_invoke_form(self):
+        from repro.core.oneshot import oneshot_schedule
+
+        def invoke(problem, cleanup, oracle, properties, params):
+            return SchedulerRun(
+                oneshot_schedule(problem, include_cleanup=cleanup), "inv", ()
+            )
+
+        definition = SchedulerDefinition("inv-oneshot", invoke)
+        SCHEDULER_REGISTRY.register(definition)
+        try:
+            result = schedule_update(reversal_instance(6), "inv-oneshot")
+            assert result.detail == "inv"
+        finally:
+            SCHEDULER_REGISTRY.unregister("inv-oneshot")

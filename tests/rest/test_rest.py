@@ -185,6 +185,124 @@ class TestWiredApi:
         assert "999" in response.body["error"]
 
 
+class TestScheduleEndpoint:
+    """POST /schedule -- the scheduler service over the wire."""
+
+    def _body(self, **extra):
+        body = {"oldpath": [1, 2, 3, 4, 5], "newpath": [1, 6, 3, 7, 5],
+                "wp": 3}
+        body.update(extra)
+        return body
+
+    def test_compute_and_verify(self, api):
+        _, rest = api
+        response = rest.handle("POST", "/schedule", self._body())
+        assert response.status == 200
+        assert response.body["status"] == "ok"
+        assert response.body["scheduler"] == "wayup"
+        assert response.body["verified"] is True
+        assert response.body["guarantee"] == ["wpe", "blackhole"]
+        assert response.body["rounds"] == len(response.body["schedule"]["rounds"])
+
+    def test_alias_and_params_resolve(self, api):
+        _, rest = api
+        response = rest.handle(
+            "POST", "/schedule",
+            self._body(scheduler="greedy_slf", cleanup=False),
+        )
+        assert response.status == 200
+        assert response.body["scheduler"] == "greedy-slf"
+        response = rest.handle(
+            "POST", "/schedule",
+            self._body(scheduler="optimal:slf?search=bfs"),
+        )
+        assert response.status == 200
+        assert response.body["scheduler"] == "optimal:slf?search=bfs"
+
+    def test_two_phase_by_construction(self, api):
+        _, rest = api
+        response = rest.handle(
+            "POST", "/schedule", self._body(scheduler="two_phase")
+        )
+        assert response.status == 200
+        assert response.body["scheduler"] == "two-phase"
+        assert response.body["verified"] is True
+        assert response.body["verification_method"].startswith("by-construction")
+
+    def test_explicit_properties(self, api):
+        _, rest = api
+        response = rest.handle(
+            "POST", "/schedule",
+            self._body(scheduler="oneshot", properties=["wpe", "blackhole"]),
+        )
+        assert response.status == 200
+        assert response.body["verified"] is False
+        assert response.body["violations"]
+
+    def test_infeasible_is_an_answer_not_an_error(self, api):
+        _, rest = api
+        # WPE + SLF clash on the crossing shape: old 1-2-3-4-5 wp 3 vs a
+        # new path that reverses the interior
+        response = rest.handle(
+            "POST", "/schedule",
+            {"oldpath": [1, 2, 3, 4, 5], "newpath": [1, 4, 3, 2, 5],
+             "wp": 3, "scheduler": "combined:slf+wpe+blackhole"},
+        )
+        assert response.status == 200
+        assert response.body["status"] == "infeasible"
+        # canonical name, like every other machine-output path
+        assert response.body["scheduler"] == "combined:wpe+slf+blackhole"
+
+    def test_bad_requests_rejected(self, api):
+        _, rest = api
+        assert rest.handle("POST", "/schedule", {"oldpath": [1, 2]}).status == 400
+        assert rest.handle(
+            "POST", "/schedule", self._body(scheduler="no-such")
+        ).status == 400
+        assert rest.handle(
+            "POST", "/schedule", self._body(bogus=1)
+        ).status == 400
+        # wayup without a waypoint is a client error
+        assert rest.handle(
+            "POST", "/schedule",
+            {"oldpath": [1, 2, 3], "newpath": [1, 4, 3], "scheduler": "wayup"},
+        ).status == 400
+
+    def test_engine_refusals_are_400_not_crashes(self, api):
+        _, rest = api
+        # exact-search size cap
+        big = {"oldpath": list(range(1, 25)),
+               "newpath": [1] + list(range(23, 1, -1)) + [24],
+               "scheduler": "optimal:rlf"}
+        assert rest.handle("POST", "/schedule", big).status == 400
+        # unknown search mode and mistyped params
+        assert rest.handle(
+            "POST", "/schedule",
+            self._body(scheduler="optimal:rlf", params={"search": "zzz"}),
+        ).status == 400
+        assert rest.handle(
+            "POST", "/schedule",
+            self._body(scheduler="optimal:rlf", params={"max_rounds": "3"}),
+        ).status == 400
+        # WPE verification requested on a waypointless problem
+        assert rest.handle(
+            "POST", "/schedule",
+            {"oldpath": [1, 2, 3], "newpath": [1, 4, 3],
+             "scheduler": "oneshot", "properties": ["wpe"]},
+        ).status == 400
+
+    def test_scheduler_listing_matches_registry(self, api):
+        _, rest = api
+        from repro.core.registry import REGISTRY
+
+        response = rest.handle("GET", "/schedulers")
+        assert response.status == 200
+        assert [row["name"] for row in response.body] == REGISTRY.names()
+        wayup = next(row for row in response.body if row["name"] == "wayup")
+        assert wayup["requires_waypoint"] is True
+        assert wayup["guarantee"] == ["wpe", "blackhole"]
+
+
 CAMPAIGN_SPEC = {
     "name": "rest-mini",
     "seed": 1,
