@@ -1,0 +1,43 @@
+"""Run provenance for the benchmark JSON artifacts.
+
+Perf numbers are only comparable against their environment: every
+``BENCH_*.json`` embeds the machine, python build and git revision that
+produced it, so regressions can be told apart from hardware changes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import platform
+import socket
+import subprocess
+
+
+def provenance() -> dict:
+    """Machine / python / git-sha record for a benchmark payload."""
+    record = {
+        "machine": platform.machine(),
+        "processor": platform.processor() or None,
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "git_sha": None,
+        "git_dirty": None,
+    }
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    try:
+        record["git_sha"] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10,
+            check=True,
+        ).stdout
+        record["git_dirty"] = bool(status.strip())
+    except (OSError, subprocess.SubprocessError):
+        pass  # not a git checkout (e.g. a source tarball): sha stays None
+    return record

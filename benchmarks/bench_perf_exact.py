@@ -14,7 +14,11 @@ over the frozenset BFS it replaced (the PR 1 path: oracle-backed
   count is constant at 4: only the nodes adjacent to the crossing ever
   switch), all settled by IDDFS;
 * **warm_memo** -- a warm repeat against the shared int-keyed verdict
-  memo.
+  memo;
+* **bnb** -- the branch-and-bound engine against IDDFS on its target
+  worst cases: the WPE+SLF infeasible clash family (forced-order
+  certificates and conflict-learned nogoods vs deepening
+  re-expansion) and the lifted n=24 cap.
 
 Usage::
 
@@ -24,7 +28,10 @@ Acceptance targets (gated by the exit status, wired into
 ``make bench-smoke`` via ``benchmarks/run_smoke.py``):
 
 * IDDFS speedup over the PR 1 path at n=12 under RLF: >= 5x;
-* reversal n=16 (15 required updates, beyond the old cap) completes.
+* reversal n=16 (15 required updates, beyond the old cap) completes;
+* bnb over IDDFS on the infeasible clash family at n=16: >= 5x;
+* bnb settles the clash-24 infeasibility proof and reversal-24 under
+  RLF within the smoke budget.
 """
 
 from __future__ import annotations
@@ -36,7 +43,9 @@ import platform
 import sys
 import time
 
+from _provenance import provenance
 from repro.core.hardness import (
+    crossing_clash_instance,
     reversal_instance,
     sawtooth_instance,
     waypoint_slalom_instance,
@@ -44,11 +53,14 @@ from repro.core.hardness import (
 from repro.core.optimal import DEFAULT_MAX_NODES, minimal_round_schedule
 from repro.core.oracle import clear_registry, oracle_for
 from repro.core.verify import Property
+from repro.errors import InfeasibleUpdateError
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_exact.json"
 
 IDDFS_TARGET_SPEEDUP = 5.0
 CAP_LIFT_BUDGET_S = 30.0
+BNB_INFEASIBLE_TARGET_SPEEDUP = 5.0
+BNB_BUDGET_S = 30.0
 
 
 def _time(fn, repeats=3):
@@ -159,6 +171,91 @@ def bench_cap_lift(quick: bool) -> dict:
     }
 
 
+def bench_bnb(quick: bool) -> dict:
+    """Branch-and-bound vs IDDFS on infeasibility proofs and the new cap."""
+    clash_props = (Property.WPE, Property.SLF)
+
+    def settle(problem, properties, search):
+        clear_registry()
+        try:
+            schedule = minimal_round_schedule(
+                problem, properties, search=search
+            )
+        except InfeasibleUpdateError:
+            return "infeasible"
+        return schedule.n_rounds
+
+    def settle_raw_iddfs(problem, properties):
+        # The PR 3 baseline: the raw deepening engine.  The public entry
+        # point now short-circuits certified-infeasible instances for
+        # every engine (the certificates are shared), so the honest
+        # before-number must invoke the engine underneath it.
+        from repro.core.optimal import _MaskSearch, _search_mask_iddfs
+
+        clear_registry()
+        state = _MaskSearch(problem, properties, None, True)
+        try:
+            _search_mask_iddfs(state, properties, None)
+        except InfeasibleUpdateError:
+            return "infeasible"
+        raise AssertionError("the clash family must be infeasible")
+
+    # --- infeasible clash family at n=16: the 5x gate ------------------
+    clash16 = crossing_clash_instance(16)
+    iddfs_s, iddfs_verdict = _time(
+        lambda: settle_raw_iddfs(clash16, clash_props),
+        repeats=3 if quick else 5,
+    )
+    bnb_s, bnb_verdict = _time(
+        lambda: settle(clash16, clash_props, "bnb"),
+        repeats=5 if quick else 10,
+    )
+    assert iddfs_verdict == bnb_verdict == "infeasible", (
+        "both engines must prove the clash infeasible"
+    )
+    speedup = iddfs_s / bnb_s
+
+    # --- worst cases only bnb settles inside the budget ----------------
+    rows = []
+    for label, problem, properties, expected in (
+        ("clash-24 (wpe+slf)", crossing_clash_instance(24), clash_props,
+         "infeasible"),
+        ("reversal-24 (rlf)", reversal_instance(24), (Property.RLF,), 3),
+        ("reversal-24 (slf)", reversal_instance(24), (Property.SLF,), 22),
+    ):
+        clear_registry()
+        start = time.perf_counter()
+        verdict = settle(problem, properties, "bnb")
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "instance": label,
+            "required_updates": len(problem.required_updates),
+            "result": verdict,
+            "expected": expected,
+            "seconds": round(elapsed, 4),
+            "within_budget": bool(
+                verdict == expected and elapsed <= BNB_BUDGET_S
+            ),
+        })
+    return {
+        "description": (
+            "branch-and-bound (forced-chain bounds, nogood learning, "
+            "incumbent seeding) vs IDDFS on the WPE+SLF infeasible clash "
+            "family and the n=24 cap instances"
+        ),
+        "target_infeasible_speedup_at_16": BNB_INFEASIBLE_TARGET_SPEEDUP,
+        "clash16_iddfs_ms": round(iddfs_s * 1000, 2),
+        "clash16_bnb_ms": round(bnb_s * 1000, 3),
+        "infeasible_speedup_at_16": round(speedup, 1),
+        "budget_seconds": BNB_BUDGET_S,
+        "rows": rows,
+        "meets_target": bool(
+            speedup >= BNB_INFEASIBLE_TARGET_SPEEDUP
+            and all(row["within_budget"] for row in rows)
+        ),
+    }
+
+
 def bench_warm_memo() -> dict:
     """Warm repeat of the exact search against the int-keyed verdict memo."""
     problem = reversal_instance(12)
@@ -197,6 +294,7 @@ def main(argv=None) -> int:
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "provenance": provenance(),
         "default_max_nodes": DEFAULT_MAX_NODES,
         "results": {},
     }
@@ -205,6 +303,7 @@ def main(argv=None) -> int:
         ("mask_vs_pr1", lambda: bench_mask_vs_pr1(args.quick)),
         ("cap_lift", lambda: bench_cap_lift(args.quick)),
         ("warm_memo", bench_warm_memo),
+        ("bnb", lambda: bench_bnb(args.quick)),
     ):
         section_start = time.time()
         payload["results"][name] = fn()
@@ -217,6 +316,7 @@ def main(argv=None) -> int:
 
     versus = payload["results"]["mask_vs_pr1"]
     cap = payload["results"]["cap_lift"]
+    bnb = payload["results"]["bnb"]
     print(
         f"  iddfs speedup at n=12: {versus['iddfs_speedup_at_12']}x "
         f"(target {IDDFS_TARGET_SPEEDUP}x, meets={versus['meets_target']})"
@@ -225,7 +325,17 @@ def main(argv=None) -> int:
         f"  cap lift: {[r['instance'] for r in cap['rows'] if r['completed']]} "
         f"completed (meets={cap['meets_target']})"
     )
-    ok = versus["meets_target"] and cap["meets_target"]
+    print(
+        f"  bnb infeasible clash-16: {bnb['infeasible_speedup_at_16']}x over "
+        f"iddfs (target {BNB_INFEASIBLE_TARGET_SPEEDUP}x); "
+        f"{[r['instance'] for r in bnb['rows'] if r['within_budget']]} within "
+        f"{BNB_BUDGET_S}s (meets={bnb['meets_target']})"
+    )
+    ok = (
+        versus["meets_target"]
+        and cap["meets_target"]
+        and bnb["meets_target"]
+    )
     return 0 if ok else 1
 
 

@@ -30,6 +30,7 @@ import platform
 import sys
 import time
 
+from _provenance import provenance
 from repro.core.greedy_slf import greedy_slf_schedule
 from repro.core.hardness import reversal_instance
 from repro.core.optimal import minimal_round_schedule
@@ -240,6 +241,7 @@ def main(argv=None) -> int:
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "provenance": provenance(),
         "results": {},
     }
     print(f"[bench_perf_oracle] mode={payload['mode']}")

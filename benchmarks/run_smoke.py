@@ -3,8 +3,14 @@
 Runs the quick modes of :mod:`benchmarks.bench_perf_oracle` (incremental
 oracle vs from-scratch verification, ``BENCH_oracle.json``) and
 :mod:`benchmarks.bench_perf_exact` (bitmask exact-search engine vs the
-PR 1 path, ``BENCH_exact.json``).  Wired as ``make bench-smoke``; exit
-status is non-zero when any perf target regresses, so it can gate CI.
+PR 1 path, plus the branch-and-bound engine vs IDDFS,
+``BENCH_exact.json``).  Wired as ``make bench-smoke``; exit status is
+non-zero when any perf target regresses, so it can gate CI.
+
+After both benchmarks the runner prints a before/after speedup table
+(the seed-era path vs the current engines) and rewrites the
+marker-delimited smoke section of ``benchmarks/results/tables.txt``, so
+the checked-in tables never go stale.
 
 Usage::
 
@@ -14,6 +20,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -21,6 +28,80 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
 import bench_perf_exact  # noqa: E402  (sibling import by path)
 import bench_perf_oracle  # noqa: E402
+
+TABLES_PATH = pathlib.Path(__file__).parent / "results" / "tables.txt"
+SMOKE_BEGIN = "=== PERF smoke: before/after speedups (auto-generated) ==="
+SMOKE_END = "=== end PERF smoke ==="
+
+
+def _fmt_ms(value) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+def speedup_table(oracle_payload: dict, exact_payload: dict) -> str:
+    """Before/after wall-clock per headline benchmark, seed path vs now."""
+    from repro.metrics.report import ascii_table
+
+    rows = []
+    greedy = oracle_payload["results"]["greedy_slf_reversal"]
+    for row in greedy["rows"]:
+        if row.get("legacy_s") is not None:
+            rows.append([
+                f"greedy_slf(reversal-{row['n']})",
+                _fmt_ms(row["legacy_s"] * 1000),
+                _fmt_ms(row["oracle_s"] * 1000),
+                f"{row['speedup']}x",
+            ])
+    optimal = oracle_payload["results"]["minimal_rounds_rlf_n10"]
+    rows.append([
+        "minimal_rounds(reversal-10, rlf)",
+        _fmt_ms(optimal["legacy_ms"]),
+        _fmt_ms(optimal["oracle_ms"]),
+        f"{optimal['speedup']}x",
+    ])
+    for row in exact_payload["results"]["mask_vs_pr1"]["rows"]:
+        rows.append([
+            f"exact(reversal-{row['n']}, rlf) iddfs",
+            _fmt_ms(row["pr1_sets_ms"]),
+            _fmt_ms(row["mask_iddfs_ms"]),
+            f"{row['iddfs_speedup']}x",
+        ])
+    bnb = exact_payload["results"]["bnb"]
+    rows.append([
+        "infeasible clash-16 (wpe+slf) bnb",
+        _fmt_ms(bnb["clash16_iddfs_ms"]),
+        _fmt_ms(bnb["clash16_bnb_ms"]),
+        f"{bnb['infeasible_speedup_at_16']}x",
+    ])
+    for row in bnb["rows"]:
+        rows.append([
+            f"bnb {row['instance']}",
+            "-",
+            _fmt_ms(row["seconds"] * 1000),
+            "within budget" if row["within_budget"] else "OVER BUDGET",
+        ])
+    sha = (exact_payload.get("provenance") or {}).get("git_sha") or "unknown"
+    return ascii_table(
+        ["benchmark", "before ms", "after ms", "speedup"],
+        rows,
+        title=f"bench-smoke speedups @ {sha[:12]}",
+    )
+
+
+def rewrite_smoke_section(table: str) -> None:
+    """Replace (or append) the smoke section of ``tables.txt``."""
+    TABLES_PATH.parent.mkdir(parents=True, exist_ok=True)
+    section = f"{SMOKE_BEGIN}\n{table}\n{SMOKE_END}\n"
+    text = TABLES_PATH.read_text(encoding="utf-8") if TABLES_PATH.is_file() else ""
+    if SMOKE_BEGIN in text and SMOKE_END in text:
+        head, _, rest = text.partition(SMOKE_BEGIN)
+        _, _, tail = rest.partition(SMOKE_END)
+        text = head + section + tail.lstrip("\n")
+    else:
+        if text and not text.endswith("\n\n"):
+            text += "\n"
+        text += section
+    TABLES_PATH.write_text(text, encoding="utf-8")
 
 
 def main(argv=None) -> int:
@@ -34,6 +115,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     oracle_rc = bench_perf_oracle.main(["--quick", "--out", str(args.oracle_out)])
     exact_rc = bench_perf_exact.main(["--quick", "--out", str(args.exact_out)])
+    try:
+        oracle_payload = json.loads(args.oracle_out.read_text(encoding="utf-8"))
+        exact_payload = json.loads(args.exact_out.read_text(encoding="utf-8"))
+        table = speedup_table(oracle_payload, exact_payload)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"[run_smoke] could not build the speedup table: {exc}")
+    else:
+        print(table)
+        rewrite_smoke_section(table)
+        print(f"[run_smoke] refreshed smoke section of {TABLES_PATH}")
     return oracle_rc or exact_rc
 
 

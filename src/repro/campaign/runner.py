@@ -157,8 +157,14 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
         record["detail"] = f"exceeded {payload.get('timeout_s')}s"
         record["rounds"] = record["touches"] = record["verified"] = None
         # the alarm can interrupt an oracle mid-delta; drop the cached
-        # problems so no later cell sees a half-morphed union graph
+        # problems so no later cell sees a half-morphed union graph, and
+        # wipe every learned-nogood table -- extraction interrupted
+        # mid-witness must not leak a poisoned pattern into later cells
+        # that still hold a reference to a shared oracle
         _unit_cache().clear()
+        from repro.core.oracle import clear_nogoods
+
+        clear_nogoods()
     except InfeasibleUpdateError as exc:
         record["status"] = "infeasible"
         record["detail"] = _truncate(str(exc))

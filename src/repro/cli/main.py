@@ -155,6 +155,60 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _exact_round_cell(problem, args) -> tuple:
+    """The ``--engine`` exact column of ``repro rounds``: ``(cell, record)``.
+
+    ``cell`` is the human table entry; ``record`` the JSON fields.  A
+    branch-and-bound budget exhaustion degrades to the proven anytime
+    ``[lower, upper]`` interval instead of failing the sweep.
+    """
+    from repro.errors import (
+        ExactSearchBudgetError,
+        InfeasibleUpdateError,
+        ScheduleTimeoutError,
+        UpdateModelError,
+        VerificationError,
+    )
+
+    params: dict = {"search": args.engine}
+    timeout_s = None
+    if args.time_limit is not None:
+        if args.engine == "bnb":
+            # internal deadline: the search raises with proven bounds
+            params["time_limit_s"] = args.time_limit
+        else:
+            timeout_s = args.time_limit
+    spec = f"optimal:{args.exact_properties}"
+    try:
+        result = schedule_update(
+            problem, spec, include_cleanup=False,
+            params=params, timeout_s=timeout_s,
+        )
+    except ExactSearchBudgetError as exc:
+        upper = "?" if exc.upper is None else exc.upper
+        return (
+            f"[{exc.lower},{upper}]",
+            {
+                "optimal": None,
+                "optimal_status": "timeout",
+                "optimal_lower": exc.lower,
+                "optimal_upper": exc.upper,
+            },
+        )
+    except ScheduleTimeoutError:
+        return "timeout", {"optimal": None, "optimal_status": "timeout"}
+    except InfeasibleUpdateError:
+        return "infeasible", {"optimal": None, "optimal_status": "infeasible"}
+    except (VerificationError, UpdateModelError) as exc:
+        # over the exact-search cap, or e.g. WPE without a waypoint
+        detail = "capped" if "capped" in str(exc) else "unsupported"
+        return detail, {"optimal": None, "optimal_status": detail}
+    return (
+        result.schedule.n_rounds,
+        {"optimal": result.schedule.n_rounds, "optimal_status": "ok"},
+    )
+
+
 def cmd_rounds(args: argparse.Namespace) -> int:
     from repro.campaign.spec import derive_seed
 
@@ -171,6 +225,10 @@ def cmd_rounds(args: argparse.Namespace) -> int:
         "random": lambda n, seed: _random(n, seed, waypointed=False),
         "random-wp": lambda n, seed: _random(n, seed, waypointed=True),
     }
+    if args.engine is not None:
+        # validate the property list before sweeping, not per row
+        parse_properties(args.exact_properties.replace(",", "+"))
+        args.exact_properties = args.exact_properties.replace(",", "+")
     family = families[args.family]
     rows = []
     records = []
@@ -178,8 +236,12 @@ def cmd_rounds(args: argparse.Namespace) -> int:
     for n in range(args.n_min, args.n_max + 1, args.step):
         problem = family(n, derive_seed(args.seed, args.family, n, 0))
         if not problem.required_updates:
-            rows.append([n, 0, 0, "-"])
-            records.append({"n": n, "peacock": 0, "greedy-slf": 0, "ok": True})
+            # a no-op instance has a valid zero-round optimal schedule
+            rows.append([n, 0, 0, "-"] + ([0] if args.engine else []))
+            record = {"n": n, "peacock": 0, "greedy-slf": 0, "ok": True}
+            if args.engine is not None:
+                record.update({"optimal": 0, "optimal_status": "ok"})
+            records.append(record)
             continue
         # each scheduler is verified against the guarantee it promises
         # (the envelope's default); records key on the canonical
@@ -201,19 +263,27 @@ def cmd_rounds(args: argparse.Namespace) -> int:
         if args.json:
             record["ok"] = ok
             all_ok = all_ok and ok
-        records.append(record)
-        rows.append([
+        row = [
             n,
             results["peacock"].schedule.n_rounds,
             results["greedy-slf"].schedule.n_rounds,
             results["wayup"].schedule.n_rounds if "wayup" in results else "-",
-        ])
+        ]
+        if args.engine is not None:
+            cell, exact_record = _exact_round_cell(problem, args)
+            row.append(cell)
+            record.update(exact_record)
+        records.append(record)
+        rows.append(row)
     if args.json:
         print(json.dumps(records, indent=2, sort_keys=True))
         return 0 if all_ok else 1
+    headers = ["n", "peacock (RLF)", "greedy (SLF)", "wayup (WPE)"]
+    if args.engine is not None:
+        headers.append(f"optimal:{args.exact_properties} ({args.engine})")
     print(
         ascii_table(
-            ["n", "peacock (RLF)", "greedy (SLF)", "wayup (WPE)"],
+            headers,
             rows,
             title=f"rounds on {args.family} instances (seed={args.seed})",
         )
@@ -402,6 +472,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_rounds.add_argument("--step", type=int, default=5)
     p_rounds.add_argument("--seed", type=int, default=0,
                           help="seed for the randomized families")
+    p_rounds.add_argument("--engine", default=None,
+                          choices=["bfs", "iddfs", "bnb"],
+                          help="add an exact minimum-round column computed "
+                               "by this search engine of optimal:<props>")
+    p_rounds.add_argument("--exact-properties", default="rlf",
+                          metavar="P1+P2",
+                          help="properties the --engine column optimizes "
+                               "(default rlf)")
+    p_rounds.add_argument("--time-limit", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-instance budget for the --engine column; "
+                               "with bnb a timeout degrades to the proven "
+                               "[lower, upper] round interval")
     p_rounds.add_argument("--json", action="store_true",
                           help="machine output; verifies every schedule and "
                                "exits non-zero on a verification failure")

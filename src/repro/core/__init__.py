@@ -49,10 +49,15 @@ from repro.core.analysis import (
     cannot_be_last,
     dependency_graph,
     explain_schedule,
+    forced_precedence_graph,
     greedy_deadlock_certificate,
     is_order_forced,
     unlock_constraints,
     unsafe_alone,
+)
+from repro.core.bnb import (
+    infeasibility_certificate,
+    rounds_lower_bound,
 )
 from repro.core.combined import (
     combined_greedy_schedule,
@@ -71,6 +76,7 @@ from repro.core.cost import (
 )
 from repro.core.greedy_slf import greedy_slf_schedule
 from repro.core.hardness import (
+    crossing_clash_instance,
     crossing_instance,
     double_diamond_instance,
     hardness_profile,
@@ -199,6 +205,7 @@ __all__ = [
     "check_wpe",
     "classify_forward_backward",
     "combined_greedy_schedule",
+    "crossing_clash_instance",
     "crossing_instance",
     "default_properties",
     "dependency_graph",
@@ -206,12 +213,14 @@ __all__ = [
     "enumerate_round_configurations",
     "execute_request",
     "explain_schedule",
+    "forced_precedence_graph",
     "functional_cycle",
     "functional_graph",
     "greedy_deadlock_certificate",
     "greedy_joint_schedule",
     "greedy_slf_schedule",
     "hardness_profile",
+    "infeasibility_certificate",
     "is_feasible",
     "is_order_forced",
     "is_round_safe",
@@ -228,6 +237,7 @@ __all__ = [
     "round_is_safe",
     "round_is_safe_reference",
     "round_time_breakdown",
+    "rounds_lower_bound",
     "sawtooth_instance",
     "schedule_update",
     "schedule_update_time",

@@ -175,6 +175,29 @@ def dependency_graph(
     return graph
 
 
+def forced_precedence_graph(
+    problem: UpdateProblem, properties: tuple[Property, ...]
+) -> nx.DiGraph:
+    """Polynomial-time sound subset of :func:`dependency_graph`.
+
+    Edges come from the universally quantified reachability certificates
+    of :mod:`repro.core.bnb` (forced SLF loops, forced WPE bypasses)
+    instead of exponentially many exact searches, so this scales to the
+    instances the exact engines ground-truth.  Every edge is a true
+    forced order (``v`` strictly before ``u`` in every safe schedule);
+    the exact graph may contain more.  The longest path is the
+    admissible rounds lower bound the branch-and-bound engine prunes
+    with (:func:`repro.core.bnb.rounds_lower_bound`).
+    """
+    from repro.core.bnb import precedence_for
+
+    analysis = precedence_for(problem, tuple(properties))
+    graph = nx.DiGraph()
+    graph.add_nodes_from(problem.canonical_updates)
+    graph.add_edges_from(analysis.forced_pairs())
+    return graph
+
+
 def greedy_deadlock_certificate(
     problem: UpdateProblem, properties: tuple[Property, ...]
 ) -> set | None:

@@ -1,0 +1,699 @@
+"""Branch-and-bound exact engine with conflict-learned nogoods.
+
+The IDDFS mode of :mod:`repro.core.optimal` made *finding* optimal
+schedules fast, but its worst cases stayed exponential for a structural
+reason: iterative deepening re-expands the whole state space once per
+budget level, which is exactly what infeasibility proofs (every level
+fails) and forced-linear instances (the optimum sits at the top of the
+deepening range) maximize.  This module removes both walls:
+
+* an **admissible rounds-remaining lower bound** from the dependency
+  structure of the instance.  :class:`PrecedenceAnalysis` derives a
+  *sound* subset of the forced-order relation of
+  :func:`repro.core.analysis.is_order_forced` in polynomial time: ``v``
+  must be committed strictly before ``u`` whenever flipping ``u`` alone
+  is provably unsafe in *every* configuration that still has ``v`` on
+  its old rule.  Two certificates establish that universally quantified
+  statement with one least-fixpoint computation each (no state
+  enumeration):
+
+  - **SLF** -- if every adversarial old/new assignment of the other
+    nodes forces a walk from ``new_next[u]`` back to ``u``, the new rule
+    of ``u`` always closes a loop (``_slf_blocks``);
+  - **WPE** -- if under every assignment the union graph contains a
+    source→destination path avoiding the waypoint while ``u`` is
+    in flight (an AND-OR reachability fixpoint: ``u`` contributes both
+    rules, everyone else is adversarial), flipping ``u`` always bypasses
+    the waypoint (``_wpe_blocks``).
+
+  Because any safe round containing ``u`` makes the singleton ``{u}``
+  safe by monotonicity, each certificate forbids ``u`` from flipping
+  before ``v`` is *committed* -- so the longest chain in the precedence
+  graph is a true lower bound on the remaining rounds, a precedence
+  *cycle* (or a node blocked with no pin at all) is an immediate
+  infeasibility proof, and :func:`rounds_lower_bound` is shared with
+  :func:`~repro.core.optimal.minimal_round_count` /
+  :func:`~repro.core.optimal.is_feasible` as a pre-search short-circuit.
+
+* **conflict-driven nogood learning** -- every unsafe verdict the search
+  triggers makes the shared :class:`~repro.core.oracle.SafetyOracle`
+  distill the violation witness into a cross-state ``(need_new,
+  need_old)`` pattern (see the nogood section of
+  :mod:`repro.core.oracle`), so round candidates that re-create a known
+  conflict are rejected in two int ops from *every* state -- the
+  cross-state generalization of the per-state monotonicity memo.
+
+* **incumbent seeding and anytime intervals** -- the search starts from
+  the greedy witness (:func:`~repro.core.combined
+  .combined_greedy_schedule`) as upper bound, returns it immediately
+  when the lower bound already matches, proves infeasibility in a
+  *single* memoized pass (no deepening re-expansion), and otherwise
+  deepens only through the window ``[lower bound, incumbent - 1]``.
+  When a node or wall-clock budget runs out it raises
+  :class:`~repro.errors.ExactSearchBudgetError` carrying the proven
+  ``lower``/``upper`` interval, so callers degrade to bounds instead of
+  nothing.
+
+Registered through the scheduler registry as
+``optimal:<props>?search=bnb`` (or ``?engine=bnb``); campaigns route
+``optimal:<props>`` cells here automatically above n=18.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import (
+    ExactSearchBudgetError,
+    InfeasibleUpdateError,
+    UpdateModelError,
+)
+from repro.core.combined import combined_greedy_schedule
+from repro.core.oracle import DEFAULT_NOGOOD_LIMIT
+from repro.core.schedule import UpdateSchedule
+from repro.core.verify import Property
+
+#: ``proven`` value marking a state dead at every remaining-round budget.
+_DEAD = 1 << 30
+
+#: Entries above which a per-analysis chain-bound cache is dropped.
+_CHAIN_CACHE_LIMIT = 200_000
+
+
+# ---------------------------------------------------------------------------
+# universally quantified reachability certificates
+# ---------------------------------------------------------------------------
+
+def _choice_table(problem, required, flex=None, pinned=None) -> dict:
+    """Per-node successor choices under adversarial old/new assignment.
+
+    Models the union graph of an arbitrary state ``S'`` probed by the
+    singleton query ``{flex}``: every *required* node other than
+    ``pinned``/``flex`` may sit on either rule (the adversary picks),
+    ``pinned`` is frozen on its old rule, ``flex`` is in flight (both
+    rules live), and non-required nodes never move off their old rule
+    (deletions are appended after the exact search).  ``None`` next hops
+    (installs before install, deletes after delete) are kept: a walk
+    dies there, which must count as an adversarial escape.
+    """
+    old_next, new_next = problem.old_next, problem.new_next
+    table: dict = {}
+    for node in problem.forwarding_nodes:
+        if node == flex:
+            options = {old_next.get(node), new_next.get(node)}
+        elif node == pinned or node not in required:
+            options = {old_next.get(node)}
+        else:
+            options = {old_next.get(node), new_next.get(node)}
+        table[node] = tuple(options)
+    return table
+
+
+def _reach_fixpoint(choices, target, any_nodes=frozenset(), avoid=None):
+    """Nodes from which ``target`` is reached under *every* assignment.
+
+    Least fixpoint seeded by ``target``: an ordinary node joins when
+    **all** of its choices already force the target (the adversary picks
+    the edge), a node in ``any_nodes`` when **some** choice does (its
+    union-graph presence offers every edge at once).  ``avoid`` never
+    joins and is never traversed.  An ordinary node with a ``None``
+    choice (the walk can die there) or an ``avoid`` choice can never be
+    forced, and neither can any cycle the adversary can trap a walk in
+    -- which is exactly what makes membership a certificate.
+    """
+    if target == avoid:
+        return frozenset()
+    preds: dict = {}
+    remaining: dict = {}
+    for node, options in choices.items():
+        if node == avoid:
+            continue
+        live = [
+            option
+            for option in options
+            if option is not None and option != avoid
+        ]
+        remaining[node] = len(live) if len(live) == len(options) else _DEAD
+        for option in live:
+            preds.setdefault(option, []).append(node)
+    forced = {target}
+    queue = [target]
+    while queue:
+        reached = queue.pop()
+        for node in preds.get(reached, ()):
+            if node in forced:
+                continue
+            if node in any_nodes:
+                forced.add(node)
+                queue.append(node)
+                continue
+            remaining[node] -= 1
+            if remaining[node] == 0:
+                forced.add(node)
+                queue.append(node)
+    return forced
+
+
+def _slf_blocks(problem, required, u, pinned=None) -> bool:
+    """Does flipping ``u`` alone *always* close a loop while ``pinned``
+    (when given) still runs its old rule?
+
+    True when ``new_next[u]`` force-reaches ``u``: every adversarial
+    assignment walks the new edge of ``u`` back into ``u``, so the union
+    graph of every such singleton query contains a cycle.
+    """
+    new_target = problem.new_next.get(u)
+    if new_target is None:
+        return False
+    choices = _choice_table(problem, required, pinned=pinned)
+    return new_target in _reach_fixpoint(choices, target=u)
+
+
+def _wpe_blocks(problem, required, u, pinned=None) -> bool:
+    """Does flipping ``u`` *always* open a waypoint bypass while
+    ``pinned`` (when given) still runs its old rule?
+
+    AND-OR certificate: ``u`` is in flight (both rules in the union
+    graph, so *one* forcing choice suffices), everyone else adversarial.
+    Truth means every reachable configuration's union graph routes
+    source→destination around the waypoint.
+    """
+    waypoint = problem.waypoint
+    if waypoint is None:
+        return False
+    choices = _choice_table(problem, required, flex=u, pinned=pinned)
+    forced = _reach_fixpoint(
+        choices,
+        target=problem.destination,
+        any_nodes=frozenset((u,)),
+        avoid=waypoint,
+    )
+    return problem.source in forced
+
+
+def _mixed_blocks(problem, required, u, pinned=None, enum_cap=8) -> bool:
+    """Does flipping ``u`` *always* violate WPE **or** strong loop
+    freedom, whichever the adversarial assignment admits?
+
+    The per-property certificates miss exactly the mixed clashes: some
+    assignments bypass the waypoint, the others trap the forwarding walk
+    in a transient loop, and neither property covers the whole space
+    alone.  This certificate analyses the walk from the source directly:
+    a walk that reaches the destination without visiting the waypoint is
+    a WPE violation, and a walk that never terminates revisits a node,
+    i.e. closes a union cycle -- an SLF violation.  So ``u`` is blocked
+    whenever *no* assignment offers the walk a clean escape (reaching
+    the destination after the waypoint, or dying at a missing rule).
+
+    The walk analysis runs over ``(node, visited-waypoint)`` states.
+    Post-waypoint states live inside the successor-closed union closure
+    of the waypoint; enumerating concrete assignments for the required
+    nodes of that (typically constant-size) closure keeps every node's
+    behaviour consistent across both flags, which makes the fixpoint
+    exact per assignment.  Closures with more than ``enum_cap``
+    assignable nodes fall back to ``False`` (no claim).
+    """
+    waypoint = problem.waypoint
+    if waypoint is None:
+        return False
+    old_next, new_next = problem.old_next, problem.new_next
+    forwarding = problem.forwarding_nodes
+    source, destination = problem.source, problem.destination
+
+    def available(node):
+        if node == u:
+            return (old_next.get(node), new_next.get(node))
+        if node == pinned or node not in required:
+            return (old_next.get(node),)
+        return (old_next.get(node), new_next.get(node))
+
+    closure = {waypoint}
+    stack = [waypoint]
+    while stack:
+        node = stack.pop()
+        if node not in forwarding:
+            continue
+        for nxt in available(node):
+            if nxt is not None and nxt not in closure:
+                closure.add(nxt)
+                stack.append(nxt)
+    assignable = sorted(
+        (
+            node
+            for node in closure
+            if node in required and node != u and node != pinned
+        ),
+        key=repr,
+    )
+    if len(assignable) > enum_cap:
+        return False
+
+    if source not in forwarding:
+        return False
+    start = (source, source == waypoint)
+    for bits in range(1 << len(assignable)):
+        fixed = {
+            node: (
+                new_next.get(node)
+                if (bits >> position) & 1
+                else old_next.get(node)
+            )
+            for position, node in enumerate(assignable)
+        }
+        # CLEAN = least fixpoint of "the walk can escape without a
+        # violation": reach the destination after the waypoint, or die
+        # at a missing rule / off-model node.  Per branch the outcome is
+        # clean-terminal, doom-terminal (destination before the
+        # waypoint), or another walk state.  The adversary (every node
+        # but ``u``) is clean via ANY clean branch; at ``u`` we chase
+        # the violation, so ``u`` is clean only if NO branch dooms and
+        # every branch-state turns out clean.  States never joining the
+        # fixpoint are doomed: their walks loop forever, i.e. close a
+        # union cycle.
+        need: dict = {}
+        preds: dict = {}
+        seeds: list = []
+        for node in forwarding:
+            options = (fixed[node],) if node in fixed else available(node)
+            for flag in (False, True):
+                state = (node, flag)
+                succ_states = []
+                clean_branch = False
+                doom_branch = False
+                for nxt in options:
+                    if nxt is None:
+                        clean_branch = True  # the walk dies here
+                        continue
+                    next_flag = flag or nxt == waypoint
+                    if nxt == destination:
+                        if next_flag:
+                            clean_branch = True
+                        else:
+                            doom_branch = True  # waypoint bypassed
+                        continue
+                    if nxt not in forwarding:
+                        clean_branch = True  # off-model sink: no claim
+                        continue
+                    succ_states.append((nxt, next_flag))
+                if node != u:
+                    if clean_branch:
+                        seeds.append(state)
+                        continue
+                    need[state] = 1  # any clean successor is an escape
+                else:
+                    if doom_branch:
+                        need[state] = _DEAD  # we take the violating rule
+                        continue
+                    need[state] = len(succ_states)
+                    if not succ_states:
+                        seeds.append(state)  # every rule already clean
+                        continue
+                for succ in succ_states:
+                    preds.setdefault(succ, []).append(state)
+        clean = set(seeds)
+        queue = list(seeds)
+        while queue:
+            reached = queue.pop()
+            for state in preds.get(reached, ()):
+                if state in clean:
+                    continue
+                need[state] -= 1
+                if need[state] <= 0:
+                    clean.add(state)
+                    queue.append(state)
+        if start in clean:
+            return False  # this assignment walks out cleanly: no claim
+    return True
+
+
+# ---------------------------------------------------------------------------
+# precedence analysis: forced chains, cycles, stuck nodes
+# ---------------------------------------------------------------------------
+
+class PrecedenceAnalysis:
+    """Sound forced-order structure of one ``(problem, properties)`` pair.
+
+    ``infeasible_reason`` is non-``None`` when the certificates already
+    prove that no safe round schedule exists: either some required
+    update can never be applied in any reachable configuration, or the
+    forced-order relation contains a cycle (the WPE-versus-loop-freedom
+    clash shape).  Otherwise :meth:`chain_bound` returns the longest
+    forced chain inside a pending-node mask -- an admissible lower bound
+    on the rounds any safe schedule still needs, since chained nodes
+    must be committed in strictly increasing rounds.
+    """
+
+    def __init__(self, problem, properties: tuple[Property, ...]) -> None:
+        self.problem = problem
+        self.properties = tuple(properties)
+        canonical = tuple(problem.canonical_updates)
+        required = frozenset(problem.required_updates)
+        index = {node: position for position, node in enumerate(canonical)}
+        self.k = len(canonical)
+        self.full_mask = (1 << self.k) - 1
+        use_slf = Property.SLF in self.properties
+        use_wpe = (
+            Property.WPE in self.properties and problem.waypoint is not None
+        )
+        # The mixed walk certificate covers the WPE-versus-SLF clashes
+        # where each adversarial assignment violates *one* of the two.
+        use_mixed = use_slf and use_wpe
+        self.infeasible_reason: str | None = None
+        self.canonical = canonical
+        self._successors: tuple = ()
+        self.edge_count = 0
+        self._topo: tuple = ()
+        self._chain_cache: dict[int, int] = {}
+        successors: list[list[int]] = [[] for _ in canonical]
+        edge_count = 0
+        if use_slf or use_wpe:
+            for u in canonical:
+                if (
+                    (use_slf and _slf_blocks(problem, required, u))
+                    or (use_wpe and _wpe_blocks(problem, required, u))
+                    or (use_mixed and _mixed_blocks(problem, required, u))
+                ):
+                    self.infeasible_reason = (
+                        f"update {u!r} can never be applied: every "
+                        f"reachable configuration violates "
+                        f"{[p.value for p in self.properties]}"
+                    )
+                    return
+                for v in canonical:
+                    if v == u:
+                        continue
+                    if (
+                        use_slf and _slf_blocks(problem, required, u, pinned=v)
+                    ) or (
+                        use_wpe and _wpe_blocks(problem, required, u, pinned=v)
+                    ):
+                        successors[index[v]].append(index[u])
+                        edge_count += 1
+        self._successors = tuple(tuple(targets) for targets in successors)
+        self.edge_count = edge_count
+        # Kahn topological order doubles as the cycle check: a forced
+        # cycle admits no safe schedule at all.
+        indegree = [0] * self.k
+        for targets in self._successors:
+            for target in targets:
+                indegree[target] += 1
+        order = [i for i in range(self.k) if indegree[i] == 0]
+        for node in order:
+            for target in self._successors[node]:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    order.append(target)
+        if len(order) < self.k:
+            cyclic = sorted(
+                repr(canonical[i]) for i in range(self.k) if indegree[i] > 0
+            )
+            self.infeasible_reason = (
+                f"forced-order cycle among {cyclic}: no ordering can "
+                f"satisfy {[p.value for p in self.properties]}"
+            )
+            return
+        self._topo = tuple(reversed(order))
+
+    def forced_pairs(self) -> tuple:
+        """The certified ``(v, u)`` orders (``v`` strictly before ``u``)."""
+        return tuple(
+            (self.canonical[position], self.canonical[target])
+            for position, targets in enumerate(self._successors)
+            for target in targets
+        )
+
+    def chain_bound(self, pending_mask: int) -> int:
+        """Longest forced chain inside ``pending_mask`` (0 when empty)."""
+        if not pending_mask:
+            return 0
+        if not self.edge_count:
+            return 1
+        cached = self._chain_cache.get(pending_mask)
+        if cached is not None:
+            return cached
+        depth = [0] * self.k
+        best = 1
+        for node in self._topo:  # successors before predecessors
+            if not (pending_mask >> node) & 1:
+                continue
+            longest = 0
+            for target in self._successors[node]:
+                if (pending_mask >> target) & 1 and depth[target] > longest:
+                    longest = depth[target]
+            depth[node] = longest + 1
+            if depth[node] > best:
+                best = depth[node]
+        if len(self._chain_cache) >= _CHAIN_CACHE_LIMIT:
+            self._chain_cache.clear()
+        self._chain_cache[pending_mask] = best
+        return best
+
+
+#: Attribute caching analyses per problem (lifetime tied to the problem,
+#: mirroring the oracle registry).
+_PRECEDENCE_ATTR = "_bnb_precedence_cache"
+
+
+def precedence_for(
+    problem, properties: tuple[Property, ...]
+) -> PrecedenceAnalysis:
+    """Shared :class:`PrecedenceAnalysis` per ``(problem, properties)``."""
+    cache = getattr(problem, _PRECEDENCE_ATTR, None)
+    if cache is None:
+        cache = {}
+        try:
+            setattr(problem, _PRECEDENCE_ATTR, cache)
+        except AttributeError:  # exotic duck with __slots__: skip caching
+            return PrecedenceAnalysis(problem, tuple(properties))
+        # register with the oracle module's weak problem set so
+        # clear_registry() (the repo-wide cold-start convention) drops
+        # this cache too, even when no oracle was ever built
+        from repro.core.oracle import _PROBLEMS
+
+        _PROBLEMS.add(problem)
+    key = frozenset(properties)
+    analysis = cache.get(key)
+    if analysis is None:
+        analysis = cache[key] = PrecedenceAnalysis(problem, tuple(properties))
+    return analysis
+
+
+def rounds_lower_bound(problem, properties: tuple[Property, ...]) -> int:
+    """Admissible lower bound on the rounds of *any* safe schedule.
+
+    0 for no-op instances; raises :class:`InfeasibleUpdateError` when the
+    precedence certificates already prove no schedule exists.  Shared by
+    the branch-and-bound engine and the
+    :func:`~repro.core.optimal.minimal_round_count` /
+    :func:`~repro.core.optimal.is_feasible` short-circuits.
+    """
+    if not problem.required_updates:
+        return 0
+    analysis = precedence_for(problem, tuple(properties))
+    if analysis.infeasible_reason is not None:
+        raise InfeasibleUpdateError(analysis.infeasible_reason)
+    return max(1, analysis.chain_bound(analysis.full_mask))
+
+
+def infeasibility_certificate(
+    problem, properties: tuple[Property, ...]
+) -> str | None:
+    """Polynomial infeasibility proof, or ``None`` when none was found.
+
+    ``None`` does *not* mean feasible -- only the exact search decides
+    that; a non-``None`` reason is always sound.
+    """
+    if not problem.required_updates:
+        return None
+    return precedence_for(problem, tuple(properties)).infeasible_reason
+
+
+# ---------------------------------------------------------------------------
+# the branch-and-bound search
+# ---------------------------------------------------------------------------
+
+def search_mask_bnb(
+    search,
+    properties: tuple[Property, ...],
+    max_rounds: int | None = None,
+    node_budget: int | None = None,
+    time_limit_s: float | None = None,
+    nogood_limit: int | None = None,
+) -> UpdateSchedule:
+    """Branch-and-bound over the mask engine's shared search state.
+
+    ``search`` is the :class:`repro.core.optimal._MaskSearch` verdict
+    layer (monotonicity memo included).  Infeasibility is decided in one
+    memoized pass -- dead states stay dead, there is no deepening
+    re-expansion -- and optimality by deepening only through
+    ``[lower bound, incumbent - 1]``.  ``node_budget`` /
+    ``time_limit_s`` turn the search anytime: exhausting either raises
+    :class:`ExactSearchBudgetError` with the proven interval.
+    """
+    problem = search.problem
+    properties = tuple(properties)
+    full = search.full
+    classes = search.classes
+    k = search.k
+    oracle = search.oracle
+
+    analysis = precedence_for(problem, properties)
+    if analysis.infeasible_reason is not None:
+        raise InfeasibleUpdateError(analysis.infeasible_reason)
+    root_lb = max(1, analysis.chain_bound(full))
+    if max_rounds is not None and root_lb > max_rounds:
+        raise InfeasibleUpdateError(
+            f"no schedule satisfies {[p.value for p in properties]} within "
+            f"{max_rounds} rounds (forced-chain lower bound is {root_lb})"
+        )
+
+    if nogood_limit is None:
+        nogood_limit = DEFAULT_NOGOOD_LIMIT
+    if nogood_limit:
+        oracle.enable_nogood_learning(nogood_limit)
+    else:
+        # a nogood-free run must really be one: stop learning and drop
+        # whatever a previous search left in the shared table
+        oracle.disable_nogood_learning()
+
+    best: int | None = None
+    incumbent: list[int] | None = None
+    if search.round_filter is None:
+        try:
+            witness = combined_greedy_schedule(
+                problem, properties, include_cleanup=False
+            )
+        except (InfeasibleUpdateError, UpdateModelError):
+            witness = None
+        if witness is not None:
+            best = witness.n_rounds
+            incumbent = [oracle.mask_of(nodes) for nodes in witness.rounds]
+    if (
+        best is not None
+        and best <= root_lb
+        and (max_rounds is None or best <= max_rounds)
+    ):
+        return _mask_schedule(search, incumbent, properties)
+
+    from repro.core.optimal import _canonicalize
+
+    proven: dict[int, int] = {}
+    expanded = 0
+    deadline = (
+        time.monotonic() + time_limit_s if time_limit_s is not None else None
+    )
+
+    def current_lower(limit: int | None) -> int:
+        return root_lb if limit is None else max(root_lb, limit)
+
+    def charge(limit: int | None) -> None:
+        nonlocal expanded
+        expanded += 1
+        if node_budget is not None and expanded > node_budget:
+            raise ExactSearchBudgetError(
+                f"exact search exceeded {node_budget} node expansions",
+                lower=current_lower(limit),
+                upper=best,
+                nodes_expanded=expanded,
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise ExactSearchBudgetError(
+                f"exact search exceeded {time_limit_s}s",
+                lower=current_lower(limit),
+                upper=best,
+                nodes_expanded=expanded,
+            )
+
+    def dfs_any(state: int) -> list[int] | None:
+        """Find *any* completion; states without one are marked dead
+        permanently, so the infeasibility proof is a single pass."""
+        charge(None)
+        safe_mask = search.safe_singleton_mask(state)
+        sub = safe_mask
+        while sub:
+            successor = state | sub
+            key = _canonicalize(successor, classes, k) if classes else successor
+            if proven.get(key, -1) < _DEAD:
+                if search.filter_ok(state, sub) and search.round_ok(state, sub):
+                    if successor == full:
+                        return [sub]
+                    tail = dfs_any(successor)
+                    if tail is not None:
+                        return [sub, *tail]
+                    proven[key] = _DEAD
+            sub = (sub - 1) & safe_mask
+        return None
+
+    def dfs_bounded(state: int, remaining: int, limit: int) -> list[int] | None:
+        charge(limit)
+        safe_mask = search.safe_singleton_mask(state)
+        if not safe_mask:
+            return None
+        if remaining == 1:
+            pending = full & ~state
+            if (
+                safe_mask == pending
+                and search.filter_ok(state, pending)
+                and search.round_ok(state, pending)
+            ):
+                return [pending]
+            return None
+        sub = safe_mask
+        while sub:
+            successor = state | sub
+            key = _canonicalize(successor, classes, k) if classes else successor
+            if proven.get(key, -1) < remaining - 1:
+                if successor == full:
+                    if search.filter_ok(state, sub) and search.round_ok(
+                        state, sub
+                    ):
+                        return [sub]
+                elif analysis.chain_bound(full & ~successor) <= remaining - 1:
+                    if search.filter_ok(state, sub) and search.round_ok(
+                        state, sub
+                    ):
+                        tail = dfs_bounded(successor, remaining - 1, limit)
+                        if tail is not None:
+                            return [sub, *tail]
+                        previous = proven.get(key, -1)
+                        if remaining - 1 > previous:
+                            proven[key] = remaining - 1
+            sub = (sub - 1) & safe_mask
+        return None
+
+    if best is None:
+        # No greedy witness (infeasible instance, or a filtered search
+        # the witness cannot speak for): establish feasibility first.
+        found = dfs_any(0)
+        if found is None:
+            raise InfeasibleUpdateError(
+                f"no schedule satisfies {[p.value for p in properties]}"
+            )
+        best = len(found)
+        incumbent = found
+
+    ceiling = best - 1
+    if max_rounds is not None:
+        ceiling = min(ceiling, max_rounds)
+    for limit in range(root_lb, ceiling + 1):
+        rounds = dfs_bounded(0, limit, limit)
+        if rounds is not None:
+            return _mask_schedule(search, rounds, properties)
+
+    if max_rounds is not None and best > max_rounds:
+        raise InfeasibleUpdateError(
+            f"no schedule satisfies {[p.value for p in properties]} "
+            f"within {max_rounds} rounds"
+        )
+    return _mask_schedule(search, incumbent, properties)
+
+
+def _mask_schedule(
+    search, masks: list[int], properties: tuple[Property, ...]
+) -> UpdateSchedule:
+    return UpdateSchedule(
+        search.problem,
+        [search.round_nodes(mask) for mask in masks],
+        algorithm="optimal",
+        metadata={"properties": [p.value for p in properties]},
+    )

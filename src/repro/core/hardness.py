@@ -70,6 +70,41 @@ def crossing_instance() -> UpdateProblem:
     )
 
 
+def crossing_clash_instance(n: int, block: int = 2) -> UpdateProblem:
+    """A waypoint crossing welded onto a sawtooth interior: the
+    infeasibility stress case for WPE together with strong loop freedom.
+
+    Old path ``s, i_1..i_m, a, w, b, d``; new path routes the interior
+    block-reversed, then crosses ``a`` and ``b`` over the waypoint
+    (``..., b, w, a, d``).  The crossing core is round-infeasible under
+    WPE+SLF (the :func:`crossing_instance` clash), but unlike the bare
+    crossing the interior offers plenty of individually safe first moves
+    -- so naive exact search must exhaust the exponential interleavings
+    of the interior blocks at *every* deepening level before concluding
+    infeasibility, while the forced-order certificates of
+    :mod:`repro.core.bnb` prove it from the core alone.  ``n`` counts
+    path nodes; required updates are ``n - 1``.
+    """
+    if n < 7:
+        raise UpdateModelError(f"crossing clash needs n >= 7, got {n}")
+    if block < 1:
+        raise UpdateModelError(f"block size must be positive, got {block}")
+    m = n - 5
+    s = 0
+    interior = list(range(1, m + 1))
+    a, w, b, d = m + 1, m + 2, m + 3, m + 4
+    new_interior: list[int] = []
+    for start in range(0, m, block):
+        chunk = interior[start : start + block]
+        new_interior.extend(reversed(chunk))
+    return UpdateProblem(
+        Path([s, *interior, a, w, b, d]),
+        Path([s, *new_interior, b, w, a, d]),
+        waypoint=w,
+        name=f"clash-{n}-{block}",
+    )
+
+
 def waypoint_slalom_instance(k: int) -> UpdateProblem:
     """A crossing with ``k`` node pairs swapped across the waypoint.
 
@@ -93,12 +128,13 @@ def hardness_profile(
     problem: UpdateProblem,
     properties: tuple[Property, ...],
     max_nodes: int | None = None,
-    search: str = "iddfs",
+    search: str = "bnb",
 ) -> dict:
     """Exact-vs-greedy round profile of one instance.
 
-    Runs the bitmask exact engine (IDDFS by default, so the hardness
-    families are profiled well past the old n=12 cap) next to the
+    Runs the bitmask exact engine (branch-and-bound by default, so the
+    hardness families are profiled through the full n=24 cap -- its
+    certificates also settle infeasible clashes instantly) next to the
     combined greedy scheduler and reports the round gap -- the quantity
     the paper's E3 separations are about.  ``exact_rounds`` /
     ``greedy_rounds`` are ``None`` when the respective scheduler proves

@@ -28,6 +28,13 @@ Two engines implement the search:
 Both engines visit transitions in the same canonical order, so for the
 BFS mode they return *bit-identical* schedules (pinned by the
 equivalence suite in ``tests/core/test_optimal_mask.py``).
+
+On top of the mask engine, ``search="bnb"`` (equivalently
+``engine="bnb"``) runs the branch-and-bound mode of
+:mod:`repro.core.bnb`: admissible forced-chain lower bounds, greedy
+incumbent seeding, single-pass infeasibility proofs and conflict-learned
+nogoods shared through the :class:`SafetyOracle` -- the mode that lifts
+the cap past n=18 and makes infeasibility proofs (WPE+SLF clashes) fast.
 """
 
 from __future__ import annotations
@@ -49,9 +56,11 @@ from repro.core.verify import (
 
 #: Safety limit on the number of required updates the exact search
 #: accepts.  The mask engine's integer states, monotonicity memo and
-#: IDDFS mode keep 18 nodes tractable (the seed-era frozenset BFS was
-#: capped at 12); beyond that, wall clock -- not memory -- is the limit.
-DEFAULT_MAX_NODES = 18
+#: IDDFS mode made 18 nodes tractable (the seed-era frozenset BFS was
+#: capped at 12); the branch-and-bound mode's forced-chain bounds,
+#: incumbent seeding and conflict-learned nogoods lift the default to
+#: 24.  Beyond that, wall clock -- not memory -- is the limit.
+DEFAULT_MAX_NODES = 24
 
 
 def round_is_safe_reference(
@@ -565,6 +574,9 @@ def minimal_round_schedule(
     engine: str | None = None,
     search: str = "bfs",
     monotone_prune: bool = True,
+    node_budget: int | None = None,
+    time_limit_s: float | None = None,
+    nogood_limit: int | None = None,
 ) -> UpdateSchedule:
     """Find a schedule with the *fewest* rounds satisfying ``properties``.
 
@@ -584,10 +596,19 @@ def minimal_round_schedule(
     reference BFS, with ``use_oracle=False`` further downgrading every
     verdict to the from-scratch :func:`round_is_safe_reference` pipeline.
     ``search`` picks ``"bfs"`` (canonical order, bit-identical to the
-    reference engine) or ``"iddfs"`` (mask engine only: big-rounds-first
-    iterative deepening bounded by the greedy witness -- the mode that
-    makes n=16+ instances complete).  ``monotone_prune=False`` disables
-    the sub-/super-set verdict memo, for cross-checking.
+    reference engine), ``"iddfs"`` (mask engine only: big-rounds-first
+    iterative deepening bounded by the greedy witness) or ``"bnb"``
+    (mask engine only: the branch-and-bound mode of
+    :mod:`repro.core.bnb` -- forced-chain lower bounds, incumbent
+    seeding, conflict-learned nogoods, single-pass infeasibility
+    proofs; ``engine="bnb"`` is shorthand for it).  The branch-and-bound
+    knobs -- ``node_budget`` (search-node cap), ``time_limit_s``
+    (internal wall-clock deadline) and ``nogood_limit`` (learned-pattern
+    table size, 0 disables learning) -- turn the search *anytime*: on an
+    exhausted budget it raises
+    :class:`~repro.errors.ExactSearchBudgetError` carrying the proven
+    lower/upper round interval.  ``monotone_prune=False`` disables the
+    sub-/super-set verdict memo, for cross-checking.
     """
     properties = tuple(properties)
     todo = frozenset(problem.required_updates)
@@ -602,8 +623,28 @@ def minimal_round_schedule(
         raise VerificationError(
             f"instance has {len(todo)} updates; exact search capped at {max_nodes}"
         )
+    if engine == "bnb":  # shorthand: the bnb search on the mask engine
+        engine, search = "mask", "bnb"
     if engine is None:
         engine = "mask" if use_oracle else "sets"
+    if search != "bnb" and (
+        node_budget is not None
+        or time_limit_s is not None
+        or nogood_limit is not None
+    ):
+        raise VerificationError(
+            "node_budget/time_limit_s/nogood_limit are branch-and-bound "
+            "knobs; select search='bnb' (or engine='bnb') to use them"
+        )
+    # The polynomial certificates settle provably infeasible instances
+    # for every oracle-backed engine -- without this, a certified clash
+    # handed to BFS/IDDFS would still exhaust the exponential state
+    # space.  The oracle-free sets path stays the unassisted reference.
+    reason = _precheck_infeasible(
+        problem, properties, max_nodes, max_rounds, use_oracle, engine
+    )
+    if reason is not None:
+        raise InfeasibleUpdateError(reason)
     if engine == "mask":
         if not use_oracle:
             raise VerificationError(
@@ -615,12 +656,62 @@ def minimal_round_schedule(
             return _search_mask_bfs(state, properties, max_rounds)
         if search == "iddfs":
             return _search_mask_iddfs(state, properties, max_rounds)
+        if search == "bnb":
+            from repro.core.bnb import search_mask_bnb
+
+            return search_mask_bnb(
+                state,
+                properties,
+                max_rounds,
+                node_budget=node_budget,
+                time_limit_s=time_limit_s,
+                nogood_limit=nogood_limit,
+            )
         raise VerificationError(f"unknown search mode {search!r}")
     if engine != "sets":
         raise VerificationError(f"unknown exact-search engine {engine!r}")
     if search != "bfs":
         raise VerificationError("the sets reference engine only supports BFS")
     return _search_sets(problem, properties, max_rounds, round_filter, use_oracle)
+
+
+def _precheck_infeasible(
+    problem,
+    properties: tuple[Property, ...],
+    max_nodes: int,
+    max_rounds: int | None,
+    use_oracle: bool,
+    engine: str | None,
+) -> str | None:
+    """Polynomial infeasibility reason, or ``None`` (then search decides).
+
+    The dependency-graph certificates of :mod:`repro.core.bnb` prove
+    infeasibility without touching the state space: a never-applicable
+    update, a forced-order cycle, or a forced-chain lower bound already
+    above ``max_rounds``.  Sound for *every* engine (a filter or an
+    engine switch only shrinks the schedule space), but kept off the
+    oracle-free reference path, which must stay the unassisted ground
+    truth.
+    """
+    if not use_oracle or engine == "sets":
+        return None
+    todo = problem.required_updates
+    if not todo or len(todo) > max_nodes:
+        return None
+    from repro.core.bnb import precedence_for
+
+    analysis = precedence_for(problem, tuple(properties))
+    if analysis.infeasible_reason is not None:
+        return analysis.infeasible_reason
+    if max_rounds is not None:
+        bound = analysis.chain_bound(analysis.full_mask)
+        if bound > max_rounds:
+            return (
+                f"no schedule satisfies {[p.value for p in properties]} "
+                f"within {max_rounds} rounds (forced-chain lower bound is "
+                f"{bound})"
+            )
+    return None
 
 
 def minimal_round_count(
@@ -633,13 +724,23 @@ def minimal_round_count(
     engine: str | None = None,
     search: str = "bfs",
     monotone_prune: bool = True,
+    node_budget: int | None = None,
+    time_limit_s: float | None = None,
+    nogood_limit: int | None = None,
 ) -> int:
     """Round count of the optimal schedule (see :func:`minimal_round_schedule`).
 
     All search knobs -- including ``round_filter`` and ``use_oracle`` --
     are forwarded, so forced-order analyses and reference cross-checks
-    can use the counting shorthand too.
+    can use the counting shorthand too.  Counting queries short-circuit
+    through the dependency-graph lower bound first, so provably
+    infeasible combinations fail fast on every engine.
     """
+    reason = _precheck_infeasible(
+        problem, tuple(properties), max_nodes, max_rounds, use_oracle, engine
+    )
+    if reason is not None:
+        raise InfeasibleUpdateError(reason)
     return minimal_round_schedule(
         problem,
         properties,
@@ -650,6 +751,9 @@ def minimal_round_count(
         engine=engine,
         search=search,
         monotone_prune=monotone_prune,
+        node_budget=node_budget,
+        time_limit_s=time_limit_s,
+        nogood_limit=nogood_limit,
     ).n_rounds
 
 
@@ -663,12 +767,27 @@ def is_feasible(
     engine: str | None = None,
     search: str = "bfs",
     monotone_prune: bool = True,
+    node_budget: int | None = None,
+    time_limit_s: float | None = None,
+    nogood_limit: int | None = None,
 ) -> bool:
     """Does *any* round schedule satisfy ``properties``?
 
     Forwards the same knobs as :func:`minimal_round_schedule` (a no-op
     instance is trivially feasible via its zero-round schedule).
+    Feasibility probes short-circuit through the dependency-graph lower
+    bound first, so provably infeasible combinations -- the
+    WPE-versus-loop-freedom clashes -- answer without expanding any
+    state, whichever engine is selected.
     """
+    if (
+        _precheck_infeasible(
+            problem, tuple(properties), max_nodes, max_rounds, use_oracle,
+            engine,
+        )
+        is not None
+    ):
+        return False
     try:
         minimal_round_schedule(
             problem,
@@ -680,6 +799,9 @@ def is_feasible(
             engine=engine,
             search=search,
             monotone_prune=monotone_prune,
+            node_budget=node_budget,
+            time_limit_s=time_limit_s,
+            nogood_limit=nogood_limit,
         )
     except InfeasibleUpdateError:
         return False

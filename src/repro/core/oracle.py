@@ -50,6 +50,11 @@ _OLD, _FLEX, _NEW = 0, 1, 2
 #: Entries above which a verdict memo is dropped wholesale (backstop only).
 DEFAULT_MEMO_LIMIT = 1_000_000
 
+#: Default capacity of the learned-nogood table (see
+#: :meth:`SafetyOracle.enable_nogood_learning`).  Matching a nogood costs
+#: two int ops, so a few hundred patterns stay cheaper than one morph.
+DEFAULT_NOGOOD_LIMIT = 512
+
 
 @dataclass
 class OracleStats:
@@ -66,6 +71,8 @@ class OracleStats:
     frontier_recomputes: int = 0
     rlf_fallbacks: int = 0
     memo_evictions: int = 0
+    nogood_hits: int = 0
+    nogoods_learned: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -169,6 +176,20 @@ class SafetyOracle:
                 self._add_edge(node, target)
 
         self._memo: dict[int, bool] = {}
+
+        # --- conflict-learned nogoods (cross-state unsafe patterns) ---
+        # Each entry is an int pair ``(need_new, need_old)`` distilled
+        # from one concrete violation witness: the violating walk / cycle
+        # exists in *any* union graph where every ``need_new`` node has
+        # its new rule available (NEW or FLEX) and every ``need_old``
+        # node still has its old rule (not committed NEW).  Unlike the
+        # per-key verdict memo, one pattern settles unsafe verdicts
+        # across every state that re-creates the witness.
+        self._nogoods: list[tuple[int, int]] = []
+        self._nogood_seen: set[tuple[int, int]] = set()
+        self._learn_nogoods = False
+        self.nogood_limit = 0
+        self._rlf_witness: list | None = None
 
     # ------------------------------------------------------------------
     # per-node phase semantics
@@ -447,8 +468,17 @@ class SafetyOracle:
         """Apply ``node``; keep it when the round stays safe, else revert.
 
         The scheduler building block: returns the safety verdict and
-        leaves the graph in the corresponding state.
+        leaves the graph in the corresponding state.  A candidate whose
+        round matches a learned nogood is rejected without touching the
+        graph at all -- this is how greedy schedulers profit from the
+        patterns the exact search learns.
         """
+        bit_index = self._node_bit.get(node)
+        if bit_index is not None and self._nogoods and self._nogood_match(
+            self._new_mask, self._flex_mask | (1 << bit_index)
+        ):
+            self.stats.nogood_hits += 1
+            return False
         self.apply(node)
         if self.current_round_safe():
             return True
@@ -546,9 +576,18 @@ class SafetyOracle:
         if cached is not None:
             self.stats.memo_hits += 1
             return cached
+        if self._nogoods and self._nogood_match(updated_mask, round_mask):
+            self.stats.nogood_hits += 1
+            if len(memo) >= self.memo_limit:
+                memo.clear()
+                self.stats.memo_evictions += 1
+            memo[key] = False
+            return False
         self.stats.memo_misses += 1
         self._morph(updated_mask, round_mask)
         verdict = self.current_round_safe()
+        if not verdict and self._learn_nogoods:
+            self._learn_nogood()
         if len(memo) >= self.memo_limit:
             memo.clear()
             self.stats.memo_evictions += 1
@@ -558,6 +597,7 @@ class SafetyOracle:
     def _rlf_safe(self) -> bool:
         # Fast path: the PK structure already knows the graph is acyclic,
         # and without any union cycle there is nothing to reach.
+        self._rlf_witness = None
         self._validate_blocked()
         if not self._blocked:
             return True
@@ -621,6 +661,10 @@ class SafetyOracle:
                 continue
             target = options.pop()
             if target in on_walk:
+                # the full trajectory (prefix included) is the witness:
+                # one behaviour per node, so it generalizes to a nogood
+                self._rlf_witness = list(zip(walk, walk[1:]))
+                self._rlf_witness.append((walk[-1], target))
                 return True
             if target == destination:
                 continue
@@ -628,6 +672,200 @@ class SafetyOracle:
             on_walk.add(target)
             pending.append([t for t in succ[target] if t in danger])
         return False
+
+    # ------------------------------------------------------------------
+    # conflict-learned nogoods
+    # ------------------------------------------------------------------
+    # A nogood ``(need_new, need_old)`` is distilled from one concrete
+    # violation witness (an SLF cycle, a WPE waypoint-bypass path, a
+    # reachable blackhole, an RLF trajectory loop): the witness used the
+    # *new* rule of every node in ``need_new`` and the *old* rule of
+    # every node in ``need_old``.  The same witness therefore exists --
+    # and the round is therefore unsafe -- in every query
+    # ``(updated, round)`` where
+    #
+    # * every ``need_new`` node has its new rule available, i.e. is NEW
+    #   or FLEX: ``need_new & ~(updated | round) == 0``; and
+    # * every ``need_old`` node still has its old rule, i.e. is not
+    #   committed NEW: ``need_old & updated & ~round == 0``
+    #
+    # (FLEX wins overlaps, matching :meth:`_morph`).  This generalizes
+    # the exact search's per-state monotonicity memo across states: one
+    # learned pattern settles round candidates for *every* state that
+    # re-creates the witness, and :meth:`try_apply` consults the table
+    # too, so greedy schedulers skip doomed candidates without touching
+    # the graph.  Patterns are certificates, never heuristics -- a match
+    # implies a genuine violation for this oracle's property set.
+
+    def enable_nogood_learning(self, limit: int = DEFAULT_NOGOOD_LIMIT) -> None:
+        """Start distilling nogoods from unsafe verdicts (table <= limit)."""
+        self._learn_nogoods = True
+        self.nogood_limit = max(int(limit), len(self._nogoods))
+
+    def disable_nogood_learning(self) -> None:
+        """Stop learning *and* drop the table.
+
+        Clearing is deliberate: the table is shared per problem, so a
+        nogood-free cross-check (``nogood_limit=0``) must not silently
+        keep matching patterns a previous search learned.
+        """
+        self._learn_nogoods = False
+        self.nogood_limit = 0
+        self.clear_nogoods()
+
+    def nogoods(self) -> tuple:
+        """The learned ``(need_new, need_old)`` patterns (read-only view)."""
+        return tuple(self._nogoods)
+
+    def clear_nogoods(self) -> None:
+        """Drop every learned pattern (the table may be mid-poisoned
+        after an asynchronous interrupt such as a cell timeout)."""
+        self._nogoods.clear()
+        self._nogood_seen.clear()
+
+    def _nogood_match(self, updated_mask: int, round_mask: int) -> bool:
+        available = updated_mask | round_mask
+        committed = updated_mask & ~round_mask
+        for need_new, need_old in self._nogoods:
+            if need_new & ~available == 0 and need_old & committed == 0:
+                return True
+        return False
+
+    def _learn_nogood(self) -> None:
+        """Distill the current (violating) union graph into a pattern."""
+        if len(self._nogoods) >= self.nogood_limit:
+            return
+        pattern = self._violation_pattern()
+        if pattern is None or pattern in self._nogood_seen:
+            return
+        self._nogoods.append(pattern)
+        self._nogood_seen.add(pattern)
+        self.stats.nogoods_learned += 1
+
+    def _violation_pattern(self) -> "tuple[int, int] | None":
+        """Witness pattern of the first violated property (same order as
+        :meth:`current_round_safe`); ``None`` when no witness generalizes
+        (e.g. conservative RLF verdicts, which carry no trajectory)."""
+        for prop in self.properties:
+            if prop is Property.SLF:
+                self._validate_blocked()
+                if self._blocked:
+                    return self._cycle_pattern()
+            elif prop is Property.BLACKHOLE:
+                reachable_drops = self._drop & self._fwd_set()
+                if reachable_drops:
+                    return self._blackhole_pattern(
+                        min(reachable_drops, key=repr)
+                    )
+            elif prop is Property.WPE:
+                if self._destination in self._fwd_avoid_set():
+                    return self._path_pattern(
+                        self._destination, avoid=self._waypoint
+                    )
+            elif prop is Property.RLF:
+                if self._rlf_witness is not None:
+                    return self._pattern_edges(self._rlf_witness)
+        return None
+
+    def _pattern_edges(self, edges) -> "tuple[int, int] | None":
+        """Classify witness edges into the ``(need_new, need_old)`` pair."""
+        need_new = need_old = 0
+        bits = self._node_bit
+        for x, y in edges:
+            bit_index = bits.get(x)
+            if bit_index is None:
+                return None
+            old, new = self._old_next.get(x), self._new_next.get(x)
+            if old == y:
+                if new == y:
+                    continue  # both rules agree: edge exists in every phase
+                need_old |= 1 << bit_index
+            elif new == y:
+                need_new |= 1 << bit_index
+            else:
+                return None  # edge of unknown origin: refuse to generalize
+        return need_new, need_old
+
+    def _cycle_pattern(self) -> "tuple[int, int] | None":
+        """A union cycle: one blocked edge plus its non-blocked return path."""
+        blocked = self._blocked
+        succ = self._succ
+        for u0, v0 in blocked:
+            parent: dict = {v0: None}
+            stack = [v0]
+            while stack and u0 not in parent:
+                node = stack.pop()
+                for target in succ[node]:
+                    if target in parent or (node, target) in blocked:
+                        continue
+                    parent[target] = node
+                    if target == u0:
+                        break
+                    stack.append(target)
+            if u0 not in parent:
+                continue  # stale invariant: try another blocked edge
+            edges = [(u0, v0)]
+            node = u0
+            while parent[node] is not None:
+                edges.append((parent[node], node))
+                node = parent[node]
+            return self._pattern_edges(edges)
+        return None
+
+    def _path_pattern(self, goal: NodeId, avoid) -> "tuple[int, int] | None":
+        edges = self._path_edges_to(goal, avoid)
+        if edges is None:
+            return None
+        return self._pattern_edges(edges)
+
+    def _path_edges_to(self, goal: NodeId, avoid) -> "list | None":
+        """BFS parent-chain edges from the source to ``goal``."""
+        source = self._source
+        if source == avoid or goal == avoid:
+            return None
+        if source == goal:
+            return []
+        succ = self._succ
+        parent: dict = {source: None}
+        queue = [source]
+        for node in queue:
+            for target in succ[node]:
+                if target in parent or target == avoid:
+                    continue
+                parent[target] = node
+                if target == goal:
+                    edges = []
+                    while parent[target] is not None:
+                        edges.append((parent[target], target))
+                        target = parent[target]
+                    edges.reverse()
+                    return edges
+                queue.append(target)
+        return None
+
+    def _blackhole_pattern(self, node: NodeId) -> "tuple[int, int] | None":
+        """A reachable drop: the path to ``node`` plus its dropping rule."""
+        edges = self._path_edges_to(node, avoid=None)
+        if edges is None:
+            return None
+        pattern = self._pattern_edges(edges)
+        if pattern is None:
+            return None
+        need_new, need_old = pattern
+        bit_index = self._node_bit.get(node)
+        if bit_index is None:
+            return None
+        old, new = self._old_next.get(node), self._new_next.get(node)
+        state = self._state.get(node)
+        if old is None and new is None:
+            pass  # drops in every phase: the path alone is the certificate
+        elif old is None and state != _NEW:
+            need_old |= 1 << bit_index
+        elif new is None and state != _OLD:
+            need_new |= 1 << bit_index
+        else:
+            return None  # node is not actually dropping: stale witness
+        return need_new, need_old
 
     # ------------------------------------------------------------------
     # introspection
@@ -742,14 +980,32 @@ def oracle_for(
 
 
 def clear_registry() -> None:
-    """Forget all shared oracles (cold-start benchmarks, test isolation)."""
+    """Forget all shared oracles (cold-start benchmarks, test isolation).
+
+    Also drops the per-problem forced-precedence caches of
+    :mod:`repro.core.bnb` (named literally to avoid the import cycle), so
+    a cleared problem is genuinely cold for benchmark purposes.
+    """
     for problem in list(_PROBLEMS):
-        try:
-            delattr(problem, _CACHE_ATTR)
-        except AttributeError:
-            pass
+        for attribute in (_CACHE_ATTR, "_bnb_precedence_cache"):
+            try:
+                delattr(problem, attribute)
+            except AttributeError:
+                pass
     _PROBLEMS.clear()
     _ALL_ORACLES.clear()
+
+
+def clear_nogoods() -> None:
+    """Drop the learned-nogood tables of every live shared oracle.
+
+    Learning can be interrupted asynchronously (the campaign runner's
+    per-cell SIGALRM fires mid-extraction); a half-written table would
+    then poison verdicts for every later cell reusing the cached
+    problem, so timeout handlers wipe all tables wholesale.
+    """
+    for oracle in list(_ALL_ORACLES):
+        oracle.clear_nogoods()
 
 
 def aggregate_stats() -> OracleStats:

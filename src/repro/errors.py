@@ -49,6 +49,30 @@ class VerificationBudgetError(VerificationError):
     """An exact verification exceeded its configured state budget."""
 
 
+class ExactSearchBudgetError(VerificationBudgetError):
+    """An exact search ran out of node or wall-clock budget.
+
+    Carries the *anytime* interval proven before the budget ran out:
+    ``lower`` is an admissible bound no schedule can beat, ``upper`` the
+    round count of the best incumbent schedule found (``None`` when no
+    feasible schedule is known yet), and ``nodes_expanded`` the search
+    effort spent.  ``upper == lower`` never raises -- the search returns
+    the incumbent as proven optimal instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        lower: int = 1,
+        upper: "int | None" = None,
+        nodes_expanded: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.lower = lower
+        self.upper = upper
+        self.nodes_expanded = nodes_expanded
+
+
 class OpenFlowError(ReproError):
     """An OpenFlow message is malformed or cannot be encoded/decoded."""
 

@@ -1,0 +1,483 @@
+"""Equivalence and soundness suite for the branch-and-bound exact engine.
+
+Three contracts are pinned here:
+
+* **cross-engine equivalence** -- ``search="bnb"`` must agree with the
+  BFS reference (and IDDFS) on optimal round counts for every feasible
+  instance, and on infeasibility verdicts, randomized and on the
+  hardness families;
+* **certificate soundness** -- the forced-order precedence relation and
+  the rounds lower bound must never contradict the exhaustive search
+  (admissibility), and the polynomial infeasibility certificates must
+  only fire on genuinely infeasible instances;
+* **nogood correctness** -- every pattern the oracle learns must encode
+  a genuine violation (checked against the from-scratch reference
+  verifier over *all* matching states), and a learned table must never
+  change results, including under ``round_filter``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import dependency_graph, forced_precedence_graph
+from repro.core.bnb import (
+    infeasibility_certificate,
+    precedence_for,
+    rounds_lower_bound,
+)
+from repro.core.hardness import (
+    crossing_clash_instance,
+    crossing_instance,
+    reversal_instance,
+    sawtooth_instance,
+    waypoint_slalom_instance,
+)
+from repro.core.optimal import (
+    is_feasible,
+    minimal_round_count,
+    minimal_round_schedule,
+    round_is_safe_reference,
+)
+from repro.core.oracle import clear_registry, oracle_for
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property, verify_schedule
+from repro.errors import ExactSearchBudgetError, InfeasibleUpdateError
+from repro.topology.random_graphs import random_update_instance
+
+_RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PROPERTY_SETS = [
+    (Property.SLF,),
+    (Property.RLF,),
+    (Property.BLACKHOLE,),
+    (Property.SLF, Property.BLACKHOLE),
+    (Property.RLF, Property.BLACKHOLE),
+]
+WAYPOINT_PROPERTY_SETS = PROPERTY_SETS + [
+    (Property.WPE,),
+    (Property.WPE, Property.BLACKHOLE),
+    (Property.WPE, Property.SLF),
+    (Property.WPE, Property.RLF),
+    (Property.WPE, Property.SLF, Property.BLACKHOLE),
+]
+
+
+@st.composite
+def instances(draw, with_waypoint: bool = False):
+    n = draw(st.integers(min_value=4, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    overlap = draw(st.floats(min_value=0.0, max_value=1.0))
+    old, new, waypoint = random_update_instance(
+        n, seed=seed, overlap=overlap, with_waypoint=with_waypoint
+    )
+    return UpdateProblem(old, new, waypoint=waypoint if with_waypoint else None)
+
+
+def _rounds_or_none(problem, properties, **kwargs):
+    try:
+        return minimal_round_schedule(problem, properties, **kwargs).n_rounds
+    except InfeasibleUpdateError:
+        return None
+
+
+class TestCrossEngineEquivalence:
+    @_RELAXED
+    @given(instances())
+    def test_random_instances_match_bfs(self, problem):
+        if len(problem.required_updates) > 8:
+            return
+        for properties in PROPERTY_SETS:
+            clear_registry()
+            reference = _rounds_or_none(problem, properties, search="bfs")
+            clear_registry()
+            bnb = _rounds_or_none(problem, properties, search="bnb")
+            assert bnb == reference, (properties, problem.old_path, problem.new_path)
+
+    @_RELAXED
+    @given(instances(with_waypoint=True))
+    def test_random_waypointed_instances_match_bfs(self, problem):
+        if len(problem.required_updates) > 8:
+            return
+        for properties in WAYPOINT_PROPERTY_SETS:
+            clear_registry()
+            reference = _rounds_or_none(problem, properties, search="bfs")
+            clear_registry()
+            bnb = _rounds_or_none(problem, properties, search="bnb")
+            assert bnb == reference, (properties, problem.old_path, problem.new_path)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: reversal_instance(8),
+            lambda: reversal_instance(14),
+            lambda: sawtooth_instance(12, 3),
+            lambda: sawtooth_instance(14, 4),
+            crossing_instance,
+            lambda: waypoint_slalom_instance(3),
+            lambda: crossing_clash_instance(9),
+            lambda: crossing_clash_instance(12),
+        ],
+    )
+    def test_hardness_families_match_iddfs(self, factory):
+        problem = factory()
+        sets_ = (
+            WAYPOINT_PROPERTY_SETS
+            if problem.waypoint is not None
+            else PROPERTY_SETS
+        )
+        for properties in sets_:
+            iddfs = _rounds_or_none(problem, properties, search="iddfs")
+            bnb = _rounds_or_none(problem, properties, search="bnb")
+            assert bnb == iddfs, (problem.name, properties)
+
+    def test_bnb_schedules_verify(self):
+        for factory, properties in [
+            (lambda: reversal_instance(10), (Property.SLF,)),
+            (lambda: reversal_instance(12), (Property.RLF,)),
+            (lambda: sawtooth_instance(12, 3), (Property.SLF,)),
+            (crossing_instance, (Property.WPE,)),
+        ]:
+            schedule = minimal_round_schedule(
+                factory(), properties, search="bnb"
+            )
+            assert verify_schedule(schedule, properties=properties).ok
+
+    def test_lifts_the_cap_to_24(self):
+        # 23 required updates: above both the seed cap (12) and the
+        # IDDFS-era cap (18), inside the new default of 24
+        schedule = minimal_round_schedule(
+            reversal_instance(24), (Property.RLF,), search="bnb"
+        )
+        assert schedule.n_rounds == 3
+        assert verify_schedule(schedule, properties=(Property.RLF,)).ok
+        # forced-linear worst case: incumbent meets the chain bound
+        forced = minimal_round_schedule(
+            reversal_instance(24), (Property.SLF,), search="bnb"
+        )
+        assert forced.n_rounds == 22
+
+
+class TestLowerBound:
+    @_RELAXED
+    @given(instances(with_waypoint=True))
+    def test_admissible_on_random_instances(self, problem):
+        if len(problem.required_updates) > 7:
+            return
+        for properties in (
+            (Property.SLF,),
+            (Property.WPE,),
+            (Property.WPE, Property.SLF),
+        ):
+            clear_registry()
+            optimum = _rounds_or_none(problem, properties, search="bfs")
+            if optimum is None:
+                continue
+            bound = rounds_lower_bound(problem, properties)
+            assert bound <= optimum, (properties, problem.old_path, problem.new_path)
+
+    def test_forced_linear_chain_is_exact(self):
+        for n in (6, 10, 16, 24):
+            problem = reversal_instance(n)
+            assert rounds_lower_bound(problem, (Property.SLF,)) == n - 2
+
+    def test_noop_instance_is_zero(self):
+        problem = UpdateProblem([1, 2, 3], [1, 2, 3])
+        assert rounds_lower_bound(problem, (Property.SLF,)) == 0
+
+    def test_infeasible_instances_raise(self):
+        with pytest.raises(InfeasibleUpdateError):
+            rounds_lower_bound(
+                crossing_instance(), (Property.WPE, Property.SLF)
+            )
+
+    def test_forced_precedence_graph_is_sound_subset(self):
+        problem = reversal_instance(6)
+        cheap = forced_precedence_graph(problem, (Property.SLF,))
+        exact = dependency_graph(problem, (Property.SLF,))
+        assert set(cheap.edges) <= set(exact.edges)
+        assert cheap.number_of_edges() > 0  # the chain is discovered
+
+    def test_short_circuit_applies_to_every_engine(self):
+        problem = crossing_instance()
+        properties = (Property.WPE, Property.SLF)
+        for knobs in (
+            {},
+            {"search": "iddfs"},
+            {"search": "bnb"},
+            {"max_rounds": 2},
+        ):
+            assert not is_feasible(problem, properties, **knobs)
+            with pytest.raises(InfeasibleUpdateError):
+                minimal_round_count(problem, properties, **knobs)
+
+
+class TestClashFamily:
+    def test_certificate_fires(self):
+        for n in (9, 16, 20, 24):
+            certificate = infeasibility_certificate(
+                crossing_clash_instance(n), (Property.WPE, Property.SLF)
+            )
+            assert certificate is not None, n
+
+    def test_certificate_matches_search_verdict(self):
+        # small enough for the exhaustive engines to confirm
+        for n in (9, 11):
+            problem = crossing_clash_instance(n)
+            assert not is_feasible(
+                problem, (Property.WPE, Property.SLF), search="iddfs"
+            )
+
+    def test_feasible_under_weaker_properties(self):
+        # the clash is specific to WPE+SLF: each property alone schedules
+        problem = crossing_clash_instance(12)
+        iddfs = minimal_round_count(problem, (Property.SLF,), search="iddfs")
+        bnb = minimal_round_count(problem, (Property.SLF,), search="bnb")
+        assert iddfs == bnb
+        assert infeasibility_certificate(problem, (Property.SLF,)) is None
+
+    def test_infeasibility_proof_is_fast_at_scale(self):
+        # the gate behind the satellite short-circuit: the default (BFS)
+        # engine would need hours on 19 updates without the certificate
+        problem = crossing_clash_instance(20)
+        started = time.perf_counter()
+        assert not is_feasible(problem, (Property.WPE, Property.SLF))
+        assert time.perf_counter() - started < 5.0
+
+
+class TestAnytimeInterval:
+    def test_budget_exhaustion_reports_sound_interval(self):
+        problem = sawtooth_instance(16, 4)
+        properties = (Property.RLF,)
+        clear_registry()
+        optimum = minimal_round_schedule(
+            problem, properties, search="bnb"
+        ).n_rounds
+        clear_registry()
+        with pytest.raises(ExactSearchBudgetError) as excinfo:
+            minimal_round_schedule(
+                problem, properties, search="bnb", node_budget=3
+            )
+        error = excinfo.value
+        assert error.lower <= optimum
+        assert error.upper is not None and optimum <= error.upper
+        assert error.nodes_expanded > 0
+
+    def test_time_limit_raises_with_interval(self):
+        problem = sawtooth_instance(16, 4)
+        clear_registry()
+        with pytest.raises(ExactSearchBudgetError) as excinfo:
+            minimal_round_schedule(
+                problem, (Property.RLF,), search="bnb", time_limit_s=-1.0
+            )
+        assert excinfo.value.lower >= 1
+
+    def test_matching_bounds_return_instead_of_raising(self):
+        # greedy incumbent == chain bound: proven optimal with zero
+        # expansions, so even a zero-ish budget succeeds
+        schedule = minimal_round_schedule(
+            reversal_instance(20), (Property.SLF,), search="bnb",
+            node_budget=1,
+        )
+        assert schedule.n_rounds == 18
+
+
+def _matching_queries(width, need_new, need_old):
+    """All ``(updated, round)`` int pairs a nogood pattern matches."""
+    for updated in range(1 << width):
+        for round_mask in range(1 << width):
+            if updated & round_mask:
+                continue  # queries keep the two sets disjoint
+            if need_new & ~(updated | round_mask):
+                continue
+            if need_old & updated & ~round_mask:
+                continue
+            yield updated, round_mask
+
+
+def _learn_by_enumeration(problem, properties):
+    """A freshly warmed oracle: every query of the small instance issued
+    with learning on, so the table holds whatever patterns exist."""
+    clear_registry()
+    oracle = oracle_for(problem, properties)
+    oracle.enable_nogood_learning()
+    width = len(problem.canonical_updates)
+    for updated in range(1 << width):
+        for round_mask in range(1 << width):
+            if updated & round_mask or not round_mask:
+                continue
+            oracle.round_is_safe(updated, round_mask)
+    return oracle
+
+
+class TestNogoodCorrectness:
+    @pytest.mark.parametrize(
+        "factory, properties",
+        [
+            (lambda: reversal_instance(6), (Property.SLF,)),
+            (lambda: reversal_instance(6), (Property.RLF,)),
+            (lambda: reversal_instance(6), (Property.BLACKHOLE, Property.SLF)),
+            (crossing_instance, (Property.WPE, Property.SLF)),
+            (crossing_instance, (Property.WPE, Property.BLACKHOLE)),
+            (crossing_instance, (Property.WPE, Property.RLF)),
+        ],
+    )
+    def test_learned_patterns_are_genuine_violations(self, factory, properties):
+        problem = factory()
+        oracle = _learn_by_enumeration(problem, properties)
+        assert oracle.nogoods(), "expected the enumeration to learn patterns"
+        width = len(problem.canonical_updates)
+        decode = oracle.nodes_of
+        for need_new, need_old in oracle.nogoods():
+            for updated, round_mask in _matching_queries(
+                width, need_new, need_old
+            ):
+                if not round_mask:
+                    continue
+                assert not round_is_safe_reference(
+                    problem,
+                    set(decode(updated)),
+                    set(decode(round_mask)),
+                    properties,
+                ), (need_new, need_old, updated, round_mask)
+
+    def test_search_learns_patterns_when_it_expands(self):
+        # RLF sawtooth has chain bound 1 < incumbent 3, so the search
+        # genuinely expands states, hits unsafe rounds, and learns (on
+        # forced-linear SLF instances the bound is exact and the search
+        # returns the incumbent with zero expansions -- nothing to learn)
+        problem = sawtooth_instance(16, 4)
+        clear_registry()
+        minimal_round_schedule(problem, (Property.RLF,), search="bnb")
+        oracle = oracle_for(problem, (Property.RLF,))
+        assert oracle.nogoods()
+        assert oracle.stats.nogood_hits > 0
+
+    def test_no_false_prunes_under_round_filter(self):
+        problem = reversal_instance(6)
+        properties = (Property.SLF,)
+        sequential_only = lambda updated, round_nodes: len(round_nodes) == 1
+        # pollute the shared oracle's table first, then search filtered
+        oracle = _learn_by_enumeration(problem, properties)
+        assert oracle.nogoods()
+        filtered_bnb = minimal_round_count(
+            problem, properties, round_filter=sequential_only, search="bnb"
+        )
+        clear_registry()
+        filtered_reference = minimal_round_count(
+            problem, properties, round_filter=sequential_only, search="bfs"
+        )
+        assert filtered_bnb == filtered_reference == 5
+
+    def test_learned_table_does_not_change_greedy_results(self):
+        from repro.core.combined import combined_greedy_schedule
+
+        problem = reversal_instance(8)
+        properties = (Property.SLF,)
+        clear_registry()
+        baseline = combined_greedy_schedule(
+            problem, properties, include_cleanup=False
+        )
+        oracle = _learn_by_enumeration(problem, properties)
+        assert oracle.nogoods()
+        warmed = combined_greedy_schedule(
+            problem, properties, include_cleanup=False, oracle=oracle
+        )
+        assert warmed.rounds == baseline.rounds
+
+    def test_clear_nogoods_wipes_every_oracle(self):
+        from repro.core.oracle import clear_nogoods
+
+        problem = reversal_instance(6)
+        oracle = _learn_by_enumeration(problem, (Property.SLF,))
+        assert oracle.nogoods()
+        clear_nogoods()
+        assert not oracle.nogoods()
+
+    def test_nogood_limit_zero_disables_learning(self):
+        problem = reversal_instance(6)
+        clear_registry()
+        minimal_round_schedule(
+            problem, (Property.SLF,), search="bnb", nogood_limit=0
+        )
+        assert not oracle_for(problem, (Property.SLF,)).nogoods()
+
+    def test_nogood_limit_zero_cleans_a_warm_oracle(self):
+        # a nogood-free cross-check after a learning run must not keep
+        # consulting (or extending) the previously learned table
+        problem = sawtooth_instance(16, 4)
+        properties = (Property.RLF,)
+        clear_registry()
+        minimal_round_schedule(problem, properties, search="bnb")
+        oracle = oracle_for(problem, properties)
+        assert oracle.nogoods()
+        minimal_round_schedule(
+            problem, properties, search="bnb", nogood_limit=0
+        )
+        assert not oracle.nogoods()
+        assert oracle.nogood_limit == 0
+
+    def test_bnb_only_knobs_rejected_on_other_searches(self):
+        from repro.errors import VerificationError
+
+        problem = reversal_instance(6)
+        for knob in (
+            {"node_budget": 10},
+            {"time_limit_s": 1.0},
+            {"nogood_limit": 8},
+        ):
+            with pytest.raises(VerificationError, match="branch-and-bound"):
+                minimal_round_schedule(
+                    problem, (Property.SLF,), search="iddfs", **knob
+                )
+
+    def test_certificates_short_circuit_iddfs_and_bfs_schedules(self):
+        # a certified clash handed to the deepening engines must answer
+        # from the certificate, not by exhausting the state space --
+        # clash-24 would take tens of seconds on IDDFS otherwise
+        problem = crossing_clash_instance(24)
+        started = time.perf_counter()
+        for search in ("bfs", "iddfs"):
+            with pytest.raises(InfeasibleUpdateError):
+                minimal_round_schedule(
+                    problem, (Property.WPE, Property.SLF), search=search
+                )
+        assert time.perf_counter() - started < 2.0
+
+
+class TestRegistryIntegration:
+    def test_bnb_reachable_through_specs(self):
+        from repro.core.api import schedule_update
+
+        problem = reversal_instance(10)
+        for spec in ("optimal:rlf?search=bnb", "optimal:rlf?engine=bnb"):
+            result = schedule_update(problem, spec, include_cleanup=False)
+            assert result.schedule.n_rounds == 3
+
+    def test_large_instances_default_to_bnb(self):
+        from repro.core.api import schedule_update
+
+        # 19 required updates: above BNB_DEFAULT_THRESHOLD, inside the
+        # new cap -- the plain spec must route through branch-and-bound
+        result = schedule_update(
+            reversal_instance(21), "optimal:rlf", include_cleanup=False
+        )
+        assert result.schedule.n_rounds == 3
+
+    def test_bnb_only_params_select_the_engine(self):
+        from repro.core.api import schedule_update
+
+        result = schedule_update(
+            reversal_instance(10),
+            "optimal:rlf?nogood_limit=64",
+            include_cleanup=False,
+        )
+        assert result.schedule.n_rounds == 3

@@ -249,7 +249,8 @@ class TestIddfs:
         assert not clash["capped"]
 
     def test_hardness_profile_degrades_over_the_cap(self):
-        profile = hardness_profile(reversal_instance(25), (Property.RLF,))
+        # 30 path nodes = 28 required updates, beyond DEFAULT_MAX_NODES=24
+        profile = hardness_profile(reversal_instance(30), (Property.RLF,))
         assert profile["capped"]
         assert profile["exact_rounds"] is None and profile["gap"] is None
         assert profile["greedy_rounds"] is not None

@@ -270,9 +270,9 @@ class TestScheduleEndpoint:
 
     def test_engine_refusals_are_400_not_crashes(self, api):
         _, rest = api
-        # exact-search size cap
-        big = {"oldpath": list(range(1, 25)),
-               "newpath": [1] + list(range(23, 1, -1)) + [24],
+        # exact-search size cap (DEFAULT_MAX_NODES=24: 30 updates exceed it)
+        big = {"oldpath": list(range(1, 32)),
+               "newpath": [1] + list(range(30, 1, -1)) + [31],
                "scheduler": "optimal:rlf"}
         assert rest.handle("POST", "/schedule", big).status == 400
         # unknown search mode and mistyped params

@@ -95,6 +95,7 @@ CORE_ALL = [
     "check_wpe",
     "classify_forward_backward",
     "combined_greedy_schedule",
+    "crossing_clash_instance",
     "crossing_instance",
     "default_properties",
     "dependency_graph",
@@ -102,12 +103,14 @@ CORE_ALL = [
     "enumerate_round_configurations",
     "execute_request",
     "explain_schedule",
+    "forced_precedence_graph",
     "functional_cycle",
     "functional_graph",
     "greedy_deadlock_certificate",
     "greedy_joint_schedule",
     "greedy_slf_schedule",
     "hardness_profile",
+    "infeasibility_certificate",
     "is_feasible",
     "is_order_forced",
     "is_round_safe",
@@ -124,6 +127,7 @@ CORE_ALL = [
     "round_is_safe",
     "round_is_safe_reference",
     "round_time_breakdown",
+    "rounds_lower_bound",
     "sawtooth_instance",
     "schedule_update",
     "schedule_update_time",
