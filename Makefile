@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke help
+.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke fabric-smoke help
 
 help:
 	@echo "test           - tier-1 test suite (pytest -x -q)"
@@ -11,6 +11,7 @@ help:
 	@echo "bench-exact    - full exact-search perf run (mask engine vs the PR 1 frozenset BFS)"
 	@echo "bench          - full pytest-benchmark experiment suite (E1-E10 tables)"
 	@echo "campaign-smoke - ~20s tiny campaign (260 cells, 7 family entries, 5 schedulers)"
+	@echo "fabric-smoke   - ~15s faulty 3-worker fleet (one SIGKILLed, one frozen) vs 1-worker baseline"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,3 +33,6 @@ bench:
 
 campaign-smoke:
 	$(PYTHON) -m repro campaign run examples/specs/smoke.json -j 4
+
+fabric-smoke:
+	$(PYTHON) benchmarks/run_fabric_smoke.py

@@ -6,7 +6,10 @@ schedulers (:mod:`repro.campaign.schedulers`), executes them across a
 process pool with per-cell timeouts and error capture
 (:mod:`repro.campaign.runner`), streams deterministic JSONL results into a
 resumable run directory (:mod:`repro.campaign.store`), and aggregates them
-into report tables (:mod:`repro.campaign.aggregate`).
+into report tables (:mod:`repro.campaign.aggregate`).  For multi-worker
+fleets, :mod:`repro.campaign.fabric` runs the same cells through a
+fault-tolerant coordinator + pull-worker decomposition with leases,
+heartbeats, reclaim, and crash-safe resume.
 """
 
 from repro.campaign.aggregate import (
@@ -17,6 +20,15 @@ from repro.campaign.aggregate import (
 )
 from repro.campaign.families import build_unit, known_families, single_problem
 from repro.campaign.runner import CampaignRunner, run_cell
+from repro.campaign.fabric import (
+    ChaosConfig,
+    Coordinator,
+    FabricWorker,
+    HttpFabricClient,
+    LocalClient,
+    run_local_fleet,
+    worker_main,
+)
 from repro.campaign.schedulers import parse_properties, resolve
 from repro.campaign.spec import (
     CampaignSpec,
@@ -32,7 +44,12 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "Cell",
+    "ChaosConfig",
+    "Coordinator",
+    "FabricWorker",
     "FamilyEntry",
+    "HttpFabricClient",
+    "LocalClient",
     "RunStore",
     "aggregate_records",
     "aggregate_rows",
@@ -44,5 +61,7 @@ __all__ = [
     "render_report",
     "resolve",
     "run_cell",
+    "run_local_fleet",
     "single_problem",
+    "worker_main",
 ]

@@ -1,0 +1,42 @@
+"""Fault-tolerant campaign fabric: coordinator + pull-based worker fleet.
+
+Splits the campaign engine's execution across a coordinator service
+(:mod:`~repro.campaign.fabric.coordinator`) and any number of pull-based
+workers (:mod:`~repro.campaign.fabric.worker`), connected in-process or
+over the REST surface (:mod:`~repro.campaign.fabric.transport`):
+
+* workers lease cell batches with TTLs, heartbeat while computing, and
+  stream one JSONL shard per finished cell back;
+* the coordinator reclaims the cells of dead workers and expired leases,
+  retries transient failures with bounded exponential backoff + jitter,
+  re-leases a timed-out cell once with a larger budget before recording
+  ``timeout``, and folds shards through the unchanged store path so the
+  fleet's ``results.jsonl`` stays byte-identical to a 1-worker run;
+* :mod:`~repro.campaign.fabric.chaos` injects worker deaths, frozen
+  heartbeats, and dropped / duplicated / delayed submissions to prove it.
+"""
+
+from repro.campaign.fabric.chaos import Chaos, ChaosConfig, ChaosKill
+from repro.campaign.fabric.coordinator import Coordinator
+from repro.campaign.fabric.leases import Lease, LeaseTable, WorkerState
+from repro.campaign.fabric.transport import HttpFabricClient, LocalClient
+from repro.campaign.fabric.worker import (
+    FabricWorker,
+    run_local_fleet,
+    worker_main,
+)
+
+__all__ = [
+    "Chaos",
+    "ChaosConfig",
+    "ChaosKill",
+    "Coordinator",
+    "FabricWorker",
+    "HttpFabricClient",
+    "Lease",
+    "LeaseTable",
+    "LocalClient",
+    "WorkerState",
+    "run_local_fleet",
+    "worker_main",
+]

@@ -1,0 +1,125 @@
+"""Fault injection for the campaign fabric.
+
+A :class:`ChaosConfig` declares, deterministically, the faults one worker
+will suffer: dying mid-cell (SIGKILL for process workers, a raised
+:class:`ChaosKill` for in-thread test workers), freezing its heartbeats,
+and dropping / duplicating / delaying shard submissions.  The
+:class:`Chaos` runtime object counts events and answers "what happens to
+the Nth submission?" -- faults are keyed on ordinals, never wall clock or
+randomness, so a fault scenario replays identically every run.
+
+The fabric's robustness claims are exactly the ones this module attacks:
+
+* a killed or frozen worker's leases expire and its cells are reclaimed;
+* a dropped submission is indistinguishable from a death between compute
+  and submit -- the cell is re-leased and re-run;
+* a duplicated or delayed (possibly post-reclaim) submission is absorbed
+  by the coordinator's idempotent at-least-once accept path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class ChaosKill(Exception):
+    """An injected worker death (exception mode, for in-thread workers)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic fault plan for one worker.
+
+    ``kill_after_cells=k`` kills the worker mid-cell -- after it computed
+    its ``k``-th record but before submitting it, the worst spot: work
+    done, coordinator unaware.  ``kill_mode`` picks SIGKILL (process
+    workers) or :class:`ChaosKill` (thread workers, which cannot be
+    SIGKILLed individually).  ``freeze_heartbeats_after=n`` silences the
+    heartbeat loop after ``n`` beats (``0`` freezes it from the start).
+    ``drop_submits`` / ``duplicate_submits`` are 0-based submission
+    ordinals to lose or send twice; ``delay_submits`` maps ordinals to a
+    delay in seconds applied before the submission goes out.
+    """
+
+    kill_after_cells: int | None = None
+    kill_mode: str = "sigkill"  # "sigkill" | "exception"
+    freeze_heartbeats_after: int | None = None
+    drop_submits: tuple[int, ...] = ()
+    duplicate_submits: tuple[int, ...] = ()
+    delay_submits: Mapping[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (process workers receive their plan as args)."""
+        return {
+            "kill_after_cells": self.kill_after_cells,
+            "kill_mode": self.kill_mode,
+            "freeze_heartbeats_after": self.freeze_heartbeats_after,
+            "drop_submits": list(self.drop_submits),
+            "duplicate_submits": list(self.duplicate_submits),
+            "delay_submits": {str(k): v for k, v in self.delay_submits.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChaosConfig":
+        return cls(
+            kill_after_cells=data.get("kill_after_cells"),
+            kill_mode=data.get("kill_mode", "sigkill"),
+            freeze_heartbeats_after=data.get("freeze_heartbeats_after"),
+            drop_submits=tuple(data.get("drop_submits", ())),
+            duplicate_submits=tuple(data.get("duplicate_submits", ())),
+            delay_submits={
+                int(k): float(v)
+                for k, v in dict(data.get("delay_submits", {})).items()
+            },
+        )
+
+
+@dataclass
+class SubmitPlan:
+    """What chaos decided for one submission."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay_s: float = 0.0
+
+
+class Chaos:
+    """Per-worker fault runtime: counts events, applies the config."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self.cells_computed = 0
+        self.submits_attempted = 0
+        self.heartbeats_sent = 0
+
+    def on_cell_computed(self) -> None:
+        """Called between computing a record and submitting it; the
+        configured death point."""
+        self.cells_computed += 1
+        if self.config.kill_after_cells is None:
+            return
+        if self.cells_computed >= self.config.kill_after_cells:
+            if self.config.kill_mode == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise ChaosKill(
+                f"worker killed mid-cell #{self.cells_computed}"
+            )
+
+    def submit_plan(self) -> SubmitPlan:
+        ordinal = self.submits_attempted
+        self.submits_attempted += 1
+        return SubmitPlan(
+            drop=ordinal in self.config.drop_submits,
+            duplicate=ordinal in self.config.duplicate_submits,
+            delay_s=float(self.config.delay_submits.get(ordinal, 0.0)),
+        )
+
+    def heartbeat_allowed(self) -> bool:
+        frozen_after = self.config.freeze_heartbeats_after
+        if frozen_after is not None and self.heartbeats_sent >= frozen_after:
+            return False
+        self.heartbeats_sent += 1
+        return True

@@ -1,0 +1,430 @@
+"""The campaign fabric coordinator: cells in, leases out, shards folded.
+
+The coordinator owns one campaign: it expands the spec, leases pending
+cells to pull-based workers, tracks liveness through heartbeats, reclaims
+the cells of dead or expired leases, retries transient failures with
+bounded exponential backoff + jitter, escalates timed-out cells once with
+a larger budget, and folds submitted shards through the unchanged
+:class:`~repro.campaign.store.RunStore` path.
+
+Determinism contract (the same one the pool runner honors): records are
+seed-derived and written in canonical cell order regardless of which
+worker produced them or in what order they arrived -- out-of-order shards
+are buffered and flushed as the canonical prefix grows -- so an N-worker
+fleet's ``results.jsonl`` is byte-identical to the 1-worker run, and both
+match the single-host pool runner.
+
+At-least-once semantics: every accept path is idempotent.  A duplicate
+submission for a completed cell is a counted no-op; a submission under a
+reclaimed (stale) lease is still accepted when the cell is incomplete --
+the work is deterministic, so whichever copy arrives first wins and the
+rest are no-ops.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import CampaignError
+from repro.campaign.fabric.leases import LeaseTable
+from repro.campaign.runner import _truncate
+from repro.campaign.schedulers import resolve
+from repro.campaign.spec import Cell, CampaignSpec
+from repro.campaign.store import RunStore
+from repro.metrics import global_collector
+
+#: Fabric counter names (exposed via ``repro.metrics`` and ``status()``).
+COUNTERS = (
+    "leases_granted",
+    "cells_leased",
+    "reclaims",
+    "retries",
+    "escalations",
+    "duplicate_submits",
+    "stale_submits",
+    "transient_failures",
+)
+
+
+@dataclass
+class _CellState:
+    """Coordinator-side lifecycle of one cell."""
+
+    cell: Cell
+    payload: dict
+    status: str = "pending"  # pending | leased | done
+    attempts: int = 0
+    escalated: bool = False
+    eligible_at: float = 0.0
+    on_disk: bool = False  # completed by a previous run; already in results
+
+
+class Coordinator:
+    """Lease/heartbeat/submit service for one campaign's worker fleet."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        root: str = "campaign-runs",
+        store: RunStore | None = None,
+        *,
+        lease_ttl_s: float = 10.0,
+        lease_hard_ttl_factor: float = 8.0,
+        heartbeat_interval_s: float = 2.0,
+        heartbeat_timeout_s: float | None = None,
+        lease_cells: int = 4,
+        max_transient_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        escalation_factor: float = 4.0,
+        clock=time.monotonic,
+        jitter_seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.store = store or RunStore(root, spec.campaign_id)
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.heartbeat_timeout_s = float(
+            heartbeat_timeout_s
+            if heartbeat_timeout_s is not None
+            else 3.0 * heartbeat_interval_s
+        )
+        self.lease_cells = max(1, int(lease_cells))
+        self.max_transient_retries = int(max_transient_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        #: ``0`` disables timeout escalation entirely.
+        self.escalation_factor = float(escalation_factor)
+        self._clock = clock
+        self._rng = random.Random(jitter_seed)
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {name: 0 for name in COUNTERS}
+
+        cells = spec.expand()
+        self.store.initialize(spec, n_cells=len(cells))
+        completed = self.store.completed_ids()
+        self._states = [
+            _CellState(cell=cell, payload=cell.payload()) for cell in cells
+        ]
+        self._by_id = {cell.cell_id: i for i, cell in enumerate(cells)}
+        for state in self._states:
+            if state.cell.cell_id in completed:
+                state.status = "done"
+                state.on_disk = True
+        # in-order folding relies on the resumed prefix being canonical
+        # (both the pool runner and this coordinator only ever write
+        # canonical prefixes, so anything else is a corrupted directory)
+        done_prefix = 0
+        for state in self._states:
+            if not state.on_disk:
+                break
+            done_prefix += 1
+        if done_prefix != len(completed):
+            raise CampaignError(
+                f"{self.store.directory} results are not a canonical prefix "
+                f"({len(completed)} records, prefix {done_prefix}); the run "
+                "directory is corrupt -- delete it to start over"
+            )
+        self._next_flush = done_prefix
+        self._buffer: dict[int, tuple[dict, dict]] = {}
+        self._table = LeaseTable(
+            self.lease_ttl_s,
+            self.heartbeat_timeout_s,
+            hard_ttl_factor=lease_hard_ttl_factor,
+        )
+
+    # ------------------------------------------------------------------
+    # worker-facing protocol (every payload/return is JSON-compatible)
+    # ------------------------------------------------------------------
+    def register(self, body: Mapping[str, Any] | None = None) -> dict:
+        body = dict(body or {})
+        with self._lock:
+            state = self._table.register_worker(
+                name=str(body.get("name", "worker")),
+                meta={k: v for k, v in body.items() if k != "name"},
+                now=self._clock(),
+            )
+        return {
+            "worker_id": state.worker_id,
+            "lease_ttl_s": self.lease_ttl_s,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "lease_cells": self.lease_cells,
+        }
+
+    def heartbeat(self, worker_id: str) -> dict:
+        with self._lock:
+            now = self._clock()
+            known = self._table.touch(worker_id, now)
+            self._reap(now)
+            return {"ok": known, "unknown_worker": not known,
+                    "done": self._finished_locked()}
+
+    def lease(self, worker_id: str, max_cells: int | None = None) -> dict:
+        """Grant up to ``max_cells`` eligible pending cells (canonical
+        order).  ``done`` tells an idle worker the campaign is complete;
+        ``retry_after_s`` tells it when to ask again."""
+        limit = self.lease_cells if max_cells is None else max(1, int(max_cells))
+        with self._lock:
+            now = self._clock()
+            if not self._table.touch(worker_id, now):
+                return {"unknown_worker": True, "cells": [], "done": False}
+            self._reap(now)
+            if self._finished_locked():
+                return {"cells": [], "done": True}
+            indices = [
+                i for i, state in enumerate(self._states)
+                if state.status == "pending" and state.eligible_at <= now
+            ][:limit]
+            if not indices:
+                return {
+                    "cells": [],
+                    "done": False,
+                    "retry_after_s": self._retry_after_locked(now),
+                }
+            lease = self._table.grant(worker_id, indices, now)
+            for i in indices:
+                self._states[i].status = "leased"
+            self._count("leases_granted")
+            self._count("cells_leased", len(indices))
+            return {
+                "lease_id": lease.lease_id,
+                "cells": [dict(self._states[i].payload) for i in indices],
+                "done": False,
+            }
+
+    def submit(
+        self,
+        worker_id: str,
+        lease_id: str,
+        cell_id: str,
+        record: Mapping[str, Any],
+        timing: Mapping[str, Any],
+    ) -> dict:
+        """Fold one finished cell; idempotent under at-least-once delivery."""
+        with self._lock:
+            now = self._clock()
+            self._table.touch(worker_id, now)
+            index = self._by_id.get(cell_id)
+            if index is None:
+                raise CampaignError(f"unknown cell {cell_id!r}")
+            state = self._states[index]
+            fresh_lease = self._table.release_cell(lease_id, index)
+            if not fresh_lease:
+                self._count("stale_submits")
+            if state.status == "done":
+                self._count("duplicate_submits")
+                self._reap(now)
+                return {"accepted": False, "duplicate": True,
+                        "done": self._finished_locked()}
+            record = dict(record)
+            if (
+                record.get("status") == "timeout"
+                and self.escalation_factor > 1.0
+                and not state.escalated
+                and state.payload.get("timeout_s")
+            ):
+                self._escalate_locked(state, now)
+                return {"accepted": True, "escalated": True, "done": False}
+            self._complete_locked(index, record, dict(timing))
+            self._reap(now)
+            return {"accepted": True, "duplicate": False,
+                    "done": self._finished_locked()}
+
+    def fail(
+        self, worker_id: str, lease_id: str, cell_id: str, detail: str = ""
+    ) -> dict:
+        """A worker reports a *transient* (infrastructure-level) failure.
+
+        Deterministic outcomes -- scheduler errors, infeasibility,
+        timeouts -- are captured inside the cell record by ``run_cell``
+        and submitted normally; this path is for the machinery around it
+        failing.  Bounded retry with backoff, then a terminal error
+        record so the campaign always completes.
+        """
+        with self._lock:
+            now = self._clock()
+            self._table.touch(worker_id, now)
+            index = self._by_id.get(cell_id)
+            if index is None:
+                raise CampaignError(f"unknown cell {cell_id!r}")
+            self._table.release_cell(lease_id, index)
+            self._count("transient_failures")
+            retried = self._retry_locked(index, now, f"transient: {detail}")
+            return {"retried": retried, "done": self._finished_locked()}
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    @property
+    def campaign_id(self) -> str:
+        return self.spec.campaign_id
+
+    @property
+    def finished(self) -> bool:
+        with self._lock:
+            self._reap(self._clock())
+            return self._finished_locked()
+
+    def wait(self, timeout_s: float | None = None, poll_s: float = 0.05) -> bool:
+        """Block until the campaign completes; False on timeout."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while not self.finished:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
+        return True
+
+    def close(self) -> None:
+        self.store.close()
+
+    def status(self) -> dict:
+        """Store progress counters plus the fabric's own."""
+        with self._lock:
+            now = self._clock()
+            self._reap(now)
+            data = self.store.status()
+            buffered = len(self._buffer)
+            data["done"] += buffered
+            data["remaining"] = max(0, data["total"] - data["done"])
+            for record, _ in self._buffer.values():
+                data["by_status"][record["status"]] = (
+                    data["by_status"].get(record["status"], 0) + 1
+                )
+                if record.get("verified") is False:
+                    data["verification_failures"] += 1
+            data["fabric"] = {
+                **self.counters,
+                "workers": len(self._table.workers()),
+                "active_leases": len(self._table.leases()),
+                "buffered": buffered,
+                "pending": sum(
+                    1 for s in self._states if s.status != "done"
+                ),
+            }
+            return data
+
+    # ------------------------------------------------------------------
+    # internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _finished_locked(self) -> bool:
+        return self._next_flush == len(self._states) and not self._buffer
+
+    def _count(self, name: str, by: int = 1) -> None:
+        self.counters[name] += by
+        global_collector().increment(f"fabric.{name}", by)
+
+    def _backoff_locked(self, attempts: int) -> float:
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** max(0, attempts - 1)),
+        )
+        return base * (1.0 + 0.5 * self._rng.random())
+
+    def _retry_after_locked(self, now: float) -> float:
+        waits = [
+            state.eligible_at - now
+            for state in self._states
+            if state.status == "pending"
+        ]
+        if not waits:
+            return self.heartbeat_interval_s
+        return min(max(min(waits), 0.01), self.heartbeat_interval_s)
+
+    def _retry_locked(self, index: int, now: float, detail: str) -> bool:
+        """Requeue a transiently-failed/reclaimed cell, or give up on it."""
+        state = self._states[index]
+        if state.status == "done":
+            return False
+        state.attempts += 1
+        if state.attempts > self.max_transient_retries:
+            record = self._terminal_error_record(state, detail)
+            timing = {"id": state.cell.cell_id, "wall_ms": 0.0}
+            self._complete_locked(index, record, timing)
+            return False
+        state.status = "pending"
+        state.eligible_at = now + self._backoff_locked(state.attempts)
+        self._count("retries")
+        return True
+
+    def _terminal_error_record(self, state: _CellState, detail: str) -> dict:
+        cell = state.cell
+        return {
+            "cell": cell.index,
+            "id": cell.cell_id,
+            "family": cell.family,
+            "size": cell.size,
+            "repeat": cell.repeat,
+            "seed": cell.seed,
+            "scheduler": cell.scheduler,
+            "status": "error",
+            "rounds": None,
+            "touches": None,
+            "verified": None,
+            "detail": _truncate(
+                f"{detail} (gave up after {state.attempts} attempts)"
+            ),
+        }
+
+    def _escalate_locked(self, state: _CellState, now: float) -> None:
+        """Re-lease a timed-out cell once, with a larger budget.
+
+        The wall-clock limit grows by ``escalation_factor``; when the
+        scheduler accepts explicit search budgets (the exact engines'
+        ``node_budget`` / ``time_limit_s``), those grow with it.
+        """
+        state.escalated = True
+        payload = state.payload
+        old_timeout = float(payload["timeout_s"])
+        payload["timeout_s"] = old_timeout * self.escalation_factor
+        scheduler = resolve(payload["scheduler"])
+        extra: dict[str, Any] = {}
+        if "time_limit_s" in scheduler.accepts:
+            bound = scheduler.params.get("time_limit_s")
+            if bound is not None:
+                extra["time_limit_s"] = float(bound) * self.escalation_factor
+        if "node_budget" in scheduler.accepts:
+            budget = scheduler.params.get("node_budget")
+            if budget is not None:
+                extra["node_budget"] = int(budget * self.escalation_factor)
+        if extra:
+            payload["scheduler_params"] = extra
+        state.status = "pending"
+        state.eligible_at = now
+        self._count("escalations")
+
+    def _complete_locked(self, index: int, record: dict, timing: dict) -> None:
+        state = self._states[index]
+        state.status = "done"
+        self._buffer[index] = (record, timing)
+        self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        """Write the grown canonical prefix through the store."""
+        while self._next_flush < len(self._states):
+            index = self._next_flush
+            if self._states[index].on_disk:
+                self._next_flush += 1
+                continue
+            buffered = self._buffer.pop(index, None)
+            if buffered is None:
+                break
+            record, timing = buffered
+            self.store.append(record, timing)
+            self._states[index].on_disk = True
+            self._next_flush += 1
+
+    def _reap(self, now: float) -> None:
+        """Reclaim expired leases and the leases of dead workers."""
+        for lease, reason in self._table.reap(now):
+            for index in lease.cell_indices:
+                state = self._states[index]
+                if state.status != "leased":
+                    continue
+                self._count("reclaims")
+                self._retry_locked(
+                    index, now, f"lease {lease.lease_id} reclaimed ({reason})"
+                )

@@ -1,0 +1,163 @@
+"""Worker registry and lease table for the campaign fabric.
+
+The coordinator hands out *leases*: a worker takes temporary ownership of
+a batch of cells, bounded by a TTL.  Liveness is tracked per worker --
+every RPC a worker makes (heartbeat, lease, submit, fail) counts as proof
+of life and extends that worker's leases -- so a worker that is alive but
+slow keeps its work, while a SIGKILLed or wedged worker stops making
+requests, its heartbeat ages out, and :meth:`LeaseTable.reap` returns its
+leases for the coordinator to reclaim.
+
+Extensions are bounded: a lease can only be refreshed up to
+``hard_ttl_factor`` times its TTL past the grant.  Without the cap, a
+worker that silently lost a result on the wire but keeps heartbeating
+(it believes the submit landed) would hold its cell leased forever and
+the campaign would never finish.  Reclaiming under a live worker is safe
+-- the coordinator's accept path is idempotent, so the worst case is
+duplicate work, never duplicate records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass
+class Lease:
+    """Temporary ownership of a batch of cell indices by one worker."""
+
+    lease_id: str
+    worker_id: str
+    cell_indices: list[int]
+    granted_at: float
+    expires_at: float
+    #: refreshes never push ``expires_at`` past this point
+    max_expires_at: float = float("inf")
+
+
+@dataclass
+class WorkerState:
+    """One registered worker's liveness bookkeeping."""
+
+    worker_id: str
+    name: str
+    registered_at: float
+    last_seen: float
+    meta: dict = field(default_factory=dict)
+
+
+class LeaseTable:
+    """Registration, liveness, and lease-TTL bookkeeping (no cell logic)."""
+
+    def __init__(
+        self,
+        lease_ttl_s: float,
+        heartbeat_timeout_s: float,
+        hard_ttl_factor: float = 8.0,
+    ) -> None:
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.hard_ttl_factor = float(hard_ttl_factor)
+        self._workers: dict[str, WorkerState] = {}
+        self._leases: dict[str, Lease] = {}
+        self._worker_seq = itertools.count(1)
+        self._lease_seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def register_worker(
+        self, name: str, meta: Mapping[str, Any], now: float
+    ) -> WorkerState:
+        worker_id = f"w{next(self._worker_seq)}-{name}"
+        state = WorkerState(
+            worker_id=worker_id,
+            name=name,
+            registered_at=now,
+            last_seen=now,
+            meta=dict(meta),
+        )
+        self._workers[worker_id] = state
+        return state
+
+    def touch(self, worker_id: str, now: float) -> bool:
+        """Record proof of life; extends the worker's leases.  False when
+        the worker is unknown (never registered, or reaped as dead)."""
+        state = self._workers.get(worker_id)
+        if state is None:
+            return False
+        state.last_seen = now
+        for lease in self._leases.values():
+            if lease.worker_id == worker_id:
+                lease.expires_at = min(
+                    now + self.lease_ttl_s, lease.max_expires_at
+                )
+        return True
+
+    def worker_alive(self, worker_id: str, now: float) -> bool:
+        state = self._workers.get(worker_id)
+        return (
+            state is not None
+            and now - state.last_seen <= self.heartbeat_timeout_s
+        )
+
+    # ------------------------------------------------------------------
+    # leases
+    # ------------------------------------------------------------------
+    def grant(self, worker_id: str, cell_indices: list[int], now: float) -> Lease:
+        if worker_id not in self._workers:
+            raise KeyError(worker_id)
+        lease = Lease(
+            lease_id=f"l{next(self._lease_seq)}",
+            worker_id=worker_id,
+            cell_indices=list(cell_indices),
+            granted_at=now,
+            expires_at=now + self.lease_ttl_s,
+            max_expires_at=now + self.lease_ttl_s * self.hard_ttl_factor,
+        )
+        self._leases[lease.lease_id] = lease
+        return lease
+
+    def release_cell(self, lease_id: str, cell_index: int) -> bool:
+        """Drop one finished cell from its lease (lease removed when
+        empty).  False when the lease no longer exists -- a stale submit
+        after a reclaim."""
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return False
+        if cell_index in lease.cell_indices:
+            lease.cell_indices.remove(cell_index)
+        if not lease.cell_indices:
+            del self._leases[lease.lease_id]
+        return True
+
+    def reap(self, now: float) -> list[tuple[Lease, str]]:
+        """Remove and return (lease, reason) for every expired lease and
+        every lease owned by a dead worker; dead workers are dropped."""
+        dead = [
+            worker_id
+            for worker_id, state in self._workers.items()
+            if now - state.last_seen > self.heartbeat_timeout_s
+        ]
+        reclaimed: list[tuple[Lease, str]] = []
+        for lease in list(self._leases.values()):
+            if lease.worker_id in dead:
+                reclaimed.append((lease, "worker-dead"))
+                del self._leases[lease.lease_id]
+            elif lease.expires_at <= now:
+                reclaimed.append((lease, "lease-expired"))
+                del self._leases[lease.lease_id]
+        for worker_id in dead:
+            del self._workers[worker_id]
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def leases(self) -> list[Lease]:
+        return list(self._leases.values())
+
+    def workers(self) -> list[WorkerState]:
+        return list(self._workers.values())

@@ -1,0 +1,106 @@
+"""Worker-side transports to a campaign coordinator.
+
+Workers speak a five-verb protocol -- register, heartbeat, lease, submit,
+fail -- with JSON-compatible payloads on both transports:
+
+* :class:`LocalClient` calls an in-process :class:`Coordinator` directly
+  (tests, single-host fleets, the thread-based smoke paths);
+* :class:`HttpFabricClient` speaks the same verbs over the REST surface
+  (``POST /campaigns/<id>/fabric/<verb>``) through the retrying
+  :class:`~repro.rest.http_binding.HttpClient`, which gives connection
+  errors and 5xx responses bounded exponential backoff and fails 4xx
+  fast.  Retries make delivery at-least-once; the coordinator's
+  idempotent accept paths make that safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.campaign.fabric.coordinator import Coordinator
+
+
+class LocalClient:
+    """Direct in-process transport to a :class:`Coordinator`."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self.coordinator = coordinator
+
+    def register(self, info: Mapping[str, Any] | None = None) -> dict:
+        return self.coordinator.register(info)
+
+    def heartbeat(self, worker_id: str) -> dict:
+        return self.coordinator.heartbeat(worker_id)
+
+    def lease(self, worker_id: str, max_cells: int | None = None) -> dict:
+        return self.coordinator.lease(worker_id, max_cells)
+
+    def submit(
+        self,
+        worker_id: str,
+        lease_id: str,
+        cell_id: str,
+        record: Mapping[str, Any],
+        timing: Mapping[str, Any],
+    ) -> dict:
+        return self.coordinator.submit(worker_id, lease_id, cell_id, record, timing)
+
+    def fail(
+        self, worker_id: str, lease_id: str, cell_id: str, detail: str = ""
+    ) -> dict:
+        return self.coordinator.fail(worker_id, lease_id, cell_id, detail)
+
+
+class HttpFabricClient:
+    """The same five verbs over ``POST /campaigns/<id>/fabric/<verb>``."""
+
+    def __init__(self, base_url: str, campaign_id: str, http=None) -> None:
+        if http is None:
+            from repro.rest.http_binding import HttpClient
+
+            http = HttpClient(base_url)
+        self.http = http
+        self.campaign_id = campaign_id
+
+    def _post(self, verb: str, body: Mapping[str, Any]) -> dict:
+        return self.http.post(
+            f"/campaigns/{self.campaign_id}/fabric/{verb}", dict(body)
+        )
+
+    def register(self, info: Mapping[str, Any] | None = None) -> dict:
+        return self._post("register", dict(info or {}))
+
+    def heartbeat(self, worker_id: str) -> dict:
+        return self._post("heartbeat", {"worker_id": worker_id})
+
+    def lease(self, worker_id: str, max_cells: int | None = None) -> dict:
+        body: dict[str, Any] = {"worker_id": worker_id}
+        if max_cells is not None:
+            body["max_cells"] = max_cells
+        return self._post("lease", body)
+
+    def submit(
+        self,
+        worker_id: str,
+        lease_id: str,
+        cell_id: str,
+        record: Mapping[str, Any],
+        timing: Mapping[str, Any],
+    ) -> dict:
+        return self._post("submit", {
+            "worker_id": worker_id,
+            "lease_id": lease_id,
+            "cell_id": cell_id,
+            "record": dict(record),
+            "timing": dict(timing),
+        })
+
+    def fail(
+        self, worker_id: str, lease_id: str, cell_id: str, detail: str = ""
+    ) -> dict:
+        return self._post("fail", {
+            "worker_id": worker_id,
+            "lease_id": lease_id,
+            "cell_id": cell_id,
+            "detail": detail,
+        })

@@ -1,0 +1,223 @@
+"""Pull-based campaign fabric worker.
+
+A worker registers with the coordinator, then loops: lease a batch of
+cells, execute each through the unchanged
+:func:`~repro.campaign.runner.run_cell` (deterministic records, per-cell
+SIGALRM timeouts, error capture), and stream each finished cell straight
+back -- one shard per cell, so a death loses at most the cell in flight.
+A daemon heartbeat thread keeps the worker's leases alive while a long
+cell computes.
+
+Infrastructure failures around ``run_cell`` (the cell itself never
+raises) are reported to the coordinator as *transient* via ``fail``, to
+be retried with backoff; transport failures on submit are swallowed after
+the :class:`HttpClient` retry budget -- the lease expires and the
+coordinator re-runs the cell, which is safe because records are
+deterministic and the accept path idempotent.
+
+:func:`worker_main` is the process entry point used by ``repro campaign
+work``, the fault-injection suite, and the fabric smoke: plain args, so
+it survives ``multiprocessing`` spawn and SIGKILL harnesses.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.errors import TransportError
+from repro.campaign.fabric.chaos import Chaos, ChaosConfig, ChaosKill
+from repro.campaign.runner import run_cell
+
+
+class FabricWorker:
+    """One pull-based worker bound to a coordinator transport."""
+
+    def __init__(
+        self,
+        client,
+        *,
+        name: str = "worker",
+        max_lease_cells: int | None = None,
+        chaos: ChaosConfig | None = None,
+        sleep=time.sleep,
+        run_cell_fn=run_cell,
+    ) -> None:
+        self.client = client
+        self.name = name
+        self.max_lease_cells = max_lease_cells
+        self.chaos = Chaos(chaos) if chaos is not None else None
+        self._sleep = sleep
+        self._run_cell = run_cell_fn
+        self.worker_id: str | None = None
+        self.cells_done = 0
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict:
+        """Work until the coordinator reports the campaign done.
+
+        Returns a summary dict; ``died`` is True when an injected
+        exception-mode kill ended the worker early (process workers in
+        ``sigkill`` mode never return at all).
+        """
+        died = False
+        try:
+            self._register()
+            self._loop()
+        except ChaosKill:
+            died = True
+        finally:
+            self._stop_heartbeats()
+        return {
+            "worker_id": self.worker_id,
+            "name": self.name,
+            "cells_done": self.cells_done,
+            "died": died,
+        }
+
+    # ------------------------------------------------------------------
+    def _register(self) -> None:
+        reply = self.client.register({"name": self.name, "pid": os.getpid()})
+        self.worker_id = reply["worker_id"]
+        interval = float(reply.get("heartbeat_interval_s", 2.0))
+        self._hb_stop.clear()
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop, args=(interval,), daemon=True
+        )
+        self._hb_thread.start()
+
+    def _stop_heartbeats(self) -> None:
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=2.0)
+            self._hb_thread = None
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._hb_stop.wait(interval):
+            if self.chaos is not None and not self.chaos.heartbeat_allowed():
+                continue
+            try:
+                self.client.heartbeat(self.worker_id)
+            except Exception:  # noqa: BLE001 - liveness is best-effort;
+                pass  # a lost beat at worst costs a reclaim + re-run
+
+    def _loop(self) -> None:
+        while True:
+            reply = self.client.lease(self.worker_id, self.max_lease_cells)
+            if reply.get("unknown_worker"):
+                # declared dead (frozen heartbeats, long pause) and
+                # reaped; re-register and keep pulling -- our old cells
+                # were reclaimed, any in-flight submit lands as stale
+                self._stop_heartbeats()
+                self._register()
+                continue
+            if reply.get("done"):
+                return
+            cells = reply.get("cells", [])
+            if not cells:
+                self._sleep(float(reply.get("retry_after_s", 0.05)))
+                continue
+            lease_id = reply["lease_id"]
+            for payload in cells:
+                self._execute(lease_id, payload)
+
+    def _execute(self, lease_id: str, payload: dict) -> None:
+        cell_id = payload["cell_id"]
+        try:
+            record, timing = self._run_cell(payload)
+        except ChaosKill:
+            raise
+        except Exception as exc:  # noqa: BLE001 - run_cell never raises;
+            # anything here is harness-level (OOM-killed import, chaos)
+            self._report_fail(lease_id, cell_id, f"{type(exc).__name__}: {exc}")
+            return
+        if self.chaos is not None:
+            self.chaos.on_cell_computed()  # the configured death point
+            plan = self.chaos.submit_plan()
+            if plan.delay_s:
+                self._sleep(plan.delay_s)
+            if plan.drop:
+                return  # shard lost on the wire; lease expiry re-runs it
+            self._submit(lease_id, cell_id, record, timing)
+            if plan.duplicate:
+                self._submit(lease_id, cell_id, record, timing)
+        else:
+            self._submit(lease_id, cell_id, record, timing)
+        self.cells_done += 1
+
+    def _submit(self, lease_id: str, cell_id: str, record, timing) -> None:
+        try:
+            self.client.submit(self.worker_id, lease_id, cell_id, record, timing)
+        except TransportError:
+            # retry budget spent; the coordinator will reclaim the lease
+            # and re-run the cell -- deterministic, so nothing is lost
+            pass
+
+    def _report_fail(self, lease_id: str, cell_id: str, detail: str) -> None:
+        try:
+            self.client.fail(self.worker_id, lease_id, cell_id, detail)
+        except TransportError:
+            pass
+
+
+def worker_main(
+    url: str,
+    campaign_id: str,
+    *,
+    name: str = "worker",
+    max_lease_cells: int | None = None,
+    chaos: dict | None = None,
+) -> dict:
+    """Process entry point: connect over HTTP and work until done."""
+    from repro.campaign.fabric.transport import HttpFabricClient
+
+    worker = FabricWorker(
+        HttpFabricClient(url, campaign_id),
+        name=name,
+        max_lease_cells=max_lease_cells,
+        chaos=ChaosConfig.from_dict(chaos) if chaos is not None else None,
+    )
+    return worker.run()
+
+
+def run_local_fleet(
+    coordinator,
+    n_workers: int = 2,
+    *,
+    chaos: dict[int, ChaosConfig] | None = None,
+    max_lease_cells: int | None = None,
+) -> list[dict]:
+    """Run an in-process thread fleet to completion (tests, smoke paths).
+
+    ``chaos`` maps worker ordinals to fault plans; injected kills must use
+    ``kill_mode="exception"`` since threads cannot be SIGKILLed.  Returns
+    each worker's summary.
+    """
+    from repro.campaign.fabric.transport import LocalClient
+
+    workers = [
+        FabricWorker(
+            LocalClient(coordinator),
+            name=f"local{i}",
+            max_lease_cells=max_lease_cells,
+            chaos=(chaos or {}).get(i),
+        )
+        for i in range(n_workers)
+    ]
+    summaries: list[dict] = [None] * len(workers)  # type: ignore[list-item]
+
+    def _run(i: int) -> None:
+        summaries[i] = workers[i].run()
+
+    threads = [
+        threading.Thread(target=_run, args=(i,), daemon=True)
+        for i in range(len(workers))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return summaries

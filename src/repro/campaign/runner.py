@@ -135,6 +135,10 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
                         include_cleanup=payload["cleanup"],
                         verify=payload["verify"],
                         properties=explicit,
+                        # extra engine params (the fabric coordinator's
+                        # timeout escalation injects a larger node_budget /
+                        # time_limit_s on a re-leased cell)
+                        params=payload.get("scheduler_params") or {},
                     ))
                     # isolated-batch merge semantics: rounds = max, touches = sum
                     rounds = max(rounds, result.schedule.n_rounds)

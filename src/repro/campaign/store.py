@@ -41,12 +41,33 @@ def encode_record(record: Mapping[str, Any]) -> str:
     return canonical_json(dict(record)) + "\n"
 
 
+def atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Crash-atomic whole-file write: temp file + fsync + atomic rename.
+
+    A SIGKILL at any point leaves either the old file or the new one --
+    never a half-written mix.  The temp file lives in the target's
+    directory so the final ``os.replace`` stays on one filesystem.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
 class RunStore:
     """One campaign's on-disk run directory."""
 
-    def __init__(self, root: str | os.PathLike, campaign_id: str) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        campaign_id: str,
+        fsync: bool = True,
+    ) -> None:
         self.campaign_id = campaign_id
         self.directory = pathlib.Path(root) / campaign_id
+        self.fsync = fsync
         self._results_handle = None
         self._timings_handle = None
 
@@ -85,8 +106,9 @@ class RunStore:
                 )
             self._repair()
             return
-        manifest_path.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        atomic_write_text(
+            manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
         )
 
     def _repair(self) -> None:
@@ -112,7 +134,11 @@ class RunStore:
     # writing
     # ------------------------------------------------------------------
     def append(self, record: Mapping[str, Any], timing: Mapping[str, Any]) -> None:
-        """Persist one finished cell (record immediately flushed to disk)."""
+        """Persist one finished cell (record flushed -- and by default
+        fsynced -- to disk before returning, so a SIGKILL right after
+        ``append`` can never lose the record; a SIGKILL *during* it leaves
+        at most one partial trailing line, which ``_repair`` truncates on
+        the next run)."""
         if self._results_handle is None:
             self._results_handle = open(
                 self.directory / RESULTS, "a", encoding="utf-8"
@@ -121,9 +147,14 @@ class RunStore:
                 self.directory / TIMINGS, "a", encoding="utf-8"
             )
         self._results_handle.write(encode_record(record))
-        self._results_handle.flush()
+        self._flush(self._results_handle)
         self._timings_handle.write(encode_record(timing))
-        self._timings_handle.flush()
+        self._flush(self._timings_handle)
+
+    def _flush(self, handle) -> None:
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
 
     def close(self) -> None:
         for handle in (self._results_handle, self._timings_handle):

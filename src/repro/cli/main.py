@@ -387,6 +387,113 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_serve(args: argparse.Namespace) -> int:
+    from repro.campaign.fabric import worker_main
+    from repro.campaign.spec import CampaignSpec
+    from repro.rest.api import build_campaign_api
+    from repro.rest.http_binding import RestHttpServer
+
+    with open(args.spec, encoding="utf-8") as handle:
+        spec = CampaignSpec.from_dict(json.load(handle))
+
+    api = build_campaign_api(campaign_root=args.root)
+    server = RestHttpServer(api, port=args.port)
+    server.start()
+    body: dict = {"spec": spec.to_dict()}
+    for key, value in (
+        ("lease_ttl_s", args.lease_ttl),
+        ("heartbeat_interval_s", args.heartbeat_interval),
+        ("lease_cells", args.lease_cells),
+        ("max_transient_retries", args.max_retries),
+    ):
+        if value is not None:
+            body[key] = value
+    try:
+        api.campaigns.serve(body)
+        coordinator = api.campaigns.fabric(spec.campaign_id)
+        if args.json:
+            print(json.dumps({
+                "campaign_id": spec.campaign_id,
+                "url": server.url,
+                "directory": str(coordinator.store.directory),
+            }, sort_keys=True))
+        else:
+            print(f"fabric serving campaign {spec.campaign_id} on {server.url}")
+            print(f"join with: repro campaign work {server.url}")
+        sys.stdout.flush()
+
+        procs = []
+        if args.local_workers:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("spawn")
+            procs = [
+                ctx.Process(
+                    target=worker_main,
+                    args=(server.url, spec.campaign_id),
+                    kwargs={"name": f"local{i}"},
+                    daemon=True,
+                )
+                for i in range(args.local_workers)
+            ]
+            for proc in procs:
+                proc.start()
+
+        completed = coordinator.wait(timeout_s=args.timeout)
+        for proc in procs:
+            proc.join(timeout=10)
+        status = coordinator.status()
+    finally:
+        server.stop()
+        api.campaigns.close()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        counts = ", ".join(
+            f"{name}={count}"
+            for name, count in status["by_status"].items()
+            if count
+        )
+        print(f"done: {status['done']}/{status['total']} cells ({counts})")
+        fabric = status["fabric"]
+        print("fabric: " + ", ".join(
+            f"{name}={fabric[name]}"
+            for name in ("leases_granted", "reclaims", "retries", "escalations")
+        ))
+    failures = status.get("verification_failures", 0)
+    errors = status["by_status"].get("error", 0)
+    ok = completed and not failures and not errors
+    return 0 if ok else 1
+
+
+def cmd_campaign_work(args: argparse.Namespace) -> int:
+    from repro.campaign.fabric import FabricWorker, HttpFabricClient
+    from repro.rest.http_binding import HttpClient
+
+    campaign_id = args.campaign
+    if campaign_id is None:
+        served = HttpClient(args.url).get("/campaigns/fabric")["campaigns"]
+        if len(served) != 1:
+            print(
+                f"error: coordinator serves {len(served)} campaigns "
+                f"({', '.join(served) or 'none'}); pass --campaign",
+                file=sys.stderr,
+            )
+            return 2
+        campaign_id = served[0]
+    worker = FabricWorker(
+        HttpFabricClient(args.url, campaign_id),
+        name=args.name,
+        max_lease_cells=args.cells,
+    )
+    summary = worker.run()
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(f"{summary['worker_id']}: {summary['cells_done']} cells done")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.netlab.figure1 import build_figure1_scenario
     from repro.rest.api import build_rest_api
@@ -503,6 +610,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory holding campaign run directories")
     p_run.add_argument("--json", action="store_true")
     p_run.set_defaults(func=cmd_campaign_run)
+
+    p_cserve = campaign_sub.add_parser(
+        "serve", help="coordinate a campaign for a pull-based worker fleet"
+    )
+    p_cserve.add_argument("spec", help="path to the campaign spec JSON file")
+    p_cserve.add_argument("--root", default="campaign-runs",
+                          help="directory holding campaign run directories")
+    p_cserve.add_argument("--port", type=int, default=0,
+                          help="HTTP port for the fabric endpoints (0 = ephemeral)")
+    p_cserve.add_argument("--local-workers", type=int, default=0, metavar="N",
+                          help="also spawn N worker processes against this server")
+    p_cserve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                          help="give up waiting for the fleet after this long")
+    p_cserve.add_argument("--lease-ttl", type=float, default=None, metavar="SECONDS",
+                          help="lease TTL before an unrefreshed cell is reclaimed")
+    p_cserve.add_argument("--heartbeat-interval", type=float, default=None,
+                          metavar="SECONDS", help="worker heartbeat period")
+    p_cserve.add_argument("--lease-cells", type=int, default=None, metavar="N",
+                          help="cells handed out per lease")
+    p_cserve.add_argument("--max-retries", type=int, default=None, metavar="N",
+                          help="transient-failure retries before a cell errors out")
+    p_cserve.add_argument("--json", action="store_true")
+    p_cserve.set_defaults(func=cmd_campaign_serve)
+
+    p_work = campaign_sub.add_parser(
+        "work", help="join a served campaign as a pull worker"
+    )
+    p_work.add_argument("url", help="coordinator base URL (from 'campaign serve')")
+    p_work.add_argument("--campaign", default=None,
+                        help="campaign id (defaults to the single served one)")
+    p_work.add_argument("--name", default="worker",
+                        help="worker name shown in coordinator status")
+    p_work.add_argument("--cells", type=int, default=None, metavar="N",
+                        help="max cells to lease at a time")
+    p_work.add_argument("--json", action="store_true")
+    p_work.set_defaults(func=cmd_campaign_work)
 
     p_status = campaign_sub.add_parser("status", help="progress of a campaign")
     p_status.add_argument("campaign", help="campaign id or run directory path")

@@ -57,6 +57,13 @@ def time_limit(seconds: float | None):
     elsewhere -- e.g. a REST service thread -- the limit is silently
     skipped (the campaign runner routes timed cells into pool workers for
     exactly this reason).
+
+    Nesting-safe: an already-armed alarm (an outer ``time_limit`` or a
+    worker-level watchdog) is suspended, not cancelled.  While the inner
+    limit is active the alarm fires at whichever deadline comes first --
+    chaining to the *outer* handler when the outer deadline is the earlier
+    one -- and on exit the outer handler is restored and re-armed with its
+    remaining time.
     """
     usable = (
         seconds is not None
@@ -67,16 +74,42 @@ def time_limit(seconds: float | None):
         yield
         return
 
+    previous = signal.getsignal(signal.SIGALRM)
+    prior_delay, _ = signal.setitimer(signal.ITIMER_REAL, 0.0)
+    start = time.monotonic()
+    outer_deadline = start + prior_delay if prior_delay > 0.0 else None
+    inner_deadline = start + seconds
+    outer_fired = False
+
     def on_alarm(signum, frame):
+        nonlocal outer_fired
+        if (
+            outer_deadline is not None
+            and outer_deadline <= inner_deadline
+            and time.monotonic() >= outer_deadline
+            and callable(previous)
+        ):
+            outer_fired = True
+            previous(signum, frame)
+            return
         raise ScheduleTimeoutError(f"exceeded {seconds}s")
 
-    previous = signal.signal(signal.SIGALRM, on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    arm = seconds
+    if outer_deadline is not None:
+        arm = min(seconds, max(outer_deadline - start, 1e-6))
+    signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, arm)
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_deadline is not None and not outer_fired:
+            # hand the remaining budget back to the outer alarm; if the
+            # outer deadline slipped past while we held the timer, fire
+            # it (almost) immediately rather than swallowing it
+            remaining = outer_deadline - time.monotonic()
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
 
 
 @dataclass(frozen=True)

@@ -123,6 +123,27 @@ class NotFoundError(RestError):
     status = 404
 
 
+class TransportError(ReproError):
+    """A client-side HTTP transport failure (connect error, 5xx exhausted).
+
+    Raised by :class:`repro.rest.http_binding.HttpClient` after its bounded
+    retry budget is spent on retryable failures (connection errors, 5xx).
+    """
+
+
+class HttpStatusError(TransportError):
+    """The server answered with a non-retryable HTTP error status (4xx).
+
+    Fails fast -- a malformed request will not get better by retrying.
+    Carries the numeric ``status`` and the decoded response ``body``.
+    """
+
+    def __init__(self, message: str, status: int, body=None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
 class CampaignError(ReproError):
     """A campaign run directory or engine invariant was violated."""
 

@@ -92,15 +92,30 @@ def reset_global_collector() -> None:
 
 @dataclass
 class MetricsCollector:
-    """Named series of float samples."""
+    """Named series of float samples plus monotonic event counters.
+
+    Series hold measurements (latencies, round counts) and get the full
+    :class:`Summary` treatment; counters are cheap monotonic tallies
+    (lease grants, reclaims, retries) that only ever accumulate.
+    """
 
     series: dict[str, list[float]] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
 
     def record(self, name: str, value: float) -> None:
         self.series.setdefault(name, []).append(float(value))
 
     def record_many(self, name: str, values: Iterable[float]) -> None:
         self.series.setdefault(name, []).extend(float(v) for v in values)
+
+    def increment(self, name: str, by: float = 1.0) -> float:
+        """Bump a monotonic counter; returns the new value."""
+        value = self.counters.get(name, 0.0) + float(by)
+        self.counters[name] = value
+        return value
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
 
     def get(self, name: str) -> list[float]:
         return list(self.series.get(name, []))
@@ -114,3 +129,5 @@ class MetricsCollector:
     def merge(self, other: "MetricsCollector") -> None:
         for name, values in other.series.items():
             self.record_many(name, values)
+        for name, value in other.counters.items():
+            self.increment(name, value)

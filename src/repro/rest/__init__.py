@@ -1,7 +1,15 @@
 """REST layer: the paper's update interface over an in-process router."""
 
-from repro.rest.api import RestApi, RestResponse, Route, Router, build_rest_api
-from repro.rest.http_binding import RestHttpServer
+from repro.rest.api import (
+    CampaignRestApi,
+    RestApi,
+    RestResponse,
+    Route,
+    Router,
+    build_campaign_api,
+    build_rest_api,
+)
+from repro.rest.http_binding import HttpClient, RestHttpServer
 from repro.rest.schemas import (
     SCHEDULE_BODY_KEYS,
     UPDATE_BODY_KEYS,
@@ -14,6 +22,8 @@ from repro.rest.schemas import (
 )
 
 __all__ = [
+    "CampaignRestApi",
+    "HttpClient",
     "RestApi",
     "RestHttpServer",
     "RestResponse",
@@ -23,6 +33,7 @@ __all__ = [
     "UPDATE_BODY_KEYS",
     "UPDATE_EXTENSION_KEYS",
     "UPDATE_HEADER_FIELDS",
+    "build_campaign_api",
     "build_rest_api",
     "schedule_result_to_body",
     "validate_flowentry_body",

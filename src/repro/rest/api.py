@@ -24,6 +24,14 @@ Routes (mirroring ofctl_rest plus the paper's update endpoint):
 * ``GET  /campaigns``                 -- known campaign ids
 * ``GET  /campaigns/<campaign_id>``   -- campaign progress counters
 * ``GET  /campaigns/<campaign_id>/report`` -- aggregated sweep table
+* ``POST /campaigns/serve``           -- stand up a fabric coordinator
+* ``GET  /campaigns/fabric``          -- actively-served campaign ids
+* ``GET  /campaigns/<campaign_id>/fabric`` -- coordinator status + counters
+* ``POST /campaigns/<campaign_id>/fabric/<verb>`` -- the fabric worker
+  protocol (register / heartbeat / lease / submit / fail)
+
+:func:`build_campaign_api` wires a campaign-only router (no simulated
+network) -- the surface ``repro campaign serve`` exposes to its fleet.
 """
 
 from __future__ import annotations
@@ -287,6 +295,22 @@ def build_rest_api(
         router.register(
             "POST", f"/stats/flowentry/{operation}", make_flowentry(operation)
         )
+    router.register("POST", "/update", post_update)
+    router.register("POST", "/update/<algorithm>", post_update)
+    router.register("GET", "/update/<update_id>", get_update)
+    router.register("POST", "/schedule", post_schedule)
+    router.register("GET", "/schedulers", get_schedulers)
+    register_campaign_routes(router, campaigns)
+    return api
+
+
+def register_campaign_routes(router: Router, campaigns: CampaignService) -> None:
+    """Wire the campaign + fabric route table onto ``router``.
+
+    Shared between the full demo API (:func:`build_rest_api`) and the
+    campaign-only coordinator surface (:func:`build_campaign_api`).
+    """
+
     def post_campaign(body: Any) -> dict:
         return campaigns.submit(body)
 
@@ -299,13 +323,48 @@ def build_rest_api(
     def get_campaign_report(body: Any, campaign_id: str) -> dict:
         return campaigns.report(campaign_id)
 
-    router.register("POST", "/update", post_update)
-    router.register("POST", "/update/<algorithm>", post_update)
-    router.register("GET", "/update/<update_id>", get_update)
-    router.register("POST", "/schedule", post_schedule)
-    router.register("GET", "/schedulers", get_schedulers)
+    def post_fabric_serve(body: Any) -> dict:
+        return campaigns.serve(body)
+
+    def get_fabric_ids(body: Any) -> dict:
+        return {"campaigns": campaigns.fabric_ids()}
+
+    def get_fabric_status(body: Any, campaign_id: str) -> dict:
+        return campaigns.fabric_status(campaign_id)
+
+    def post_fabric_verb(body: Any, campaign_id: str, verb: str) -> dict:
+        return campaigns.fabric_call(campaign_id, verb, body)
+
     router.register("POST", "/campaigns", post_campaign)
+    # static segments must register before the <campaign_id> captures
+    router.register("POST", "/campaigns/serve", post_fabric_serve)
+    router.register("GET", "/campaigns/fabric", get_fabric_ids)
     router.register("GET", "/campaigns", get_campaigns)
+    router.register("GET", "/campaigns/<campaign_id>/fabric", get_fabric_status)
+    router.register(
+        "POST", "/campaigns/<campaign_id>/fabric/<verb>", post_fabric_verb
+    )
     router.register("GET", "/campaigns/<campaign_id>", get_campaign)
     router.register("GET", "/campaigns/<campaign_id>/report", get_campaign_report)
-    return api
+
+
+@dataclass
+class CampaignRestApi:
+    """A campaign-only API surface (no simulated network attached)."""
+
+    router: Router
+    campaigns: CampaignService
+
+    def handle(self, method: str, path: str, body: Any = None) -> RestResponse:
+        return self.router.handle(method, path, body)
+
+
+def build_campaign_api(
+    campaign_root: str | None = None,
+    service: CampaignService | None = None,
+) -> CampaignRestApi:
+    """Wire only the campaign + fabric routes (``repro campaign serve``)."""
+    router = Router()
+    campaigns = service or CampaignService(root=campaign_root)
+    register_campaign_routes(router, campaigns)
+    return CampaignRestApi(router=router, campaigns=campaigns)

@@ -10,6 +10,19 @@ Bridges the HTTP surface to the campaign engine:
 * ``GET /campaigns/<campaign_id>/report`` -- aggregated per
   family x scheduler percentile records.
 
+Fabric (coordinator + worker fleet) endpoints, all idempotent-safe under
+at-least-once delivery:
+
+* ``POST /campaigns/serve`` -- ``{"spec": {...}, ...options}``; stand up
+  a :class:`~repro.campaign.fabric.Coordinator` for the spec (resuming
+  its run directory) and return its status.  Cells are *not* executed
+  server-side; pull workers do that.
+* ``POST /campaigns/<campaign_id>/fabric/register|heartbeat|lease|submit|fail``
+  -- the worker protocol (see :mod:`repro.campaign.fabric.transport`).
+  Duplicate shard submissions are counted no-ops.
+* ``GET /campaigns/<campaign_id>/fabric`` -- coordinator status with
+  lease/reclaim/retry/escalation counters.
+
 Unknown campaign ids are a 404, malformed specs a 400 -- never a raw
 ``KeyError``/500 out of the router.
 """
@@ -22,6 +35,7 @@ from typing import Any, Mapping
 
 from repro.errors import BadRequestError, CampaignError, CampaignSpecError, NotFoundError
 from repro.campaign.aggregate import aggregate_records
+from repro.campaign.fabric import Coordinator
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import RunStore
@@ -29,12 +43,23 @@ from repro.campaign.store import RunStore
 #: REST-side cap: campaigns beyond this size must go through the CLI.
 MAX_REST_CELLS = 5000
 
+#: Coordinator knobs a ``POST /campaigns/serve`` body may set.
+FABRIC_OPTIONS = (
+    "lease_ttl_s",
+    "heartbeat_interval_s",
+    "heartbeat_timeout_s",
+    "lease_cells",
+    "max_transient_retries",
+    "escalation_factor",
+)
+
 
 class CampaignService:
     """Run directory management + engine invocation for the REST routes."""
 
     def __init__(self, root: str | None = None) -> None:
         self._root = root
+        self._coordinators: dict[str, Coordinator] = {}
 
     @property
     def root(self) -> str:
@@ -89,6 +114,107 @@ class CampaignService:
             "campaign_id": store.campaign_id,
             "rows": aggregate_records(store.records(), store.timings()),
         }
+
+    # ------------------------------------------------------------------
+    # fabric: coordinator lifecycle + worker protocol
+    # ------------------------------------------------------------------
+    def serve(self, body: Any) -> dict:
+        """Stand up a coordinator for a spec (idempotent per campaign id)."""
+        if not isinstance(body, Mapping) or "spec" not in body:
+            raise BadRequestError(
+                "fabric serve body must be {'spec': {...}, ...options}"
+            )
+        unknown = set(body) - {"spec"} - set(FABRIC_OPTIONS)
+        if unknown:
+            raise BadRequestError(f"unknown serve keys: {sorted(unknown)}")
+        options: dict[str, Any] = {}
+        for key in FABRIC_OPTIONS:
+            if key in body:
+                value = body[key]
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise BadRequestError(f"{key!r} must be a number >= 0")
+                options[key] = value
+        try:
+            spec = CampaignSpec.from_dict(body["spec"])
+        except CampaignSpecError as exc:
+            raise BadRequestError(f"bad campaign spec: {exc}") from None
+        active = self._coordinators.get(spec.campaign_id)
+        if active is not None and not active.finished:
+            raise BadRequestError(
+                f"campaign {spec.campaign_id!r} is already being served"
+            )
+        try:
+            coordinator = Coordinator(spec, root=self.root, **options)
+        except CampaignError as exc:
+            raise BadRequestError(str(exc)) from None
+        self._coordinators[spec.campaign_id] = coordinator
+        return coordinator.status()
+
+    def fabric(self, campaign_id: str) -> Coordinator:
+        coordinator = self._coordinators.get(str(campaign_id))
+        if coordinator is None:
+            raise NotFoundError(
+                f"no coordinator serving campaign {campaign_id!r}"
+            )
+        return coordinator
+
+    def fabric_ids(self) -> list[str]:
+        return sorted(self._coordinators)
+
+    def fabric_status(self, campaign_id: str) -> dict:
+        return self.fabric(campaign_id).status()
+
+    def fabric_call(self, campaign_id: str, verb: str, body: Any) -> dict:
+        """Dispatch one worker-protocol verb with body validation."""
+        coordinator = self.fabric(campaign_id)
+        if not isinstance(body, Mapping):
+            body = {}
+        if verb == "register":
+            return coordinator.register(body)
+        worker_id = body.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise BadRequestError(f"fabric {verb} needs a 'worker_id' string")
+        try:
+            if verb == "heartbeat":
+                return coordinator.heartbeat(worker_id)
+            if verb == "lease":
+                max_cells = body.get("max_cells")
+                if max_cells is not None and (
+                    not isinstance(max_cells, int) or max_cells < 1
+                ):
+                    raise BadRequestError("'max_cells' must be an int >= 1")
+                return coordinator.lease(worker_id, max_cells)
+            if verb == "submit":
+                for key in ("lease_id", "cell_id"):
+                    if not isinstance(body.get(key), str):
+                        raise BadRequestError(f"fabric submit needs {key!r}")
+                record = body.get("record")
+                timing = body.get("timing")
+                if not isinstance(record, Mapping) or not isinstance(timing, Mapping):
+                    raise BadRequestError(
+                        "fabric submit needs 'record' and 'timing' objects"
+                    )
+                return coordinator.submit(
+                    worker_id, body["lease_id"], body["cell_id"], record, timing
+                )
+            if verb == "fail":
+                for key in ("lease_id", "cell_id"):
+                    if not isinstance(body.get(key), str):
+                        raise BadRequestError(f"fabric fail needs {key!r}")
+                return coordinator.fail(
+                    worker_id,
+                    body["lease_id"],
+                    body["cell_id"],
+                    str(body.get("detail", "")),
+                )
+        except CampaignError as exc:
+            raise BadRequestError(str(exc)) from None
+        raise NotFoundError(f"unknown fabric verb {verb!r}")
+
+    def close(self) -> None:
+        """Flush and close every served coordinator's run store."""
+        for coordinator in self._coordinators.values():
+            coordinator.close()
 
     def known_ids(self) -> list[str]:
         root = pathlib.Path(self.root)

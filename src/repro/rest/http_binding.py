@@ -1,18 +1,31 @@
-"""Serve a :class:`~repro.rest.api.RestApi` over real HTTP on localhost.
+"""HTTP bindings: serve a router over localhost, and a retrying client.
 
-This is how the original demo is driven (curl against the Ryu WSGI app).
-The binding uses only the standard library and binds to 127.0.0.1; it runs
-the request against the in-process router, which in turn advances the
-simulation synchronously.  Intended for the interactive example
-(``examples/rest_server_demo.py``), not for tests or benchmarks.
+The server side is how the original demo is driven (curl against the Ryu
+WSGI app): :class:`RestHttpServer` binds 127.0.0.1 with only the standard
+library and runs requests against the in-process router.  It also fronts
+the campaign fabric coordinator (``repro campaign serve``).
+
+The client side, :class:`HttpClient`, is what fabric workers (and any
+other library-internal caller) use to talk to a server: connection errors
+and 5xx responses get bounded exponential backoff with jitter -- the
+server may be restarting, the network blipping -- while 4xx responses
+fail fast with :class:`~repro.errors.HttpStatusError`, because a
+malformed request will not get better by retrying.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.errors import HttpStatusError, TransportError
+from repro.metrics import global_collector
 from repro.rest.api import RestApi
 
 
@@ -78,3 +91,95 @@ class RestHttpServer:
     @property
     def url(self) -> str:
         return f"http://127.0.0.1:{self.port}"
+
+
+class HttpClient:
+    """JSON-over-HTTP client with bounded retry for transient failures.
+
+    ``request`` returns the decoded JSON body on any 2xx.  Connection
+    errors, timeouts, and 5xx answers are retried up to ``max_attempts``
+    times with exponential backoff (``backoff_base_s`` doubling, capped
+    at ``backoff_cap_s``) plus up to 50% deterministic-seedable jitter,
+    then raise :class:`~repro.errors.TransportError`.  4xx answers raise
+    :class:`~repro.errors.HttpStatusError` immediately -- the request is
+    wrong, not the weather.  Retries are counted on the process
+    collector (``http_client.retries``).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        max_attempts: int = 5,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        timeout_s: float = 10.0,
+        jitter_seed: int | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.timeout_s = float(timeout_s)
+        self._rng = random.Random(jitter_seed)
+        self._sleep = sleep
+
+    def get(self, path: str):
+        return self.request("GET", path)
+
+    def post(self, path: str, body=None):
+        return self.request("POST", path, body)
+
+    def request(self, method: str, path: str, body=None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: str = ""
+        for attempt in range(1, self.max_attempts + 1):
+            req = urllib.request.Request(
+                url, data=data, headers=headers, method=method.upper()
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout_s) as reply:
+                    return self._decode(reply.read())
+            except urllib.error.HTTPError as exc:
+                payload = self._decode(exc.read())
+                if 400 <= exc.code < 500:
+                    detail = ""
+                    if isinstance(payload, dict) and payload.get("error"):
+                        detail = f": {payload['error']}"
+                    raise HttpStatusError(
+                        f"{method} {url} -> {exc.code}{detail}",
+                        status=exc.code,
+                        body=payload,
+                    ) from None
+                last_error = f"HTTP {exc.code}"
+            except (urllib.error.URLError, ConnectionError, socket.timeout, OSError) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+            if attempt < self.max_attempts:
+                global_collector().increment("http_client.retries")
+                self._sleep(self._backoff(attempt))
+        raise TransportError(
+            f"{method} {url} failed after {self.max_attempts} attempts "
+            f"({last_error})"
+        )
+
+    def _backoff(self, attempt: int) -> float:
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** (attempt - 1)),
+        )
+        return base * (1.0 + 0.5 * self._rng.random())
+
+    @staticmethod
+    def _decode(raw: bytes):
+        if not raw:
+            return None
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            return {"raw": raw.decode("utf-8", "replace")}

@@ -73,6 +73,68 @@ class TestRunStore:
         assert store.completed_ids() == {"a"}
         assert path.read_bytes().endswith(b"\n")
 
+    def test_repair_after_kill_between_record_and_timing(self, tmp_path):
+        # a SIGKILL can land after the results line hit disk but before
+        # the timing sidecar did; the record must survive and a dangling
+        # partial timing line must be truncated away
+        store = RunStore(str(tmp_path), SPEC.campaign_id)
+        store.initialize(SPEC, n_cells=2)
+        store.append(_record("a"), {"id": "a", "wall_ms": 1.0})
+        store.close()
+        timings = store.directory / "timings.jsonl"
+        timings.write_bytes(timings.read_bytes() + b'{"id": "b", "wal')
+        store.initialize(SPEC, n_cells=2)
+        assert store.completed_ids() == {"a"}
+        assert [t["id"] for t in store.timings()] == ["a"]
+        assert timings.read_bytes().endswith(b"\n")
+
+    def test_record_without_timing_tolerated(self, tmp_path):
+        # the complementary crash: record flushed, timing lost entirely
+        from repro.campaign import aggregate_rows
+
+        store = RunStore(str(tmp_path), SPEC.campaign_id)
+        store.initialize(SPEC, n_cells=2)
+        store.append(_record("a"), {"id": "a", "wall_ms": 1.0})
+        store.append(_record("b"), {"id": "b", "wall_ms": 2.0})
+        store.close()
+        timings = store.directory / "timings.jsonl"
+        lines = timings.read_bytes().splitlines(keepends=True)
+        timings.write_bytes(b"".join(lines[:1]))  # drop b's timing
+        assert store.status()["done"] == 2
+        rows = aggregate_rows(store.records(), store.timings())
+        assert rows and rows[0][2] == 2  # both records aggregated
+
+    def test_manifest_write_is_atomic(self, tmp_path, monkeypatch):
+        # a crash between writing the temp file and the rename leaves the
+        # old manifest intact and no garbage at the final path
+        import os as _os
+
+        from repro.campaign.store import atomic_write_text
+
+        target = tmp_path / "manifest.json"
+        atomic_write_text(target, '{"version": 1}\n')
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, '{"version": 2}\n')
+        monkeypatch.undo()
+        assert target.read_text() == '{"version": 1}\n'
+
+    def test_initialize_leaves_no_temp_files(self, tmp_path):
+        store = RunStore(str(tmp_path), SPEC.campaign_id)
+        store.initialize(SPEC, n_cells=1)
+        assert not list(store.directory.glob("*.tmp"))
+
+    def test_fsync_opt_out_still_writes(self, tmp_path):
+        store = RunStore(str(tmp_path), SPEC.campaign_id, fsync=False)
+        store.initialize(SPEC, n_cells=1)
+        store.append(_record("a"), {"id": "a", "wall_ms": 1.0})
+        store.close()
+        assert store.completed_ids() == {"a"}
+
 
 class TestAggregate:
     def test_groups_and_percentiles(self):

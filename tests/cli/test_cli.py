@@ -19,7 +19,8 @@ class TestParser:
     def test_campaign_subcommands_registered(self):
         parser = build_parser()
         for sub, extra in (("run", ["spec.json"]), ("status", ["x"]),
-                           ("report", ["x"])):
+                           ("report", ["x"]), ("serve", ["spec.json"]),
+                           ("work", ["http://127.0.0.1:1"])):
             args = parser.parse_args(["campaign", sub, *extra])
             assert args.command == "campaign"
             assert args.campaign_command == sub
@@ -232,6 +233,28 @@ class TestCampaignCommand:
                      "--root", str(tmp_path), "--json"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+    def test_serve_with_local_worker_fleet(self, tmp_path, spec_file, capsys):
+        # full fabric loop through the CLI: coordinator + HTTP server +
+        # one spawned worker process, byte-identical to the pool runner
+        root = str(tmp_path / "runs")
+        main(["campaign", "run", str(spec_file),
+              "--root", str(tmp_path / "base"), "--json"])
+        baseline_status = json.loads(capsys.readouterr().out)
+        code = main(["campaign", "serve", str(spec_file), "--root", root,
+                     "--local-workers", "1", "--timeout", "120",
+                     "--heartbeat-interval", "0.1", "--json"])
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        announce = json.loads(out_lines[0])
+        campaign_id = announce["campaign_id"]
+        assert announce["url"].startswith("http://127.0.0.1:")
+        status = json.loads("\n".join(out_lines[1:]))
+        assert status["done"] == 8 and status["remaining"] == 0
+        assert status["fabric"]["pending"] == 0
+        base = (tmp_path / "base" / campaign_id / "results.jsonl").read_bytes()
+        fleet = (tmp_path / "runs" / campaign_id / "results.jsonl").read_bytes()
+        assert fleet == base
 
     def test_verification_failure_exits_nonzero(self, tmp_path, capsys):
         spec = {

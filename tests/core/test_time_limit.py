@@ -1,0 +1,110 @@
+"""Tests for the nesting-safe SIGALRM wall-clock limiter."""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.api import time_limit
+from repro.errors import ScheduleTimeoutError
+
+
+def _spin(seconds: float) -> None:
+    """Busy-wait so the alarm has something to interrupt."""
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        pass
+
+
+def _alarm_cleared() -> bool:
+    return signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+class TestTimeLimit:
+    def test_expiry_raises(self):
+        with pytest.raises(ScheduleTimeoutError):
+            with time_limit(0.05):
+                _spin(5.0)
+        assert _alarm_cleared()
+
+    def test_none_is_a_noop(self):
+        with time_limit(None):
+            pass
+        assert _alarm_cleared()
+
+    def test_completion_disarms(self):
+        with time_limit(5.0):
+            pass
+        assert _alarm_cleared()
+
+
+class TestNesting:
+    def test_inner_expiry_keeps_outer_armed(self):
+        with time_limit(30.0):
+            with pytest.raises(ScheduleTimeoutError) as excinfo:
+                with time_limit(0.05):
+                    _spin(5.0)
+            assert "0.05" in str(excinfo.value)
+            # the outer limit survived the inner expiry: its alarm is
+            # re-armed with (close to) its remaining budget
+            remaining = signal.getitimer(signal.ITIMER_REAL)[0]
+            assert 25.0 < remaining <= 30.0
+        assert _alarm_cleared()
+
+    def test_outer_deadline_wins_inside_inner(self):
+        # the outer budget expires while the inner (longer) one is
+        # active; the inner arming must chain to the outer handler
+        with pytest.raises(ScheduleTimeoutError) as excinfo:
+            with time_limit(0.08):
+                with time_limit(30.0):
+                    _spin(5.0)
+        assert "0.08" in str(excinfo.value)
+        assert _alarm_cleared()
+
+    def test_inner_completion_restores_outer_remaining(self):
+        with time_limit(30.0):
+            before = signal.getitimer(signal.ITIMER_REAL)[0]
+            with time_limit(1.0):
+                pass
+            after = signal.getitimer(signal.ITIMER_REAL)[0]
+            assert 25.0 < after <= before
+            handler = signal.getsignal(signal.SIGALRM)
+            assert callable(handler)
+        assert _alarm_cleared()
+
+    def test_outer_still_fires_after_inner_ran(self):
+        with pytest.raises(ScheduleTimeoutError) as excinfo:
+            with time_limit(0.1):
+                with time_limit(0.02):
+                    pass  # completes well inside both budgets
+                _spin(5.0)  # now the outer limit must still be live
+        assert "0.1" in str(excinfo.value)
+        assert _alarm_cleared()
+
+    def test_two_level_nesting_both_complete(self):
+        with time_limit(10.0):
+            with time_limit(5.0):
+                with time_limit(2.0):
+                    pass
+        assert _alarm_cleared()
+
+
+class TestThreadSafety:
+    def test_skipped_off_main_thread(self):
+        # SIGALRM only works on the main thread; elsewhere the limit is
+        # silently skipped rather than crashing or leaking alarms
+        outcome = {}
+
+        def body():
+            try:
+                with time_limit(0.01):
+                    _spin(0.1)
+                outcome["ok"] = True
+            except Exception as exc:  # pragma: no cover - failure path
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert outcome.get("ok") is True

@@ -62,6 +62,22 @@ class TestCollector:
         one.merge(two)
         assert one.get("x") == [1.0, 2.0]
 
+    def test_counters_increment(self):
+        collector = MetricsCollector()
+        assert collector.counter("fabric.reclaims") == 0.0
+        collector.increment("fabric.reclaims")
+        collector.increment("fabric.reclaims", 3)
+        assert collector.counter("fabric.reclaims") == 4.0
+
+    def test_merge_folds_counters(self):
+        one, two = MetricsCollector(), MetricsCollector()
+        one.increment("c", 1)
+        two.increment("c", 2)
+        two.increment("d")
+        one.merge(two)
+        assert one.counter("c") == 3.0
+        assert one.counter("d") == 1.0
+
 
 class TestReports:
     HEADERS = ["algo", "rounds", "time"]

@@ -1,0 +1,133 @@
+"""Tests for the retrying HTTP client (transient vs permanent failures)."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.errors import HttpStatusError, TransportError
+from repro.rest.http_binding import HttpClient
+
+
+class _ScriptedServer:
+    """Serves a scripted sequence of (status, body) responses."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _respond(self):
+                length = int(self.headers.get("Content-Length", 0))
+                raw = self.rfile.read(length) if length else b""
+                outer.requests.append((self.command, self.path, raw))
+                status, body = (
+                    outer.script.pop(0) if outer.script else (200, {})
+                )
+                data = json.dumps(body).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            do_GET = do_POST = _respond
+
+            def log_message(self, fmt, *args):
+                pass
+
+        self.server = HTTPServer(("127.0.0.1", 0), Handler)
+        self.url = f"http://127.0.0.1:{self.server.server_address[1]}"
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def start(script):
+        server = _ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.stop()
+
+
+class TestRetryPolicy:
+    def test_5xx_retries_until_success(self, scripted):
+        server = scripted([(503, {"error": "warming up"}),
+                           (503, {"error": "still warming"}),
+                           (200, {"ready": True})])
+        sleeps = []
+        client = HttpClient(server.url, jitter_seed=0, sleep=sleeps.append)
+        assert client.get("/status") == {"ready": True}
+        assert len(sleeps) == 2
+        assert len(server.requests) == 3
+
+    def test_backoff_grows_and_caps(self, scripted):
+        server = scripted([(503, {})] * 4 + [(200, {})])
+        sleeps = []
+        client = HttpClient(
+            server.url, max_attempts=5, backoff_base_s=0.1,
+            backoff_cap_s=0.25, jitter_seed=0, sleep=sleeps.append,
+        )
+        client.get("/x")
+        bases = [0.1, 0.2, 0.25, 0.25]  # doubling, then capped
+        assert len(sleeps) == 4
+        for slept, base in zip(sleeps, bases):
+            assert base <= slept <= base * 1.5  # jitter adds at most 50%
+
+    def test_4xx_fails_fast_without_retry(self, scripted):
+        server = scripted([(404, {"error": "no such campaign"})])
+        sleeps = []
+        client = HttpClient(server.url, sleep=sleeps.append)
+        with pytest.raises(HttpStatusError) as excinfo:
+            client.get("/campaigns/nope")
+        assert excinfo.value.status == 404
+        assert "no such campaign" in str(excinfo.value)
+        assert sleeps == []
+        assert len(server.requests) == 1
+
+    def test_exhausted_retries_raise_transport_error(self, scripted):
+        server = scripted([(500, {})] * 10)
+        sleeps = []
+        client = HttpClient(server.url, max_attempts=3, sleep=sleeps.append)
+        with pytest.raises(TransportError, match="after 3 attempts"):
+            client.get("/flaky")
+        assert len(sleeps) == 2
+        assert len(server.requests) == 3
+
+    def test_connection_refused_is_transient(self):
+        # allocate a port and close it so nothing is listening
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        client = HttpClient(
+            f"http://127.0.0.1:{port}", max_attempts=2, sleep=sleeps.append
+        )
+        with pytest.raises(TransportError):
+            client.get("/anything")
+        assert len(sleeps) == 1
+
+    def test_post_sends_json_body(self, scripted):
+        server = scripted([(200, {"ok": True})])
+        client = HttpClient(server.url, sleep=lambda s: None)
+        assert client.post("/things", {"a": 1}) == {"ok": True}
+        method, path, raw = server.requests[0]
+        assert (method, path) == ("POST", "/things")
+        assert json.loads(raw) == {"a": 1}
