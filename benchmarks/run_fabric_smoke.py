@@ -15,6 +15,12 @@ to a 1-worker :class:`~repro.campaign.runner.CampaignRunner` baseline --
 the fabric's determinism contract under death, reclaim, and stale
 delivery.  Non-zero exit on any mismatch, so it can gate CI.
 
+The fleet runs with the JSONL trace sink armed (``REPRO_TRACE_DIR``):
+after the run, the merged coordinator + worker trace must reconstruct
+every cell's full lease → run → submit lifecycle -- including the cells
+the SIGKILLed and frozen-heartbeat workers lost mid-flight -- via
+:func:`repro.obs.verify_lifecycles`.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_fabric_smoke.py [--root DIR]
@@ -24,11 +30,19 @@ from __future__ import annotations
 
 import argparse
 import multiprocessing
+import os
 import sys
 import tempfile
 
 from repro.campaign import CampaignRunner, CampaignSpec
 from repro.campaign.fabric import ChaosConfig, worker_main
+from repro.obs import (
+    configure_tracing,
+    load_trace,
+    reconstruct_cell_lifecycles,
+    reset_global_tracer,
+    verify_lifecycles,
+)
 from repro.rest.api import build_campaign_api
 from repro.rest.http_binding import RestHttpServer
 
@@ -69,6 +83,13 @@ def main(argv=None) -> int:
     runner.run()
     baseline = runner.store.results_bytes()
 
+    # arm tracing only for the fleet half: the env var reaches the
+    # spawned workers (each writes traces/trace-<pid>.jsonl), and the
+    # main process -- coordinator side -- attaches its own sink
+    trace_dir = f"{root}/traces"
+    os.environ["REPRO_TRACE_DIR"] = trace_dir
+    configure_tracing(directory=trace_dir)
+
     print("running 3-worker faulty fleet over HTTP ...")
     api = build_campaign_api(campaign_root=f"{root}/fleet")
     server = RestHttpServer(api, port=0)
@@ -102,6 +123,8 @@ def main(argv=None) -> int:
     finally:
         server.stop()
         api.campaigns.close()
+        reset_global_tracer()  # flush + close the coordinator's sink
+        os.environ.pop("REPRO_TRACE_DIR", None)
 
     fabric = status["fabric"]
     print("fabric counters: " + ", ".join(
@@ -123,12 +146,28 @@ def main(argv=None) -> int:
         failures.append("no lease was ever reclaimed")
     if fleet_bytes != baseline:
         failures.append("fleet results.jsonl differs from 1-worker baseline")
+
+    records = load_trace(trace_dir)
+    lifecycles = reconstruct_cell_lifecycles(records)
+    expected = [cell.cell_id for cell in spec.expand()]
+    reclaimed = sum(c.reclaims for c in lifecycles.values())
+    print(
+        f"trace: {len(records)} records, {len(lifecycles)} cell "
+        f"lifecycles, {reclaimed} reclaim events"
+    )
+    for problem in verify_lifecycles(records, expected):
+        failures.append(f"trace: {problem}")
+    if len(lifecycles) < n_cells:
+        failures.append(
+            f"trace covers {len(lifecycles)}/{n_cells} cell lifecycles"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         return 1
     print(f"fabric-smoke OK: {n_cells} cells, fleet output byte-identical "
-          "to the 1-worker baseline")
+          "to the 1-worker baseline, all lifecycles reconstructed from "
+          "the trace")
     return 0
 
 

@@ -12,6 +12,13 @@ After both benchmarks the runner prints a before/after speedup table
 marker-delimited smoke section of ``benchmarks/results/tables.txt``, so
 the checked-in tables never go stale.
 
+The run is also a tracing-overhead guard: the core is instrumented with
+:mod:`repro.obs` spans, and the perf gates in ``BENCH_oracle.json`` /
+``BENCH_exact.json`` only stay meaningful if the *disabled* tracer is
+effectively free.  The runner refuses to benchmark with tracing armed,
+and fails if the no-op ``obs.span()`` path costs more than
+``MAX_NOOP_SPAN_US`` per call.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke.py [--oracle-out PATH] [--exact-out PATH]
@@ -23,6 +30,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
@@ -32,6 +40,51 @@ import bench_perf_oracle  # noqa: E402
 TABLES_PATH = pathlib.Path(__file__).parent / "results" / "tables.txt"
 SMOKE_BEGIN = "=== PERF smoke: before/after speedups (auto-generated) ==="
 SMOKE_END = "=== end PERF smoke ==="
+
+#: Ceiling on the per-call cost of a *disabled* ``obs.span()``.  The
+#: instrumented hot paths (oracle nogoods, bnb milestones) guard on
+#: ``tracing_enabled()`` so this is the worst case they ever pay; the
+#: real figure is well under a microsecond, the ceiling leaves room for
+#: slow CI machines without letting a regression slide into the gates.
+MAX_NOOP_SPAN_US = 25.0
+NOOP_SPAN_CALLS = 20_000
+
+
+def tracing_overhead_guard() -> list[str]:
+    """Perf-gate preconditions for the instrumented core.
+
+    Returns a list of failure strings (empty when the guard passes):
+    tracing must be disarmed so the benchmark numbers measure the
+    schedulers and not the sink, and the no-op span path the hot loops
+    still traverse must be cheap enough to be invisible in the gates.
+    """
+    from repro.obs import span, tracing_enabled
+
+    failures = []
+    if tracing_enabled():
+        failures.append(
+            "tracing is enabled (REPRO_TRACE_DIR?) -- benchmark numbers "
+            "would include sink overhead; disarm tracing before bench-smoke"
+        )
+        return failures
+    # warm the no-op path, then time it
+    for _ in range(1000):
+        with span("bench.noop"):
+            pass
+    start = time.perf_counter()
+    for _ in range(NOOP_SPAN_CALLS):
+        with span("bench.noop", k=1):
+            pass
+    per_call_us = (time.perf_counter() - start) / NOOP_SPAN_CALLS * 1e6
+    print(f"[run_smoke] disabled obs.span(): {per_call_us:.2f}us/call "
+          f"(ceiling {MAX_NOOP_SPAN_US}us)")
+    if per_call_us > MAX_NOOP_SPAN_US:
+        failures.append(
+            f"disabled obs.span() costs {per_call_us:.2f}us/call "
+            f"(> {MAX_NOOP_SPAN_US}us) -- the no-op tracer would skew "
+            "the perf gates"
+        )
+    return failures
 
 
 def _fmt_ms(value) -> str:
@@ -113,6 +166,11 @@ def main(argv=None) -> int:
         "--exact-out", type=pathlib.Path, default=bench_perf_exact.DEFAULT_OUT
     )
     args = parser.parse_args(argv)
+    guard_failures = tracing_overhead_guard()
+    if guard_failures:
+        for failure in guard_failures:
+            print(f"FAIL: {failure}")
+        return 1
     oracle_rc = bench_perf_oracle.main(["--quick", "--out", str(args.oracle_out)])
     exact_rc = bench_perf_exact.main(["--quick", "--out", str(args.exact_out)])
     try:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.errors import CampaignError
+from repro.obs import trace as obs
 from repro.campaign.fabric.leases import LeaseTable
 from repro.campaign.runner import _truncate
 from repro.campaign.schedulers import resolve
@@ -131,6 +132,11 @@ class Coordinator:
             )
         self._next_flush = done_prefix
         self._buffer: dict[int, tuple[dict, dict]] = {}
+        self._started_at = self._clock()
+        #: Per-worker telemetry.  Keyed by worker id and kept *forever*
+        #: (the lease table forgets dead workers; the telemetry endpoint
+        #: must not, or a SIGKILLed worker's tally vanishes mid-watch).
+        self._wstats: dict[str, dict] = {}
         self._table = LeaseTable(
             self.lease_ttl_s,
             self.heartbeat_timeout_s,
@@ -143,10 +149,27 @@ class Coordinator:
     def register(self, body: Mapping[str, Any] | None = None) -> dict:
         body = dict(body or {})
         with self._lock:
+            now = self._clock()
             state = self._table.register_worker(
                 name=str(body.get("name", "worker")),
                 meta={k: v for k, v in body.items() if k != "name"},
-                now=self._clock(),
+                now=now,
+            )
+            self._wstats[state.worker_id] = {
+                "name": state.name,
+                "registered_at": now,
+                "cells_leased": 0,
+                "cells_done": 0,
+                "timeouts": 0,
+                "escalations": 0,
+                "transient_failures": 0,
+                "stale_submits": 0,
+                "duplicate_submits": 0,
+            }
+            obs.event(
+                "fabric.register",
+                worker_id=state.worker_id,
+                worker=state.name,
             )
         return {
             "worker_id": state.worker_id,
@@ -188,8 +211,17 @@ class Coordinator:
             lease = self._table.grant(worker_id, indices, now)
             for i in indices:
                 self._states[i].status = "leased"
+                obs.event(
+                    "fabric.lease_cell",
+                    cell_id=self._states[i].cell.cell_id,
+                    worker_id=worker_id,
+                    lease_id=lease.lease_id,
+                )
             self._count("leases_granted")
-            self._count("cells_leased", len(indices))
+            self._count("cells_leased", len(indices), worker_id)
+            stats = self._wstats.get(worker_id)
+            if stats is not None:
+                stats["cells_leased"] += len(indices)
             return {
                 "lease_id": lease.lease_id,
                 "cells": [dict(self._states[i].payload) for i in indices],
@@ -205,22 +237,33 @@ class Coordinator:
         timing: Mapping[str, Any],
     ) -> dict:
         """Fold one finished cell; idempotent under at-least-once delivery."""
-        with self._lock:
+        with self._lock, obs.span(
+            "fabric.submit", cell_id=cell_id, worker_id=worker_id
+        ) as submit_span:
             now = self._clock()
             self._table.touch(worker_id, now)
             index = self._by_id.get(cell_id)
             if index is None:
                 raise CampaignError(f"unknown cell {cell_id!r}")
             state = self._states[index]
+            stats = self._wstats.get(worker_id)
             fresh_lease = self._table.release_cell(lease_id, index)
+            submit_span.set_attrs(stale=not fresh_lease)
             if not fresh_lease:
-                self._count("stale_submits")
+                self._count("stale_submits", worker_id=worker_id)
+                if stats is not None:
+                    stats["stale_submits"] += 1
             if state.status == "done":
-                self._count("duplicate_submits")
+                self._count("duplicate_submits", worker_id=worker_id)
+                if stats is not None:
+                    stats["duplicate_submits"] += 1
+                submit_span.set_attrs(outcome="duplicate")
                 self._reap(now)
                 return {"accepted": False, "duplicate": True,
                         "done": self._finished_locked()}
             record = dict(record)
+            if stats is not None and record.get("status") == "timeout":
+                stats["timeouts"] += 1
             if (
                 record.get("status") == "timeout"
                 and self.escalation_factor > 1.0
@@ -228,8 +271,17 @@ class Coordinator:
                 and state.payload.get("timeout_s")
             ):
                 self._escalate_locked(state, now)
+                if stats is not None:
+                    stats["escalations"] += 1
+                submit_span.set_attrs(outcome="escalated")
                 return {"accepted": True, "escalated": True, "done": False}
             self._complete_locked(index, record, dict(timing))
+            if stats is not None:
+                stats["cells_done"] += 1
+            submit_span.set_attrs(outcome="accepted")
+            global_collector().observe(
+                "fabric.cell_wall_ms", float(timing.get("wall_ms") or 0.0)
+            )
             self._reap(now)
             return {"accepted": True, "duplicate": False,
                     "done": self._finished_locked()}
@@ -252,7 +304,16 @@ class Coordinator:
             if index is None:
                 raise CampaignError(f"unknown cell {cell_id!r}")
             self._table.release_cell(lease_id, index)
-            self._count("transient_failures")
+            self._count("transient_failures", worker_id=worker_id)
+            stats = self._wstats.get(worker_id)
+            if stats is not None:
+                stats["transient_failures"] += 1
+            obs.event(
+                "fabric.fail_cell",
+                cell_id=cell_id,
+                worker_id=worker_id,
+                detail=_truncate(detail, 120),
+            )
             retried = self._retry_locked(index, now, f"transient: {detail}")
             return {"retried": retried, "done": self._finished_locked()}
 
@@ -307,15 +368,82 @@ class Coordinator:
             }
             return data
 
+    def telemetry(self) -> dict:
+        """Live per-worker view for ``campaign status --watch``.
+
+        Workers that died (SIGKILL, reaped heartbeat) stay listed with
+        ``alive: false`` -- their tallies are part of the campaign's
+        story.  Rates use the coordinator's clock, so an injected test
+        clock yields deterministic numbers.
+        """
+        with self._lock:
+            now = self._clock()
+            self._reap(now)
+            alive = {w.worker_id: w for w in self._table.workers()}
+            in_flight: dict[str, int] = {}
+            lease_ages: dict[str, list[float]] = {}
+            for lease in self._table.leases():
+                in_flight[lease.worker_id] = (
+                    in_flight.get(lease.worker_id, 0)
+                    + len(lease.cell_indices)
+                )
+                lease_ages.setdefault(lease.worker_id, []).append(
+                    round(now - lease.granted_at, 3)
+                )
+            workers = []
+            for worker_id, stats in self._wstats.items():
+                live = alive.get(worker_id)
+                age_s = (
+                    round(now - live.last_seen, 3)
+                    if live is not None
+                    else None
+                )
+                active_s = max(now - stats["registered_at"], 1e-9)
+                workers.append({
+                    "worker_id": worker_id,
+                    "name": stats["name"],
+                    "alive": live is not None,
+                    "last_seen_age_s": age_s,
+                    "cells_leased": stats["cells_leased"],
+                    "cells_done": stats["cells_done"],
+                    "cells_per_s": round(stats["cells_done"] / active_s, 3),
+                    "in_flight": in_flight.get(worker_id, 0),
+                    "lease_ages_s": sorted(lease_ages.get(worker_id, [])),
+                    "timeouts": stats["timeouts"],
+                    "escalations": stats["escalations"],
+                    "transient_failures": stats["transient_failures"],
+                    "stale_submits": stats["stale_submits"],
+                    "duplicate_submits": stats["duplicate_submits"],
+                })
+            workers.sort(key=lambda w: w["worker_id"])
+            total = len(self._states)
+            done = sum(1 for s in self._states if s.status == "done")
+            return {
+                "campaign": self.spec.campaign_id,
+                "total": total,
+                "done": done,
+                "pending": total - done,
+                "finished": self._finished_locked(),
+                "uptime_s": round(now - self._started_at, 3),
+                "counters": dict(self.counters),
+                "workers": workers,
+            }
+
     # ------------------------------------------------------------------
     # internals (call with the lock held)
     # ------------------------------------------------------------------
     def _finished_locked(self) -> bool:
         return self._next_flush == len(self._states) and not self._buffer
 
-    def _count(self, name: str, by: int = 1) -> None:
+    def _count(
+        self, name: str, by: int = 1, worker_id: str | None = None
+    ) -> None:
         self.counters[name] += by
-        global_collector().increment(f"fabric.{name}", by)
+        global_collector().increment(
+            f"fabric.{name}",
+            by,
+            labels={"worker": worker_id} if worker_id else None,
+        )
 
     def _backoff_locked(self, attempts: int) -> float:
         base = min(
@@ -344,10 +472,20 @@ class Coordinator:
             record = self._terminal_error_record(state, detail)
             timing = {"id": state.cell.cell_id, "wall_ms": 0.0}
             self._complete_locked(index, record, timing)
+            obs.event(
+                "fabric.terminal_error",
+                cell_id=state.cell.cell_id,
+                attempts=state.attempts,
+            )
             return False
         state.status = "pending"
         state.eligible_at = now + self._backoff_locked(state.attempts)
         self._count("retries")
+        obs.event(
+            "fabric.retry_cell",
+            cell_id=state.cell.cell_id,
+            attempts=state.attempts,
+        )
         return True
 
     def _terminal_error_record(self, state: _CellState, detail: str) -> dict:
@@ -395,6 +533,11 @@ class Coordinator:
         state.status = "pending"
         state.eligible_at = now
         self._count("escalations")
+        obs.event(
+            "fabric.escalate_cell",
+            cell_id=state.cell.cell_id,
+            timeout_s=payload["timeout_s"],
+        )
 
     def _complete_locked(self, index: int, record: dict, timing: dict) -> None:
         state = self._states[index]
@@ -424,7 +567,13 @@ class Coordinator:
                 state = self._states[index]
                 if state.status != "leased":
                     continue
-                self._count("reclaims")
+                self._count("reclaims", worker_id=lease.worker_id)
+                obs.event(
+                    "fabric.reclaim_cell",
+                    cell_id=state.cell.cell_id,
+                    worker_id=lease.worker_id,
+                    reason=reason,
+                )
                 self._retry_locked(
                     index, now, f"lease {lease.lease_id} reclaimed ({reason})"
                 )

@@ -27,6 +27,7 @@ import threading
 import time
 
 from repro.errors import TransportError
+from repro.obs import trace as obs
 from repro.campaign.fabric.chaos import Chaos, ChaosConfig, ChaosKill
 from repro.campaign.runner import run_cell
 
@@ -80,7 +81,10 @@ class FabricWorker:
 
     # ------------------------------------------------------------------
     def _register(self) -> None:
-        reply = self.client.register({"name": self.name, "pid": os.getpid()})
+        with obs.span("fabric.rpc.register", worker=self.name):
+            reply = self.client.register(
+                {"name": self.name, "pid": os.getpid()}
+            )
         self.worker_id = reply["worker_id"]
         interval = float(reply.get("heartbeat_interval_s", 2.0))
         self._hb_stop.clear()
@@ -100,13 +104,15 @@ class FabricWorker:
             if self.chaos is not None and not self.chaos.heartbeat_allowed():
                 continue
             try:
-                self.client.heartbeat(self.worker_id)
+                with obs.span("fabric.rpc.heartbeat", worker_id=self.worker_id):
+                    self.client.heartbeat(self.worker_id)
             except Exception:  # noqa: BLE001 - liveness is best-effort;
                 pass  # a lost beat at worst costs a reclaim + re-run
 
     def _loop(self) -> None:
         while True:
-            reply = self.client.lease(self.worker_id, self.max_lease_cells)
+            with obs.span("fabric.rpc.lease", worker_id=self.worker_id):
+                reply = self.client.lease(self.worker_id, self.max_lease_cells)
             if reply.get("unknown_worker"):
                 # declared dead (frozen heartbeats, long pause) and
                 # reaped; re-register and keep pulling -- our old cells
@@ -126,31 +132,49 @@ class FabricWorker:
 
     def _execute(self, lease_id: str, payload: dict) -> None:
         cell_id = payload["cell_id"]
-        try:
-            record, timing = self._run_cell(payload)
-        except ChaosKill:
-            raise
-        except Exception as exc:  # noqa: BLE001 - run_cell never raises;
-            # anything here is harness-level (OOM-killed import, chaos)
-            self._report_fail(lease_id, cell_id, f"{type(exc).__name__}: {exc}")
-            return
-        if self.chaos is not None:
-            self.chaos.on_cell_computed()  # the configured death point
-            plan = self.chaos.submit_plan()
-            if plan.delay_s:
-                self._sleep(plan.delay_s)
-            if plan.drop:
-                return  # shard lost on the wire; lease expiry re-runs it
-            self._submit(lease_id, cell_id, record, timing)
-            if plan.duplicate:
+        # one fresh trace per cell attempt: run + submit stitch together,
+        # and the coordinator's accept span joins via the propagated
+        # context (contextvars in-process, HTTP headers across the wire)
+        with obs.root_span(
+            "fabric.cell",
+            cell_id=cell_id,
+            worker_id=self.worker_id,
+            lease_id=lease_id,
+        ):
+            try:
+                record, timing = self._run_cell(payload)
+            except ChaosKill:
+                raise
+            except Exception as exc:  # noqa: BLE001 - run_cell never raises;
+                # anything here is harness-level (OOM-killed import, chaos)
+                self._report_fail(
+                    lease_id, cell_id, f"{type(exc).__name__}: {exc}"
+                )
+                return
+            if self.chaos is not None:
+                self.chaos.on_cell_computed()  # the configured death point
+                plan = self.chaos.submit_plan()
+                if plan.delay_s:
+                    self._sleep(plan.delay_s)
+                if plan.drop:
+                    return  # shard lost on the wire; lease expiry re-runs it
                 self._submit(lease_id, cell_id, record, timing)
-        else:
-            self._submit(lease_id, cell_id, record, timing)
-        self.cells_done += 1
+                if plan.duplicate:
+                    self._submit(lease_id, cell_id, record, timing)
+            else:
+                self._submit(lease_id, cell_id, record, timing)
+            self.cells_done += 1
 
     def _submit(self, lease_id: str, cell_id: str, record, timing) -> None:
         try:
-            self.client.submit(self.worker_id, lease_id, cell_id, record, timing)
+            with obs.span(
+                "fabric.rpc.submit",
+                cell_id=cell_id,
+                worker_id=self.worker_id,
+            ):
+                self.client.submit(
+                    self.worker_id, lease_id, cell_id, record, timing
+                )
         except TransportError:
             # retry budget spent; the coordinator will reclaim the lease
             # and re-run the cell -- deterministic, so nothing is lost
@@ -158,7 +182,10 @@ class FabricWorker:
 
     def _report_fail(self, lease_id: str, cell_id: str, detail: str) -> None:
         try:
-            self.client.fail(self.worker_id, lease_id, cell_id, detail)
+            with obs.span(
+                "fabric.rpc.fail", cell_id=cell_id, worker_id=self.worker_id
+            ):
+                self.client.fail(self.worker_id, lease_id, cell_id, detail)
         except TransportError:
             pass
 

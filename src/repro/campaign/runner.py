@@ -31,6 +31,7 @@ from repro.errors import (
     ReproError,
     ScheduleTimeoutError,
 )
+from repro.obs import trace as obs
 from repro.campaign.families import build_unit
 from repro.campaign.schedulers import parse_properties, resolve
 from repro.campaign.spec import CampaignSpec
@@ -65,7 +66,8 @@ def _cached_unit(family: str, size: int, params, seed: int):
     key = (family, size, json.dumps(params, sort_keys=True, default=str), seed)
     unit = cache.get(key)
     if unit is None:
-        unit = build_unit(family, size, params, seed)
+        with obs.span("campaign.build_unit", family=family, size=size):
+            unit = build_unit(family, size, params, seed)
         while len(cache) >= _UNIT_CACHE_LIMIT:
             cache.pop(next(iter(cache)))
         cache[key] = unit
@@ -96,6 +98,15 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
         "detail": None,
     }
     started = time.perf_counter()
+    api_wall_ms = 0.0
+    oracle_totals: dict[str, int] = {}
+    cell_span = obs.span(
+        "campaign.cell",
+        cell_id=payload["cell_id"],
+        family=payload["family"],
+        scheduler=payload["scheduler"],
+    )
+    cell_span.__enter__()
     try:
         scheduler = resolve(payload["scheduler"])
         with time_limit(payload.get("timeout_s")):
@@ -140,6 +151,9 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
                         # time_limit_s on a re-leased cell)
                         params=payload.get("scheduler_params") or {},
                     ))
+                    api_wall_ms += result.wall_ms
+                    for key, value in result.oracle_stats.items():
+                        oracle_totals[key] = oracle_totals.get(key, 0) + value
                     # isolated-batch merge semantics: rounds = max, touches = sum
                     rounds = max(rounds, result.schedule.n_rounds)
                     touches += result.schedule.total_updates()
@@ -178,9 +192,15 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
     except Exception as exc:  # noqa: BLE001 - cell isolation is the point
         record["status"] = "error"
         record["detail"] = _truncate(f"{type(exc).__name__}: {exc}")
+    cell_span.set_attrs(status=record["status"])
+    cell_span.__exit__(None, None, None)
     timing = {
         "id": payload["cell_id"],
         "wall_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        # the envelope's own numbers, so pool timing sidecars and fabric
+        # telemetry report identical per-cell figures
+        "api_wall_ms": round(api_wall_ms, 3),
+        "oracle": oracle_totals,
     }
     return record, timing
 

@@ -8,6 +8,7 @@ Subcommands::
     repro topo      -- generate a topology JSON file
     repro serve     -- expose the demo over the REST HTTP binding
     repro campaign  -- run / inspect / report declarative scenario campaigns
+    repro trace     -- summarize structured traces (repro.obs)
 
 Each prints human-readable tables; ``--json`` switches to machine output
 (and, where verification runs, a non-zero exit code flags failures).
@@ -355,7 +356,65 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _render_telemetry(data: dict) -> str:
+    """The per-worker live table of ``campaign status --watch``."""
+    rows = []
+    for worker in data["workers"]:
+        beat = worker["last_seen_age_s"]
+        rows.append([
+            worker["worker_id"],
+            "up" if worker["alive"] else "dead",
+            worker["cells_done"],
+            worker["cells_per_s"],
+            worker["in_flight"],
+            "-" if beat is None else f"{beat:.1f}s",
+            worker["timeouts"],
+            worker["escalations"],
+            worker["transient_failures"],
+        ])
+    if not rows:
+        rows.append(["(no workers yet)"] + [""] * 8)
+    counters = data["counters"]
+    table = ascii_table(
+        ["worker", "state", "done", "cells/s", "in-flight", "beat-age",
+         "timeouts", "escalated", "transient"],
+        rows,
+        title=(
+            f"{data['campaign']}: {data['done']}/{data['total']} cells, "
+            f"up {data['uptime_s']:.0f}s"
+        ),
+    )
+    tail = ", ".join(
+        f"{name}={counters[name]}"
+        for name in ("leases_granted", "reclaims", "retries", "escalations")
+    )
+    return f"{table}\nfabric: {tail}"
+
+
+def _watch_telemetry(args: argparse.Namespace) -> int:
+    """Poll the coordinator's telemetry endpoint; loop under ``--watch``."""
+    import time
+
+    from repro.rest.http_binding import HttpClient
+
+    client = HttpClient(args.url)
+    path = f"/campaigns/{args.campaign}/fabric/telemetry"
+    while True:
+        data = client.get(path)
+        if args.json:
+            print(json.dumps(data, sort_keys=True))
+        else:
+            print(_render_telemetry(data))
+        if not args.watch or data.get("finished"):
+            return 0
+        time.sleep(max(0.05, args.interval))
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
+    if args.url:
+        return _watch_telemetry(args)
+    if args.watch:
+        raise SystemExit("--watch needs --url (a live coordinator to poll)")
     status = _open_campaign_store(args).status()
     if args.json:
         print(json.dumps(status, indent=2, sort_keys=True))
@@ -364,6 +423,30 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     print(ascii_table(
         ["status", "cells"], rows,
         title=f"{status['campaign_id']}: {status['done']}/{status['total']} done",
+    ))
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, summarize_trace
+
+    records = load_trace(args.trace)
+    rows = summarize_trace(records)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print(f"no trace records in {args.trace}")
+        return 1
+    print(ascii_table(
+        ["phase", "count", "errors", "total ms", "mean ms", "p50 ms",
+         "p95 ms", "max ms"],
+        [
+            [row["name"], row["count"], row["errors"], row["total_ms"],
+             row["mean_ms"], row["p50_ms"], row["p95_ms"], row["max_ms"]]
+            for row in rows
+        ],
+        title=f"trace {args.trace} ({len(records)} records)",
     ))
     return 0
 
@@ -650,6 +733,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_status = campaign_sub.add_parser("status", help="progress of a campaign")
     p_status.add_argument("campaign", help="campaign id or run directory path")
     p_status.add_argument("--root", default="campaign-runs")
+    p_status.add_argument("--url", default=None, metavar="URL",
+                          help="poll a live coordinator's telemetry endpoint "
+                               "instead of reading the run directory")
+    p_status.add_argument("--watch", action="store_true",
+                          help="with --url: keep polling until the campaign "
+                               "finishes, printing a per-worker table")
+    p_status.add_argument("--interval", type=float, default=1.0,
+                          metavar="SECONDS", help="--watch poll period")
     p_status.add_argument("--json", action="store_true")
     p_status.set_defaults(func=cmd_campaign_status)
 
@@ -660,6 +751,19 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["ascii", "csv", "json"])
     p_report.add_argument("--out", default=None, help="write instead of print")
     p_report.set_defaults(func=cmd_campaign_report)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect structured traces (see repro.obs)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="per-phase time breakdown of a trace"
+    )
+    p_tsum.add_argument(
+        "trace", help="trace JSONL file, or a directory of trace-*.jsonl"
+    )
+    p_tsum.add_argument("--json", action="store_true")
+    p_tsum.set_defaults(func=cmd_trace_summarize)
 
     p_topo = sub.add_parser("topo", help="generate a topology JSON")
     p_topo.add_argument("--kind", default="figure1",

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.errors import ScheduleTimeoutError, UpdateModelError, VerificationError
+from repro.obs import trace as obs
 from repro.core.oracle import SafetyOracle, aggregate_stats
 from repro.core.problem import UpdateProblem
 from repro.core.registry import PROPERTY_NAMES, Scheduler, resolve_scheduler
@@ -265,25 +266,39 @@ def execute_request(request: ScheduleRequest) -> ScheduleResult:
         )
     before = aggregate_stats().as_dict()
     started = time.perf_counter()
-    with time_limit(request.timeout_s):
-        run = scheduler.run(
-            problem,
-            include_cleanup=request.include_cleanup,
-            oracle=request.oracle,
-            params=request.params,
+    with obs.span(
+        "api.execute_request",
+        scheduler=scheduler.name,
+        problem=problem.name,
+        updates=len(problem.required_updates),
+    ) as request_span:
+        with time_limit(request.timeout_s):
+            with obs.span("api.search", scheduler=scheduler.name):
+                run = scheduler.run(
+                    problem,
+                    include_cleanup=request.include_cleanup,
+                    oracle=request.oracle,
+                    params=request.params,
+                )
+            if request.verify:
+                with obs.span("api.verify"):
+                    report = _verify_outcome(
+                        run.schedule, request.properties or run.guarantee
+                    )
+            else:
+                report = None
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        after = aggregate_stats().as_dict()
+        oracle_stats = {
+            key: value - before.get(key, 0)
+            for key, value in after.items()
+            if value - before.get(key, 0) > 0
+        }
+        request_span.set_attrs(
+            rounds=run.schedule.n_rounds,
+            wall_ms=round(wall_ms, 3),
+            **{f"oracle.{key}": value for key, value in oracle_stats.items()},
         )
-        report = (
-            _verify_outcome(run.schedule, request.properties or run.guarantee)
-            if request.verify
-            else None
-        )
-    wall_ms = (time.perf_counter() - started) * 1000.0
-    after = aggregate_stats().as_dict()
-    oracle_stats = {
-        key: value - before.get(key, 0)
-        for key, value in after.items()
-        if value - before.get(key, 0) > 0
-    }
     from repro.metrics import global_collector
 
     collector = global_collector()

@@ -68,6 +68,7 @@ from repro.errors import (
     InfeasibleUpdateError,
     UpdateModelError,
 )
+from repro.obs import trace as obs
 from repro.core.combined import combined_greedy_schedule
 from repro.core.oracle import DEFAULT_NOGOOD_LIMIT
 from repro.core.schedule import UpdateSchedule
@@ -75,6 +76,9 @@ from repro.core.verify import Property
 
 #: ``proven`` value marking a state dead at every remaining-round budget.
 _DEAD = 1 << 30
+
+#: Node-expansion interval between ``bnb.milestone`` trace events.
+_MILESTONE_EVERY = 5_000
 
 #: Entries above which a per-analysis chain-bound cache is dropped.
 _CHAIN_CACHE_LIMIT = 200_000
@@ -589,6 +593,13 @@ def search_mask_bnb(
     def charge(limit: int | None) -> None:
         nonlocal expanded
         expanded += 1
+        if expanded % _MILESTONE_EVERY == 0 and obs.tracing_enabled():
+            obs.event(
+                "bnb.milestone",
+                expanded=expanded,
+                lower=current_lower(limit),
+                upper=best,
+            )
         if node_budget is not None and expanded > node_budget:
             raise ExactSearchBudgetError(
                 f"exact search exceeded {node_budget} node expansions",

@@ -741,6 +741,14 @@ class SafetyOracle:
         self._nogoods.append(pattern)
         self._nogood_seen.add(pattern)
         self.stats.nogoods_learned += 1
+        from repro.obs import trace as obs
+
+        if obs.tracing_enabled():
+            obs.event(
+                "oracle.nogood_learned",
+                problem=self.problem.name,
+                nogoods=len(self._nogoods),
+            )
 
     def _violation_pattern(self) -> "tuple[int, int] | None":
         """Witness pattern of the first violated property (same order as
@@ -971,9 +979,16 @@ def oracle_for(
     key = (props, exact_rlf, rlf_budget)
     oracle = cache.get(key)
     if oracle is None:
-        oracle = SafetyOracle(
-            problem, properties, exact_rlf=exact_rlf, rlf_budget=rlf_budget
-        )
+        from repro.obs import trace as obs
+
+        with obs.span(
+            "oracle.build",
+            problem=problem.name,
+            properties=",".join(sorted(p.value for p in props)),
+        ):
+            oracle = SafetyOracle(
+                problem, properties, exact_rlf=exact_rlf, rlf_budget=rlf_budget
+            )
         cache[key] = oracle
         _ALL_ORACLES.add(oracle)
     return oracle

@@ -1,6 +1,8 @@
 """Measurement collection and report rendering."""
 
 from repro.metrics.collector import (
+    DEFAULT_BUCKETS,
+    Histogram,
     MetricsCollector,
     Summary,
     global_collector,
@@ -8,14 +10,18 @@ from repro.metrics.collector import (
     reset_global_collector,
     summarize,
 )
+from repro.metrics.exposition import render_prometheus
 from repro.metrics.report import ascii_table, to_csv, to_json, write_report
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
     "MetricsCollector",
     "Summary",
     "ascii_table",
     "global_collector",
     "percentile",
+    "render_prometheus",
     "reset_global_collector",
     "summarize",
     "to_csv",

@@ -29,6 +29,10 @@ Routes (mirroring ofctl_rest plus the paper's update endpoint):
 * ``GET  /campaigns/<campaign_id>/fabric`` -- coordinator status + counters
 * ``POST /campaigns/<campaign_id>/fabric/<verb>`` -- the fabric worker
   protocol (register / heartbeat / lease / submit / fail)
+* ``GET  /campaigns/<campaign_id>/fabric/telemetry`` -- per-worker live
+  telemetry (throughput, lease ages, retry/escalation tallies)
+* ``GET  /metrics``                   -- Prometheus text exposition of the
+  process collector (``fabric.*``, ``api.*``, oracle counters)
 
 :func:`build_campaign_api` wires a campaign-only router (no simulated
 network) -- the surface ``repro campaign serve`` exposes to its fleet.
@@ -68,10 +72,12 @@ from repro.rest.schemas import (
 
 @dataclass
 class RestResponse:
-    """Status code plus JSON-compatible body."""
+    """Status code plus body (JSON-compatible, or text with an explicit
+    ``content_type`` -- the Prometheus exposition is plain text)."""
 
     status: int
     body: Any
+    content_type: str | None = None
 
     def json(self) -> str:
         return json.dumps(self.body, sort_keys=True)
@@ -121,6 +127,8 @@ class Router:
                 result = route.handler(body, **found.groupdict())
             except RestError as exc:
                 return RestResponse(status=exc.status, body={"error": str(exc)})
+            if isinstance(result, RestResponse):
+                return result  # handler controls status / content type
             return RestResponse(status=200, body=result)
         if path_matched:
             return RestResponse(
@@ -332,6 +340,9 @@ def register_campaign_routes(router: Router, campaigns: CampaignService) -> None
     def get_fabric_status(body: Any, campaign_id: str) -> dict:
         return campaigns.fabric_status(campaign_id)
 
+    def get_fabric_telemetry(body: Any, campaign_id: str) -> dict:
+        return campaigns.fabric_telemetry(campaign_id)
+
     def post_fabric_verb(body: Any, campaign_id: str, verb: str) -> dict:
         return campaigns.fabric_call(campaign_id, verb, body)
 
@@ -342,10 +353,42 @@ def register_campaign_routes(router: Router, campaigns: CampaignService) -> None
     router.register("GET", "/campaigns", get_campaigns)
     router.register("GET", "/campaigns/<campaign_id>/fabric", get_fabric_status)
     router.register(
+        "GET",
+        "/campaigns/<campaign_id>/fabric/telemetry",
+        get_fabric_telemetry,
+    )
+    router.register(
         "POST", "/campaigns/<campaign_id>/fabric/<verb>", post_fabric_verb
     )
     router.register("GET", "/campaigns/<campaign_id>", get_campaign)
     router.register("GET", "/campaigns/<campaign_id>/report", get_campaign_report)
+    register_metrics_route(router)
+
+
+def register_metrics_route(router: Router) -> None:
+    """Wire ``GET /metrics`` (Prometheus text exposition) onto ``router``.
+
+    Covers every counter/histogram/series on the process collector (the
+    ``fabric.*`` and ``api.*`` instruments) plus the safety oracle's
+    aggregate counters under ``repro_oracle_*``.
+    """
+
+    def get_metrics(body: Any) -> RestResponse:
+        from repro.core.oracle import aggregate_stats
+        from repro.metrics import global_collector, render_prometheus
+
+        oracle = {
+            f"oracle.{key}": value
+            for key, value in aggregate_stats().as_dict().items()
+        }
+        text = render_prometheus(global_collector(), extra_counters=oracle)
+        return RestResponse(
+            status=200,
+            body=text,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    router.register("GET", "/metrics", get_metrics)
 
 
 @dataclass

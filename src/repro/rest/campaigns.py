@@ -164,6 +164,10 @@ class CampaignService:
     def fabric_status(self, campaign_id: str) -> dict:
         return self.fabric(campaign_id).status()
 
+    def fabric_telemetry(self, campaign_id: str) -> dict:
+        """Per-worker live telemetry of a served campaign."""
+        return self.fabric(campaign_id).telemetry()
+
     def fabric_call(self, campaign_id: str, verb: str, body: Any) -> dict:
         """Dispatch one worker-protocol verb with body validation."""
         coordinator = self.fabric(campaign_id)

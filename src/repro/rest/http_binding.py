@@ -26,7 +26,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import HttpStatusError, TransportError
 from repro.metrics import global_collector
+from repro.obs import trace as obs
 from repro.rest.api import RestApi
+
+#: Headers carrying the trace context across the HTTP boundary.
+TRACE_HEADER = "X-Repro-Trace"
+SPAN_HEADER = "X-Repro-Span"
 
 
 def _make_handler(api: RestApi) -> type[BaseHTTPRequestHandler]:
@@ -44,14 +49,36 @@ def _make_handler(api: RestApi) -> type[BaseHTTPRequestHandler]:
                 except json.JSONDecodeError:
                     self._write(400, {"error": "request body is not JSON"})
                     return
-            with self._lock:
-                response = api.handle(method, self.path, body)
-            self._write(response.status, response.body)
+            # adopt the caller's trace context so the handler's spans
+            # (e.g. the coordinator's fabric.submit) join the worker-side
+            # trace of the same cell
+            context = None
+            trace_id = self.headers.get(TRACE_HEADER)
+            if trace_id:
+                context = {
+                    "trace": trace_id,
+                    "parent": self.headers.get(SPAN_HEADER),
+                }
+            token = obs.attach_context(context)
+            try:
+                with self._lock:
+                    response = api.handle(method, self.path, body)
+            finally:
+                obs.detach_context(token)
+            self._write(
+                response.status, response.body, response.content_type
+            )
 
-        def _write(self, status: int, payload) -> None:
-            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        def _write(
+            self, status: int, payload, content_type: str | None = None
+        ) -> None:
+            if isinstance(payload, str) and content_type:
+                data = payload.encode("utf-8")
+            else:
+                content_type = "application/json"
+                data = json.dumps(payload, sort_keys=True).encode("utf-8")
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)
@@ -138,6 +165,11 @@ class HttpClient:
         if body is not None:
             data = json.dumps(body, sort_keys=True).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        context = obs.current_context()
+        if context is not None:
+            headers[TRACE_HEADER] = context["trace"]
+            if context.get("parent"):
+                headers[SPAN_HEADER] = context["parent"]
         last_error: str = ""
         for attempt in range(1, self.max_attempts + 1):
             req = urllib.request.Request(

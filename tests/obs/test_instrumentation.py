@@ -1,0 +1,66 @@
+"""The core API emits the spans the trace summaries are built from."""
+
+import pytest
+
+from repro.core.api import ScheduleRequest, execute_request
+from repro.core.oracle import clear_registry
+from repro.core.problem import UpdateProblem
+from repro.obs import configure_tracing, reset_global_tracer
+
+
+@pytest.fixture
+def sink():
+    reset_global_tracer()
+    clear_registry()  # cold oracles so oracle.build spans appear
+    tracer = configure_tracing(ring=4096)
+    [ring] = tracer.sinks()
+    yield ring
+    reset_global_tracer()
+
+
+def _spans(sink, name):
+    return [r for r in sink.records()
+            if r["name"] == name and r["kind"] == "span"]
+
+
+class TestExecuteRequestSpans:
+    def test_phases_nest_under_the_request_span(self, sink):
+        problem = UpdateProblem([1, 2, 3, 4, 5], [1, 4, 3, 2, 5], waypoint=3)
+        result = execute_request(ScheduleRequest(
+            problem=problem, scheduler="wayup", verify=True,
+        ))
+        [request] = _spans(sink, "api.execute_request")
+        [search] = _spans(sink, "api.search")
+        [verify] = _spans(sink, "api.verify")
+        assert search["parent"] == request["span"]
+        assert verify["parent"] == request["span"]
+        assert search["trace"] == verify["trace"] == request["trace"]
+        attrs = request["attrs"]
+        assert attrs["scheduler"] == "wayup"
+        assert attrs["rounds"] == result.schedule.n_rounds
+        assert attrs["wall_ms"] == pytest.approx(result.wall_ms, abs=0.01)
+
+    def test_oracle_deltas_land_on_the_request_span(self, sink):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+        result = execute_request(ScheduleRequest(
+            problem=problem, scheduler="greedy-slf", verify=True,
+        ))
+        [request] = _spans(sink, "api.execute_request")
+        for key, value in result.oracle_stats.items():
+            assert request["attrs"][f"oracle.{key}"] == value
+
+    def test_oracle_build_traced_on_cache_miss_only(self, sink):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+        request = ScheduleRequest(problem=problem, scheduler="greedy-slf")
+        execute_request(request)
+        assert len(_spans(sink, "oracle.build")) == 1
+        execute_request(request)  # warm: the shared oracle is reused
+        assert len(_spans(sink, "oracle.build")) == 1
+
+    def test_no_verify_no_verify_span(self, sink):
+        problem = UpdateProblem([1, 2, 3, 4], [1, 3, 2, 4])
+        execute_request(ScheduleRequest(
+            problem=problem, scheduler="oneshot", verify=False,
+        ))
+        assert _spans(sink, "api.verify") == []
+        assert len(_spans(sink, "api.execute_request")) == 1

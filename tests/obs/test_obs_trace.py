@@ -1,0 +1,229 @@
+"""Tests for the tracing core: spans, context, sinks, arming."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.trace import (
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    attach_context,
+    configure_tracing,
+    current_context,
+    detach_context,
+    disable_tracing,
+    event,
+    global_tracer,
+    read_jsonl,
+    reset_global_tracer,
+    root_span,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer(monkeypatch):
+    """Every test starts and ends with no global tracer and no env arming."""
+    monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+    reset_global_tracer()
+    yield
+    reset_global_tracer()
+
+
+def _ring_tracer():
+    tracer = Tracer()
+    sink = RingBufferSink()
+    tracer.add_sink(sink)
+    return tracer, sink
+
+
+class TestSpans:
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        tracer, sink = _ring_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        inner_rec, outer_rec = sink.records()  # children finish first
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent"] == outer_rec["span"]
+        assert inner_rec["trace"] == outer_rec["trace"]
+        assert outer_rec["parent"] is None
+
+    def test_record_shape(self):
+        tracer, sink = _ring_tracer()
+        with tracer.span("x", key="v"):
+            pass
+        [record] = sink.records()
+        assert record["kind"] == "span"
+        assert record["status"] == "ok"
+        assert record["pid"] == os.getpid()
+        assert record["dur_ms"] >= 0.0
+        assert record["attrs"] == {"key": "v"}
+
+    def test_root_span_opens_fresh_trace(self):
+        tracer, sink = _ring_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.root_span("fresh") as fresh:
+                assert fresh.trace_id != outer.trace_id
+                assert fresh.parent_id is None
+                # children of the root span join the *fresh* trace
+                with tracer.span("child") as child:
+                    assert child.trace_id == fresh.trace_id
+
+    def test_exception_marks_span_error(self):
+        tracer, sink = _ring_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        [record] = sink.records()
+        assert record["status"] == "error"
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_set_attr_and_set_attrs(self):
+        tracer, sink = _ring_tracer()
+        with tracer.span("x") as live:
+            live.set_attr("a", 1)
+            live.set_attrs({"b": 2}, c=3)
+        [record] = sink.records()
+        assert record["attrs"] == {"a": 1, "b": 2, "c": 3}
+
+    def test_end_is_idempotent(self):
+        tracer, sink = _ring_tracer()
+        live = tracer.span("x")
+        live.end()
+        live.end(status="error")  # second end changes nothing
+        [record] = sink.records()
+        assert record["status"] == "ok"
+
+    def test_events_attach_to_current_span(self):
+        tracer, sink = _ring_tracer()
+        with tracer.span("outer") as outer:
+            tracer.event("pinged", n=3)
+        ev, _ = sink.records()
+        assert ev["kind"] == "event"
+        assert ev["trace"] == outer.trace_id
+        assert ev["parent"] == outer.span_id
+        assert ev["attrs"] == {"n": 3}
+        assert "dur_ms" not in ev
+
+
+class TestDisabledPath:
+    def test_disabled_returns_the_shared_noop(self):
+        assert not tracing_enabled()
+        one, two = span("a"), root_span("b")
+        assert one is two  # the shared singleton
+        event("c", k=1)  # no sink, must not raise
+        with one as live:
+            live.set_attr("x", 1)
+            live.set_attrs({"y": 2}, z=3)
+            assert live.context is None
+        one.end()
+
+    def test_disable_tracing_drops_sinks(self):
+        configure_tracing(ring=8)
+        assert tracing_enabled()
+        disable_tracing()
+        assert not tracing_enabled()
+
+    def test_noop_span_does_not_set_context(self):
+        with span("off"):
+            assert current_context() is None
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"kind": "event", "name": "a"})
+        sink.write({"kind": "span", "name": "b"})
+        sink.close()
+        names = [r["name"] for r in read_jsonl(path)]
+        assert names == ["a", "b"]
+
+    def test_write_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        sink.write({"name": "late"})
+        sink.close()
+        assert list(read_jsonl(path)) == []
+
+    def test_read_jsonl_skips_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"name": "whole"}) + "\n" + '{"name": "to',
+            encoding="utf-8",
+        )
+        assert [r["name"] for r in read_jsonl(path)] == ["whole"]
+
+    def test_read_jsonl_skips_blank_and_nondict_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n[1, 2]\n{"name": "ok"}\n', encoding="utf-8")
+        assert [r["name"] for r in read_jsonl(path)] == ["ok"]
+
+    def test_ring_buffer_evicts_oldest(self):
+        sink = RingBufferSink(capacity=2)
+        for i in range(4):
+            sink.write({"i": i})
+        assert [r["i"] for r in sink.records()] == [2, 3]
+        sink.clear()
+        assert sink.records() == []
+
+
+class TestContextPropagation:
+    def test_attach_detach_round_trip(self):
+        token = attach_context({"trace": "t1", "parent": "p1"})
+        try:
+            assert current_context() == {"trace": "t1", "parent": "p1"}
+        finally:
+            detach_context(token)
+        assert current_context() is None
+
+    def test_attach_none_clears_context(self):
+        outer = attach_context({"trace": "t1", "parent": "p1"})
+        inner = attach_context(None)
+        assert current_context() is None
+        detach_context(inner)
+        assert current_context() == {"trace": "t1", "parent": "p1"}
+        detach_context(outer)
+
+    def test_span_under_attached_context_joins_remote_trace(self):
+        configure_tracing(ring=8)
+        token = attach_context({"trace": "remote-trace", "parent": "remote-span"})
+        try:
+            with span("local") as live:
+                assert live.trace_id == "remote-trace"
+                assert live.parent_id == "remote-span"
+        finally:
+            detach_context(token)
+
+
+class TestGlobalArming:
+    def test_configure_tracing_ring(self):
+        tracer = configure_tracing(ring=16)
+        assert tracer is global_tracer()
+        with span("x"):
+            pass
+        [sink] = tracer.sinks()
+        assert [r["name"] for r in sink.records()] == ["x"]
+
+    def test_env_var_arms_per_process_jsonl(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        reset_global_tracer()
+        with span("armed"):
+            pass
+        reset_global_tracer()
+        path = tmp_path / f"trace-{os.getpid()}.jsonl"
+        assert [r["name"] for r in read_jsonl(path)] == ["armed"]
+
+    def test_configure_directory_names_file_by_pid(self, tmp_path):
+        configure_tracing(directory=tmp_path)
+        with span("x"):
+            pass
+        reset_global_tracer()
+        assert (tmp_path / f"trace-{os.getpid()}.jsonl").is_file()
