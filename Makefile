@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke fabric-smoke help
+.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke fabric-smoke crash-smoke help
 
 help:
 	@echo "test           - tier-1 test suite (pytest -x -q)"
@@ -12,6 +12,7 @@ help:
 	@echo "bench          - full pytest-benchmark experiment suite (E1-E10 tables)"
 	@echo "campaign-smoke - ~20s tiny campaign (260 cells, 7 family entries, 5 schedulers)"
 	@echo "fabric-smoke   - ~15s faulty 3-worker fleet (one SIGKILLed, one frozen) vs 1-worker baseline"
+	@echo "crash-smoke    - ~30s coordinator SIGKILLed twice mid-campaign; journal recovery vs 1-worker baseline"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,3 +37,6 @@ campaign-smoke:
 
 fabric-smoke:
 	$(PYTHON) benchmarks/run_fabric_smoke.py
+
+crash-smoke:
+	$(PYTHON) benchmarks/run_crash_smoke.py

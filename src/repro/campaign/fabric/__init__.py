@@ -12,12 +12,26 @@ over the REST surface (:mod:`~repro.campaign.fabric.transport`):
   re-leases a timed-out cell once with a larger budget before recording
   ``timeout``, and folds shards through the unchanged store path so the
   fleet's ``results.jsonl`` stays byte-identical to a 1-worker run;
+* the coordinator itself is crash-tolerant: every state transition is
+  write-ahead journaled (:mod:`~repro.campaign.fabric.journal`) before it
+  is acknowledged, a restarted ``repro campaign serve`` recovers by
+  replaying snapshot + journal, and workers ride out the outage by
+  reconnecting with capped exponential backoff;
 * :mod:`~repro.campaign.fabric.chaos` injects worker deaths, frozen
-  heartbeats, and dropped / duplicated / delayed submissions to prove it.
+  heartbeats, dropped / duplicated / delayed submissions, and coordinator
+  kills at journaled-but-unacked accepts to prove it.
 """
 
-from repro.campaign.fabric.chaos import Chaos, ChaosConfig, ChaosKill
+from repro.campaign.fabric.chaos import (
+    Chaos,
+    ChaosConfig,
+    ChaosKill,
+    CoordinatorChaos,
+    CoordinatorChaosConfig,
+    CoordinatorKillSchedule,
+)
 from repro.campaign.fabric.coordinator import Coordinator
+from repro.campaign.fabric.journal import FabricJournal
 from repro.campaign.fabric.leases import Lease, LeaseTable, WorkerState
 from repro.campaign.fabric.transport import HttpFabricClient, LocalClient
 from repro.campaign.fabric.worker import (
@@ -31,6 +45,10 @@ __all__ = [
     "ChaosConfig",
     "ChaosKill",
     "Coordinator",
+    "CoordinatorChaos",
+    "CoordinatorChaosConfig",
+    "CoordinatorKillSchedule",
+    "FabricJournal",
     "FabricWorker",
     "HttpFabricClient",
     "Lease",

@@ -15,6 +15,15 @@ The fabric's robustness claims are exactly the ones this module attacks:
   and submit -- the cell is re-leased and re-run;
 * a duplicated or delayed (possibly post-reclaim) submission is absorbed
   by the coordinator's idempotent at-least-once accept path.
+
+PR 8 extends the attack to the *coordinator* tier:
+:class:`CoordinatorChaosConfig` kills the serving process right after the
+Nth accept is journaled but before it is acknowledged or flushed -- the
+worst spot for the write-ahead journal: the worker never saw the ack, the
+results file never saw the record.  Recovery must replay the journal,
+re-admit the shard, and never re-run the cell.
+:class:`CoordinatorKillSchedule` strings several such deaths (plus
+restart delays) into the deterministic script the crash smoke drives.
 """
 
 from __future__ import annotations
@@ -123,3 +132,79 @@ class Chaos:
             return False
         self.heartbeats_sent += 1
         return True
+
+
+@dataclass(frozen=True)
+class CoordinatorChaosConfig:
+    """Deterministic fault plan for one coordinator incarnation.
+
+    ``kill_after_accepts=n`` kills the coordinator immediately after its
+    ``n``-th accept is *journaled* but before it is acknowledged to the
+    worker or flushed to ``results.jsonl`` -- the exact window the
+    write-ahead journal exists to cover.  ``kill_mode`` is ``"sigkill"``
+    (process coordinators, the crash smoke) or ``"exception"`` (raise
+    :class:`ChaosKill`, for in-process tests that cannot lose the
+    interpreter).  Ordinal-keyed, so a schedule replays identically.
+    """
+
+    kill_after_accepts: int | None = None
+    kill_mode: str = "sigkill"  # "sigkill" | "exception"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (rides the ``serve`` body into the process)."""
+        return {
+            "kill_after_accepts": self.kill_after_accepts,
+            "kill_mode": self.kill_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CoordinatorChaosConfig":
+        return cls(
+            kill_after_accepts=data.get("kill_after_accepts"),
+            kill_mode=data.get("kill_mode", "sigkill"),
+        )
+
+
+class CoordinatorChaos:
+    """Coordinator-side fault runtime; ``on_accept`` is called by the
+    coordinator right after journaling an accept, before acking it."""
+
+    def __init__(self, config: CoordinatorChaosConfig) -> None:
+        self.config = config
+        self.accepts = 0
+
+    def on_accept(self) -> None:
+        self.accepts += 1
+        if self.config.kill_after_accepts is None:
+            return
+        if self.accepts >= self.config.kill_after_accepts:
+            if self.config.kill_mode == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise ChaosKill(
+                f"coordinator killed after accept #{self.accepts}"
+            )
+
+
+@dataclass(frozen=True)
+class CoordinatorKillSchedule:
+    """One scripted coordinator death in a crash scenario: SIGKILL after
+    ``kill_after_accepts`` journaled accepts, then restart the serving
+    process ``restart_delay_s`` later.  A scenario is a list of these;
+    the final incarnation runs with no kill and finishes the campaign.
+    """
+
+    kill_after_accepts: int
+    restart_delay_s: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kill_after_accepts": self.kill_after_accepts,
+            "restart_delay_s": self.restart_delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CoordinatorKillSchedule":
+        return cls(
+            kill_after_accepts=int(data["kill_after_accepts"]),
+            restart_delay_s=float(data.get("restart_delay_s", 1.0)),
+        )

@@ -19,6 +19,16 @@ submission for a completed cell is a counted no-op; a submission under a
 reclaimed (stale) lease is still accepted when the cell is incomplete --
 the work is deterministic, so whichever copy arrives first wins and the
 rest are no-ops.
+
+Crash tolerance: every state transition -- lease grant, accept (including
+out-of-order shards parked in the buffer), transient retry, escalation,
+terminal failure -- is written to the run directory's write-ahead
+:class:`~repro.campaign.fabric.journal.FabricJournal` *before* it is
+acknowledged.  A restarted coordinator replays snapshot + journal:
+buffered shards are re-admitted (completed work is never re-run), retry
+and escalation budgets carry over, and every pre-crash lease is expired
+so open cells re-lease cleanly.  A recovered run stays byte-identical to
+an uncrashed one.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from typing import Any, Mapping
 
 from repro.errors import CampaignError
 from repro.obs import trace as obs
+from repro.campaign.fabric.journal import FabricJournal
 from repro.campaign.fabric.leases import LeaseTable
 from repro.campaign.runner import _truncate
 from repro.campaign.schedulers import resolve
@@ -48,6 +59,13 @@ COUNTERS = (
     "duplicate_submits",
     "stale_submits",
     "transient_failures",
+    "deregisters",
+    "journal_records",
+    "journal_compactions",
+    "recovered_buffered",
+    "recovered_retries",
+    "recovered_escalations",
+    "recovered_leases_expired",
 )
 
 
@@ -82,6 +100,9 @@ class Coordinator:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         escalation_factor: float = 4.0,
+        journal_fsync: bool = True,
+        journal_compact_every: int = 256,
+        chaos=None,
         clock=time.monotonic,
         jitter_seed: int = 0,
     ) -> None:
@@ -100,6 +121,10 @@ class Coordinator:
         self.backoff_cap_s = float(backoff_cap_s)
         #: ``0`` disables timeout escalation entirely.
         self.escalation_factor = float(escalation_factor)
+        #: Optional :class:`~repro.campaign.fabric.chaos.CoordinatorChaos`
+        #: (crash smoke / tests): fires right after an accept is
+        #: journaled, the nastiest deterministic crash point.
+        self.chaos = chaos
         self._clock = clock
         self._rng = random.Random(jitter_seed)
         self._lock = threading.Lock()
@@ -142,6 +167,202 @@ class Coordinator:
             self.heartbeat_timeout_s,
             hard_ttl_factor=lease_hard_ttl_factor,
         )
+        self._journal = FabricJournal(
+            self.store.directory,
+            fsync=journal_fsync,
+            compact_every=journal_compact_every,
+        )
+        self._recover_locked()
+
+    # ------------------------------------------------------------------
+    # crash recovery (constructor-time; the lock is not yet contended)
+    # ------------------------------------------------------------------
+    def _recover_locked(self) -> None:
+        """Replay snapshot + journal from a previous coordinator's life.
+
+        Re-admits buffered out-of-order shards (journaled accepts that
+        never made it into ``results.jsonl``), restores retry/escalation
+        budgets, and expires every pre-crash lease.  Finishes with a
+        compaction so the next incarnation replays from a snapshot.
+        """
+        snapshot, records = self._journal.load()
+        if snapshot is None and not records:
+            return  # first incarnation: nothing to recover
+        with obs.span(
+            "fabric.recover", campaign=self.spec.campaign_id
+        ) as span:
+            if snapshot:
+                self._apply_snapshot_locked(snapshot)
+            open_leases: dict[str, tuple[str, set[int]]] = {}
+            for record in records:
+                self._replay_locked(record, open_leases)
+            for lease_id, (worker_id, indices) in open_leases.items():
+                if not any(
+                    self._states[i].status != "done" for i in indices
+                ):
+                    continue  # fully settled before the crash
+                self.counters["recovered_leases_expired"] += 1
+                obs.event(
+                    "fabric.lease_expired_on_recovery",
+                    lease_id=lease_id,
+                    worker_id=worker_id,
+                )
+            self._flush_locked()
+            span.set_attrs(
+                recovered_buffered=self.counters["recovered_buffered"],
+                recovered_retries=self.counters["recovered_retries"],
+                recovered_escalations=self.counters["recovered_escalations"],
+                recovered_leases_expired=(
+                    self.counters["recovered_leases_expired"]
+                ),
+                journal_records=len(records),
+            )
+            for name in (
+                "recovered_buffered",
+                "recovered_retries",
+                "recovered_escalations",
+                "recovered_leases_expired",
+            ):
+                if self.counters[name]:
+                    global_collector().increment(
+                        f"fabric.{name}", self.counters[name]
+                    )
+            obs.event(
+                "fabric.recovered",
+                campaign=self.spec.campaign_id,
+                buffered=self.counters["recovered_buffered"],
+                leases_expired=self.counters["recovered_leases_expired"],
+            )
+            # fold everything recovered into a fresh snapshot so the
+            # journal starts this incarnation bounded and empty
+            self._compact_locked()
+
+    def _apply_snapshot_locked(self, snapshot: Mapping[str, Any]) -> None:
+        for key, entry in dict(snapshot.get("cells", {})).items():
+            index = int(key)
+            if not 0 <= index < len(self._states):
+                continue
+            state = self._states[index]
+            if entry.get("attempts"):
+                state.attempts = max(state.attempts, int(entry["attempts"]))
+                self.counters["recovered_retries"] += 1
+            if entry.get("escalated"):
+                state.escalated = True
+                if entry.get("timeout_s") is not None:
+                    state.payload["timeout_s"] = float(entry["timeout_s"])
+                if entry.get("scheduler_params"):
+                    state.payload["scheduler_params"] = dict(
+                        entry["scheduler_params"]
+                    )
+                self.counters["recovered_escalations"] += 1
+            if entry.get("done") and not state.on_disk and (
+                state.status != "done"
+            ):
+                self._buffer[index] = (
+                    dict(entry["record"]), dict(entry["timing"])
+                )
+                state.status = "done"
+                self.counters["recovered_buffered"] += 1
+                # the accept's span may have died unwritten with the old
+                # coordinator; this event is the durable trace of the
+                # settlement (verify_lifecycles treats it as one)
+                obs.event(
+                    "fabric.recovered_cell",
+                    cell_id=state.cell.cell_id,
+                )
+
+    def _replay_locked(
+        self,
+        record: Mapping[str, Any],
+        open_leases: dict[str, tuple[str, set[int]]],
+    ) -> None:
+        kind = record.get("kind")
+        if kind == "lease":
+            # pre-crash grants: the lease itself is dead (the table is
+            # rebuilt empty) -- remember which cells it held so the
+            # recovery can report how many live leases it expired
+            if record.get("lease_id"):
+                open_leases[record["lease_id"]] = (
+                    str(record.get("worker_id", "")),
+                    {int(i) for i in record.get("cells", ())},
+                )
+            return
+        index = record.get("index")
+        if not isinstance(index, int) or not 0 <= index < len(self._states):
+            return
+        state = self._states[index]
+        if kind in ("accept", "terminal"):
+            lease_id = record.get("lease_id")
+            if lease_id in open_leases:
+                open_leases[lease_id][1].discard(index)
+            if state.on_disk or state.status == "done":
+                return  # already flushed by a previous incarnation
+            self._buffer[index] = (
+                dict(record["record"]), dict(record["timing"])
+            )
+            state.status = "done"
+            self.counters["recovered_buffered"] += 1
+            obs.event(
+                "fabric.recovered_cell", cell_id=state.cell.cell_id
+            )
+        elif kind == "retry":
+            if state.status != "done":
+                state.attempts = max(
+                    state.attempts, int(record.get("attempts", 0))
+                )
+                self.counters["recovered_retries"] += 1
+        elif kind == "escalate":
+            if state.status != "done":
+                state.escalated = True
+                if record.get("timeout_s") is not None:
+                    state.payload["timeout_s"] = float(record["timeout_s"])
+                if record.get("scheduler_params"):
+                    state.payload["scheduler_params"] = dict(
+                        record["scheduler_params"]
+                    )
+                self.counters["recovered_escalations"] += 1
+
+    # ------------------------------------------------------------------
+    # journaling (call with the lock held)
+    # ------------------------------------------------------------------
+    def _journal_locked(self, kind: str, **fields: Any) -> None:
+        self._journal.append(kind, **fields)
+        self._count("journal_records")
+
+    def _snapshot_state_locked(self) -> dict:
+        """The complete recoverable state, for compaction."""
+        cells: dict[str, dict] = {}
+        for index, state in enumerate(self._states):
+            entry: dict[str, Any] = {}
+            if state.attempts:
+                entry["attempts"] = state.attempts
+            if state.escalated:
+                entry["escalated"] = True
+                entry["timeout_s"] = state.payload.get("timeout_s")
+                entry["scheduler_params"] = state.payload.get(
+                    "scheduler_params"
+                )
+            if state.status == "done" and not state.on_disk:
+                buffered = self._buffer.get(index)
+                if buffered is not None:
+                    entry["done"] = True
+                    entry["record"], entry["timing"] = buffered
+            if entry:
+                cells[str(index)] = entry
+        return {"cells": cells}
+
+    def _compact_locked(self) -> None:
+        with obs.span(
+            "fabric.journal.compact", campaign=self.spec.campaign_id
+        ) as span:
+            state = self._snapshot_state_locked()
+            self._journal.compact(state)
+            span.set_attrs(snapshot_cells=len(state["cells"]))
+        self._count("journal_compactions")
+
+    def _maybe_compact_locked(self) -> None:
+        if self._journal.due_for_compaction:
+            self._compact_locked()
 
     # ------------------------------------------------------------------
     # worker-facing protocol (every payload/return is JSON-compatible)
@@ -209,6 +430,14 @@ class Coordinator:
                     "retry_after_s": self._retry_after_locked(now),
                 }
             lease = self._table.grant(worker_id, indices, now)
+            # journaled before the grant is acknowledged: a recovered
+            # coordinator expires it, so the cells re-lease cleanly
+            self._journal_locked(
+                "lease",
+                lease_id=lease.lease_id,
+                worker_id=worker_id,
+                cells=list(indices),
+            )
             for i in indices:
                 self._states[i].status = "leased"
                 obs.event(
@@ -222,6 +451,7 @@ class Coordinator:
             stats = self._wstats.get(worker_id)
             if stats is not None:
                 stats["cells_leased"] += len(indices)
+            self._maybe_compact_locked()
             return {
                 "lease_id": lease.lease_id,
                 "cells": [dict(self._states[i].payload) for i in indices],
@@ -274,7 +504,21 @@ class Coordinator:
                 if stats is not None:
                     stats["escalations"] += 1
                 submit_span.set_attrs(outcome="escalated")
+                self._maybe_compact_locked()
                 return {"accepted": True, "escalated": True, "done": False}
+            # write-ahead: the accept is durable before the worker hears
+            # "accepted", so a crash after this line can never re-run the
+            # cell -- recovery re-admits the journaled record instead
+            self._journal_locked(
+                "accept",
+                index=index,
+                cell_id=cell_id,
+                lease_id=lease_id,
+                record=record,
+                timing=dict(timing),
+            )
+            if self.chaos is not None:
+                self.chaos.on_accept()
             self._complete_locked(index, record, dict(timing))
             if stats is not None:
                 stats["cells_done"] += 1
@@ -283,11 +527,17 @@ class Coordinator:
                 "fabric.cell_wall_ms", float(timing.get("wall_ms") or 0.0)
             )
             self._reap(now)
+            self._maybe_compact_locked()
             return {"accepted": True, "duplicate": False,
                     "done": self._finished_locked()}
 
     def fail(
-        self, worker_id: str, lease_id: str, cell_id: str, detail: str = ""
+        self,
+        worker_id: str,
+        lease_id: str,
+        cell_id: str,
+        detail: str = "",
+        requeue: bool = False,
     ) -> dict:
         """A worker reports a *transient* (infrastructure-level) failure.
 
@@ -295,7 +545,10 @@ class Coordinator:
         timeouts -- are captured inside the cell record by ``run_cell``
         and submitted normally; this path is for the machinery around it
         failing.  Bounded retry with backoff, then a terminal error
-        record so the campaign always completes.
+        record so the campaign always completes.  ``requeue=True`` (a
+        draining worker handing unstarted cells back) skips the attempt
+        bump and the backoff: nothing failed, the cell just needs a new
+        owner.
         """
         with self._lock:
             now = self._clock()
@@ -304,18 +557,50 @@ class Coordinator:
             if index is None:
                 raise CampaignError(f"unknown cell {cell_id!r}")
             self._table.release_cell(lease_id, index)
-            self._count("transient_failures", worker_id=worker_id)
-            stats = self._wstats.get(worker_id)
-            if stats is not None:
-                stats["transient_failures"] += 1
             obs.event(
                 "fabric.fail_cell",
                 cell_id=cell_id,
                 worker_id=worker_id,
+                requeue=bool(requeue),
                 detail=_truncate(detail, 120),
             )
+            if requeue:
+                self._requeue_locked(index, now)
+                self._maybe_compact_locked()
+                return {"retried": True, "done": self._finished_locked()}
+            self._count("transient_failures", worker_id=worker_id)
+            stats = self._wstats.get(worker_id)
+            if stats is not None:
+                stats["transient_failures"] += 1
             retried = self._retry_locked(index, now, f"transient: {detail}")
+            self._maybe_compact_locked()
             return {"retried": retried, "done": self._finished_locked()}
+
+    def deregister(self, worker_id: str) -> dict:
+        """A worker says goodbye (graceful drain / clean shutdown).
+
+        Its leases are requeued immediately -- no attempt bump, no
+        backoff, no waiting for the TTL to expire -- and the worker is
+        forgotten by the lease table (its telemetry tallies remain).
+        """
+        with self._lock:
+            now = self._clock()
+            requeued = 0
+            for lease in self._table.deregister_worker(worker_id):
+                for index in lease.cell_indices:
+                    state = self._states[index]
+                    if state.status != "leased":
+                        continue
+                    self._requeue_locked(index, now)
+                    requeued += 1
+            self._count("deregisters")
+            obs.event(
+                "fabric.deregister",
+                worker_id=worker_id,
+                requeued=requeued,
+            )
+            return {"ok": True, "requeued": requeued,
+                    "done": self._finished_locked()}
 
     # ------------------------------------------------------------------
     # lifecycle / introspection
@@ -341,6 +626,7 @@ class Coordinator:
 
     def close(self) -> None:
         self.store.close()
+        self._journal.close()
 
     def status(self) -> dict:
         """Store progress counters plus the fabric's own."""
@@ -462,6 +748,14 @@ class Coordinator:
             return self.heartbeat_interval_s
         return min(max(min(waits), 0.01), self.heartbeat_interval_s)
 
+    def _requeue_locked(self, index: int, now: float) -> None:
+        """Hand a cell straight back to the pending pool (clean drain)."""
+        state = self._states[index]
+        if state.status == "done":
+            return
+        state.status = "pending"
+        state.eligible_at = now
+
     def _retry_locked(self, index: int, now: float, detail: str) -> bool:
         """Requeue a transiently-failed/reclaimed cell, or give up on it."""
         state = self._states[index]
@@ -471,6 +765,13 @@ class Coordinator:
         if state.attempts > self.max_transient_retries:
             record = self._terminal_error_record(state, detail)
             timing = {"id": state.cell.cell_id, "wall_ms": 0.0}
+            self._journal_locked(
+                "terminal",
+                index=index,
+                cell_id=state.cell.cell_id,
+                record=record,
+                timing=timing,
+            )
             self._complete_locked(index, record, timing)
             obs.event(
                 "fabric.terminal_error",
@@ -480,6 +781,9 @@ class Coordinator:
             return False
         state.status = "pending"
         state.eligible_at = now + self._backoff_locked(state.attempts)
+        self._journal_locked(
+            "retry", index=index, attempts=state.attempts
+        )
         self._count("retries")
         obs.event(
             "fabric.retry_cell",
@@ -530,6 +834,13 @@ class Coordinator:
                 extra["node_budget"] = int(budget * self.escalation_factor)
         if extra:
             payload["scheduler_params"] = extra
+        index = self._by_id[state.cell.cell_id]
+        self._journal_locked(
+            "escalate",
+            index=index,
+            timeout_s=payload["timeout_s"],
+            scheduler_params=extra or None,
+        )
         state.status = "pending"
         state.eligible_at = now
         self._count("escalations")

@@ -1,0 +1,185 @@
+"""Write-ahead journal for the campaign fabric coordinator.
+
+The coordinator's in-memory state -- the out-of-order shard buffer,
+retry/backoff counters, escalation flags, and lease grants -- dies with
+its process.  This module makes every one of those transitions durable
+*before* it is acknowledged to a worker, so a SIGKILLed coordinator can
+be restarted over the same run directory and pick up exactly where it
+died: completed-but-unflushed cells are re-admitted (never re-run),
+retry and escalation budgets carry over, and pre-crash leases are
+expired so cells re-lease cleanly.
+
+Layout inside ``campaign-runs/<id>/``::
+
+    fabric-journal.jsonl  -- one fsync'd record per state transition,
+                             appended *before* the transition is acked
+    fabric-snapshot.json  -- periodic compaction target (atomic rename),
+                             carrying the sequence number it covers
+
+Each journal record is ``{"seq": n, "kind": ..., ...}`` with a strictly
+increasing ``seq``.  Compaction writes the whole recoverable state as a
+snapshot stamped with the latest ``seq`` and then truncates the journal,
+so the journal stays bounded by the compaction interval.  A crash
+*between* snapshot write and journal truncation is safe: replay skips
+every record whose ``seq`` the snapshot already covers.
+
+Crash conventions mirror :mod:`repro.campaign.store`: appends are one
+full line + flush + fsync, snapshots go through
+:func:`~repro.campaign.store.atomic_write_text`, and a torn trailing
+line (the writer died mid-record) is truncated away on open -- the torn
+transition was never acknowledged, so dropping it merely re-opens the
+cell for leasing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Iterator, Mapping
+
+from repro.campaign.store import atomic_write_text
+from repro.campaign.spec import canonical_json
+
+JOURNAL = "fabric-journal.jsonl"
+SNAPSHOT = "fabric-snapshot.json"
+
+#: Journal record kinds (every coordinator state transition).
+KINDS = ("lease", "accept", "terminal", "retry", "escalate")
+
+
+class FabricJournal:
+    """Fsync'd append log + snapshot pair inside one run directory."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        fsync: bool = True,
+        compact_every: int = 256,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.journal_path = self.directory / JOURNAL
+        self.snapshot_path = self.directory / SNAPSHOT
+        self.fsync = fsync
+        self.compact_every = max(1, int(compact_every))
+        self._handle = None
+        self._seq = 0
+        self._pending = 0  # records appended since the last compaction
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, kind: str, **fields: Any) -> int:
+        """Durably journal one transition; returns its sequence number.
+
+        The record is on disk (flushed, and fsynced unless disabled)
+        before this returns -- callers ack the transition only after.
+        """
+        self._seq += 1
+        record = {"seq": self._seq, "kind": kind, **fields}
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.journal_path, "a", encoding="utf-8")
+        self._handle.write(canonical_json(record) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._pending += 1
+        return self._seq
+
+    @property
+    def due_for_compaction(self) -> bool:
+        return self._pending >= self.compact_every
+
+    def compact(self, state: Mapping[str, Any]) -> None:
+        """Fold the journal into a snapshot and truncate it.
+
+        ``state`` must be the complete recoverable state as of the last
+        appended record; the snapshot is stamped with that ``seq`` so a
+        crash before the truncation lands replays nothing twice.
+        """
+        atomic_write_text(
+            self.snapshot_path,
+            json.dumps(
+                {"seq": self._seq, "state": dict(state)},
+                indent=2,
+                sort_keys=True,
+            ) + "\n",
+        )
+        if self._handle is not None:
+            self._handle.close()
+        self._handle = open(self.journal_path, "w", encoding="utf-8")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._pending = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def load(self) -> tuple[dict | None, list[dict]]:
+        """Read ``(snapshot_state, replay_records)`` for recovery.
+
+        Repairs a torn journal tail first (a record the dying writer
+        never finished was also never acknowledged -- dropping it is the
+        correct outcome: that cell simply re-leases).  Records the
+        snapshot already covers (``seq <= snapshot seq``) are skipped.
+        Leaves the journal positioned to keep appending (``seq``
+        continues past everything seen).
+        """
+        self._repair_tail()
+        snapshot_state: dict | None = None
+        snapshot_seq = 0
+        if self.snapshot_path.is_file():
+            try:
+                snapshot = json.loads(
+                    self.snapshot_path.read_text(encoding="utf-8")
+                )
+                snapshot_seq = int(snapshot.get("seq", 0))
+                snapshot_state = snapshot.get("state")
+            except (json.JSONDecodeError, ValueError, TypeError):
+                # atomic_write_text makes this unreachable in practice;
+                # fall back to pure journal replay rather than dying
+                snapshot_state = None
+                snapshot_seq = 0
+        records = [
+            record
+            for record in self._iter_journal()
+            if int(record.get("seq", 0)) > snapshot_seq
+        ]
+        self._seq = max(
+            snapshot_seq,
+            max((int(r.get("seq", 0)) for r in records), default=0),
+        )
+        self._pending = len(records)
+        return snapshot_state, records
+
+    def _iter_journal(self) -> Iterator[dict]:
+        if not self.journal_path.is_file():
+            return
+        with open(self.journal_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    return  # torn tail already truncated; belt and braces
+
+    def _repair_tail(self) -> None:
+        """Truncate a trailing partial record (killed mid-append)."""
+        if not self.journal_path.is_file():
+            return
+        data = self.journal_path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1
+        with open(self.journal_path, "r+b") as handle:
+            handle.truncate(keep)

@@ -96,6 +96,21 @@ class LeaseTable:
                 )
         return True
 
+    def deregister_worker(self, worker_id: str) -> list[Lease]:
+        """Forget a worker on its own request (graceful drain) and return
+        its leases so the coordinator can requeue the cells immediately
+        instead of waiting for the TTL to expire.  Unknown workers (never
+        registered, already reaped) simply return no leases."""
+        self._workers.pop(worker_id, None)
+        released = [
+            lease
+            for lease in self._leases.values()
+            if lease.worker_id == worker_id
+        ]
+        for lease in released:
+            del self._leases[lease.lease_id]
+        return released
+
     def worker_alive(self, worker_id: str, now: float) -> bool:
         state = self._workers.get(worker_id)
         return (

@@ -1,7 +1,7 @@
 """Worker-side transports to a campaign coordinator.
 
-Workers speak a five-verb protocol -- register, heartbeat, lease, submit,
-fail -- with JSON-compatible payloads on both transports:
+Workers speak a six-verb protocol -- register, heartbeat, lease, submit,
+fail, deregister -- with JSON-compatible payloads on both transports:
 
 * :class:`LocalClient` calls an in-process :class:`Coordinator` directly
   (tests, single-host fleets, the thread-based smoke paths);
@@ -46,19 +46,36 @@ class LocalClient:
         return self.coordinator.submit(worker_id, lease_id, cell_id, record, timing)
 
     def fail(
-        self, worker_id: str, lease_id: str, cell_id: str, detail: str = ""
+        self,
+        worker_id: str,
+        lease_id: str,
+        cell_id: str,
+        detail: str = "",
+        requeue: bool = False,
     ) -> dict:
-        return self.coordinator.fail(worker_id, lease_id, cell_id, detail)
+        return self.coordinator.fail(
+            worker_id, lease_id, cell_id, detail, requeue=requeue
+        )
+
+    def deregister(self, worker_id: str) -> dict:
+        return self.coordinator.deregister(worker_id)
 
 
 class HttpFabricClient:
-    """The same five verbs over ``POST /campaigns/<id>/fabric/<verb>``."""
+    """The same six verbs over ``POST /campaigns/<id>/fabric/<verb>``."""
 
-    def __init__(self, base_url: str, campaign_id: str, http=None) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        campaign_id: str,
+        http=None,
+        *,
+        token: str | None = None,
+    ) -> None:
         if http is None:
             from repro.rest.http_binding import HttpClient
 
-            http = HttpClient(base_url)
+            http = HttpClient(base_url, token=token)
         self.http = http
         self.campaign_id = campaign_id
 
@@ -96,11 +113,20 @@ class HttpFabricClient:
         })
 
     def fail(
-        self, worker_id: str, lease_id: str, cell_id: str, detail: str = ""
+        self,
+        worker_id: str,
+        lease_id: str,
+        cell_id: str,
+        detail: str = "",
+        requeue: bool = False,
     ) -> dict:
         return self._post("fail", {
             "worker_id": worker_id,
             "lease_id": lease_id,
             "cell_id": cell_id,
             "detail": detail,
+            "requeue": bool(requeue),
         })
+
+    def deregister(self, worker_id: str) -> dict:
+        return self._post("deregister", {"worker_id": worker_id})

@@ -10,23 +10,41 @@ cell computes.
 
 Infrastructure failures around ``run_cell`` (the cell itself never
 raises) are reported to the coordinator as *transient* via ``fail``, to
-be retried with backoff; transport failures on submit are swallowed after
-the :class:`HttpClient` retry budget -- the lease expires and the
-coordinator re-runs the cell, which is safe because records are
-deterministic and the accept path idempotent.
+be retried with backoff.
+
+Coordinator outages are survivable: when a lease or submit exhausts the
+:class:`HttpClient` retry budget (:class:`~repro.errors.TransportError`),
+the worker assumes the coordinator is restarting and reconnects with
+capped exponential backoff + jitter, re-registering under the same name
+with a fresh epoch.  A computed-but-undelivered record is *resubmitted*
+after the reconnect rather than recomputed -- records are deterministic
+and the accept path idempotent, so a submit under a lease that died with
+the old coordinator lands as a stale-but-accepted shard while the cell
+is open (and a counted duplicate once it is not).  ``max_offline_s``
+bounds how long a worker waits for the coordinator to come back before
+giving up.  4xx answers (:class:`~repro.errors.HttpStatusError` -- auth
+mismatch, malformed request) always fail fast instead of retrying.
+
+Graceful drain: ``request_drain()`` (wired to SIGTERM/SIGINT in
+:func:`worker_main`) lets the worker finish its in-flight cell, hand the
+rest of its lease back (``fail`` with ``requeue=True`` -- no retry
+budget burned), and deregister, so the coordinator requeues the cells
+immediately instead of waiting out the lease TTL.
 
 :func:`worker_main` is the process entry point used by ``repro campaign
-work``, the fault-injection suite, and the fabric smoke: plain args, so
+work``, the fault-injection suite, and the fabric smokes: plain args, so
 it survives ``multiprocessing`` spawn and SIGKILL harnesses.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import signal
 import threading
 import time
 
-from repro.errors import TransportError
+from repro.errors import HttpStatusError, TransportError
 from repro.obs import trace as obs
 from repro.campaign.fabric.chaos import Chaos, ChaosConfig, ChaosKill
 from repro.campaign.runner import run_cell
@@ -42,21 +60,44 @@ class FabricWorker:
         name: str = "worker",
         max_lease_cells: int | None = None,
         chaos: ChaosConfig | None = None,
+        reconnect_base_s: float = 0.2,
+        reconnect_cap_s: float = 5.0,
+        max_offline_s: float = 120.0,
+        jitter_seed: int | None = None,
         sleep=time.sleep,
+        clock=time.monotonic,
         run_cell_fn=run_cell,
     ) -> None:
         self.client = client
         self.name = name
         self.max_lease_cells = max_lease_cells
         self.chaos = Chaos(chaos) if chaos is not None else None
+        self.reconnect_base_s = float(reconnect_base_s)
+        self.reconnect_cap_s = float(reconnect_cap_s)
+        self.max_offline_s = float(max_offline_s)
+        self._rng = random.Random(jitter_seed)
         self._sleep = sleep
+        self._clock = clock
         self._run_cell = run_cell_fn
         self.worker_id: str | None = None
         self.cells_done = 0
+        self.reconnects = 0
+        self.gave_up_offline = False
+        self._epoch = 0
+        self._draining = threading.Event()
         self._hb_stop = threading.Event()
         self._hb_thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Ask the worker to finish its in-flight cell and exit cleanly
+        (SIGTERM/SIGINT handler; also callable from tests)."""
+        self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
     def run(self) -> dict:
         """Work until the coordinator reports the campaign done.
 
@@ -72,24 +113,36 @@ class FabricWorker:
             died = True
         finally:
             self._stop_heartbeats()
+        if not died and not self.gave_up_offline:
+            self._deregister()
         return {
             "worker_id": self.worker_id,
             "name": self.name,
             "cells_done": self.cells_done,
             "died": died,
+            "drained": self._draining.is_set(),
+            "reconnects": self.reconnects,
+            "gave_up_offline": self.gave_up_offline,
         }
 
     # ------------------------------------------------------------------
     def _register(self) -> None:
-        with obs.span("fabric.rpc.register", worker=self.name):
+        self._epoch += 1
+        with obs.span("fabric.rpc.register", worker=self.name,
+                      epoch=self._epoch):
             reply = self.client.register(
-                {"name": self.name, "pid": os.getpid()}
+                {"name": self.name, "pid": os.getpid(),
+                 "epoch": self._epoch}
             )
         self.worker_id = reply["worker_id"]
         interval = float(reply.get("heartbeat_interval_s", 2.0))
-        self._hb_stop.clear()
+        # a fresh stop event per registration: a previous epoch's thread
+        # that outlived its join timeout still sees its own (set) event
+        self._hb_stop = threading.Event()
         self._hb_thread = threading.Thread(
-            target=self._heartbeat_loop, args=(interval,), daemon=True
+            target=self._heartbeat_loop,
+            args=(interval, self._hb_stop),
+            daemon=True,
         )
         self._hb_thread.start()
 
@@ -99,26 +152,93 @@ class FabricWorker:
             self._hb_thread.join(timeout=2.0)
             self._hb_thread = None
 
-    def _heartbeat_loop(self, interval: float) -> None:
-        while not self._hb_stop.wait(interval):
+    def _heartbeat_loop(self, interval: float, stop: threading.Event) -> None:
+        while not stop.wait(interval):
             if self.chaos is not None and not self.chaos.heartbeat_allowed():
                 continue
             try:
                 with obs.span("fabric.rpc.heartbeat", worker_id=self.worker_id):
                     self.client.heartbeat(self.worker_id)
-            except Exception:  # noqa: BLE001 - liveness is best-effort;
-                pass  # a lost beat at worst costs a reclaim + re-run
+            except Exception:  # noqa: BLE001 - liveness is best-effort; a
+                pass  # lost beat (or a restarting coordinator) at worst
+                # costs a reclaim + re-run -- the pull loop reconnects
+
+    def _ride_out_outage(self, why: str) -> bool:
+        """The coordinator stopped answering: wait for it to come back.
+
+        Capped exponential backoff + jitter, re-registering (same worker
+        name, fresh epoch) on every attempt.  Returns False -- and marks
+        the worker as having given up -- once ``max_offline_s`` of
+        continuous outage is spent; a drain request also stops waiting.
+        4xx answers re-raise: an auth mismatch or malformed request will
+        not get better by retrying.
+        """
+        self._stop_heartbeats()
+        obs.event(
+            "fabric.worker_offline", worker_id=self.worker_id, why=why
+        )
+        deadline = self._clock() + self.max_offline_s
+        attempt = 0
+        while not self._draining.is_set():
+            delay = min(
+                self.reconnect_cap_s,
+                self.reconnect_base_s * (2.0 ** attempt),
+            ) * (1.0 + 0.5 * self._rng.random())
+            if self._clock() + delay > deadline:
+                break
+            self._sleep(delay)
+            attempt += 1
+            try:
+                self._register()
+            except HttpStatusError as exc:
+                if exc.status == 404:
+                    continue  # port is back up but the campaign is not
+                    # re-served yet; keep knocking until recovery finishes
+                raise  # fast-fail: a 401 auth mismatch is not weather
+            except TransportError:
+                continue
+            self.reconnects += 1
+            obs.event(
+                "fabric.worker_reconnected",
+                worker_id=self.worker_id,
+                attempts=attempt,
+                why=why,
+            )
+            return True
+        if not self._draining.is_set():
+            self.gave_up_offline = True
+            obs.event(
+                "fabric.worker_gave_up",
+                worker_id=self.worker_id,
+                offline_budget_s=self.max_offline_s,
+            )
+        return False
 
     def _loop(self) -> None:
         while True:
-            with obs.span("fabric.rpc.lease", worker_id=self.worker_id):
-                reply = self.client.lease(self.worker_id, self.max_lease_cells)
+            if self._draining.is_set():
+                return
+            try:
+                with obs.span("fabric.rpc.lease", worker_id=self.worker_id):
+                    reply = self.client.lease(
+                        self.worker_id, self.max_lease_cells
+                    )
+            except HttpStatusError:
+                raise
+            except TransportError:
+                if not self._ride_out_outage("lease"):
+                    return
+                continue
             if reply.get("unknown_worker"):
                 # declared dead (frozen heartbeats, long pause) and
                 # reaped; re-register and keep pulling -- our old cells
                 # were reclaimed, any in-flight submit lands as stale
                 self._stop_heartbeats()
-                self._register()
+                try:
+                    self._register()
+                except TransportError:
+                    if not self._ride_out_outage("register"):
+                        return
                 continue
             if reply.get("done"):
                 return
@@ -127,10 +247,21 @@ class FabricWorker:
                 self._sleep(float(reply.get("retry_after_s", 0.05)))
                 continue
             lease_id = reply["lease_id"]
-            for payload in cells:
-                self._execute(lease_id, payload)
+            for i, payload in enumerate(cells):
+                if self._draining.is_set():
+                    self._hand_back(lease_id, cells[i:])
+                    return
+                if not self._execute(lease_id, payload):
+                    # outage mid-batch: the lease died with the old
+                    # coordinator (or the worker gave up) -- abandon the
+                    # rest of the batch and pull a fresh lease
+                    break
+            if self.gave_up_offline:
+                return
 
-    def _execute(self, lease_id: str, payload: dict) -> None:
+    def _execute(self, lease_id: str, payload: dict) -> bool:
+        """Run + deliver one cell; False when the batch should be
+        abandoned (the coordinator restarted, or the worker gave up)."""
         cell_id = payload["cell_id"]
         # one fresh trace per cell attempt: run + submit stitch together,
         # and the coordinator's accept span joins via the propagated
@@ -150,35 +281,49 @@ class FabricWorker:
                 self._report_fail(
                     lease_id, cell_id, f"{type(exc).__name__}: {exc}"
                 )
-                return
+                return True
             if self.chaos is not None:
                 self.chaos.on_cell_computed()  # the configured death point
                 plan = self.chaos.submit_plan()
                 if plan.delay_s:
                     self._sleep(plan.delay_s)
                 if plan.drop:
-                    return  # shard lost on the wire; lease expiry re-runs it
-                self._submit(lease_id, cell_id, record, timing)
-                if plan.duplicate:
+                    return True  # shard lost on the wire; lease expiry re-runs it
+                outcome = self._submit(lease_id, cell_id, record, timing)
+                if plan.duplicate and outcome == "ok":
                     self._submit(lease_id, cell_id, record, timing)
             else:
-                self._submit(lease_id, cell_id, record, timing)
-            self.cells_done += 1
+                outcome = self._submit(lease_id, cell_id, record, timing)
+            if outcome != "offline":
+                self.cells_done += 1
+            return outcome == "ok"
 
-    def _submit(self, lease_id: str, cell_id: str, record, timing) -> None:
-        try:
-            with obs.span(
-                "fabric.rpc.submit",
-                cell_id=cell_id,
-                worker_id=self.worker_id,
-            ):
-                self.client.submit(
-                    self.worker_id, lease_id, cell_id, record, timing
-                )
-        except TransportError:
-            # retry budget spent; the coordinator will reclaim the lease
-            # and re-run the cell -- deterministic, so nothing is lost
-            pass
+    def _submit(self, lease_id: str, cell_id: str, record, timing) -> str:
+        """Deliver one shard: ``"ok"``, ``"resubmitted"`` (delivered
+        after riding out an outage), or ``"offline"`` (gave up)."""
+        outcome = "ok"
+        while True:
+            try:
+                with obs.span(
+                    "fabric.rpc.submit",
+                    cell_id=cell_id,
+                    worker_id=self.worker_id,
+                ):
+                    self.client.submit(
+                        self.worker_id, lease_id, cell_id, record, timing
+                    )
+                return outcome
+            except HttpStatusError:
+                raise
+            except TransportError:
+                # retry budget spent: the coordinator is down or
+                # restarting.  The record is already computed, so ride
+                # out the outage and deliver it again -- deterministic
+                # records + idempotent accept make the redelivery safe
+                # even under a lease that died with the old coordinator.
+                if not self._ride_out_outage("submit"):
+                    return "offline"
+                outcome = "resubmitted"
 
     def _report_fail(self, lease_id: str, cell_id: str, detail: str) -> None:
         try:
@@ -186,6 +331,37 @@ class FabricWorker:
                 "fabric.rpc.fail", cell_id=cell_id, worker_id=self.worker_id
             ):
                 self.client.fail(self.worker_id, lease_id, cell_id, detail)
+        except TransportError:
+            pass  # lease expiry (or recovery) requeues the cell anyway
+
+    def _hand_back(self, lease_id: str, payloads) -> None:
+        """Drain: return unstarted leased cells without burning retries."""
+        for payload in payloads:
+            try:
+                with obs.span(
+                    "fabric.rpc.fail",
+                    cell_id=payload["cell_id"],
+                    worker_id=self.worker_id,
+                ):
+                    self.client.fail(
+                        self.worker_id,
+                        lease_id,
+                        payload["cell_id"],
+                        "worker draining",
+                        requeue=True,
+                    )
+            except TransportError:
+                return  # the coordinator will reclaim via TTL instead
+
+    def _deregister(self) -> None:
+        """Best-effort goodbye so reclaim never waits on a clean exit."""
+        if self.worker_id is None:
+            return
+        try:
+            with obs.span(
+                "fabric.rpc.deregister", worker_id=self.worker_id
+            ):
+                self.client.deregister(self.worker_id)
         except TransportError:
             pass
 
@@ -197,16 +373,28 @@ def worker_main(
     name: str = "worker",
     max_lease_cells: int | None = None,
     chaos: dict | None = None,
+    max_offline_s: float = 120.0,
+    token: str | None = None,
 ) -> dict:
-    """Process entry point: connect over HTTP and work until done."""
+    """Process entry point: connect over HTTP and work until done.
+
+    Installs SIGTERM/SIGINT handlers that drain gracefully -- finish the
+    in-flight cell, hand the rest of the lease back, deregister -- when
+    running as the process main thread (always true under
+    ``multiprocessing`` spawn and the CLI).
+    """
     from repro.campaign.fabric.transport import HttpFabricClient
 
     worker = FabricWorker(
-        HttpFabricClient(url, campaign_id),
+        HttpFabricClient(url, campaign_id, token=token),
         name=name,
         max_lease_cells=max_lease_cells,
+        max_offline_s=max_offline_s,
         chaos=ChaosConfig.from_dict(chaos) if chaos is not None else None,
     )
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: worker.request_drain())
     return worker.run()
 
 
@@ -216,6 +404,7 @@ def run_local_fleet(
     *,
     chaos: dict[int, ChaosConfig] | None = None,
     max_lease_cells: int | None = None,
+    max_offline_s: float = 120.0,
 ) -> list[dict]:
     """Run an in-process thread fleet to completion (tests, smoke paths).
 
@@ -230,6 +419,7 @@ def run_local_fleet(
             LocalClient(coordinator),
             name=f"local{i}",
             max_lease_cells=max_lease_cells,
+            max_offline_s=max_offline_s,
             chaos=(chaos or {}).get(i),
         )
         for i in range(n_workers)

@@ -392,15 +392,37 @@ def _render_telemetry(data: dict) -> str:
 
 
 def _watch_telemetry(args: argparse.Namespace) -> int:
-    """Poll the coordinator's telemetry endpoint; loop under ``--watch``."""
+    """Poll the coordinator's telemetry endpoint; loop under ``--watch``.
+
+    A restarting coordinator (crash recovery) surfaces as a
+    ``TransportError``, or briefly as a 404 while the new process has
+    bound the port but not yet re-served the campaign.  Under ``--watch``
+    both mean "reconnecting", not "crash the watch loop"; any other 4xx
+    (401 auth mismatch, bad campaign id) still fails fast.
+    """
     import time
 
+    from repro.errors import HttpStatusError, TransportError
     from repro.rest.http_binding import HttpClient
 
-    client = HttpClient(args.url)
+    client = HttpClient(args.url, token=getattr(args, "token", None))
     path = f"/campaigns/{args.campaign}/fabric/telemetry"
     while True:
-        data = client.get(path)
+        try:
+            data = client.get(path)
+        except HttpStatusError as exc:
+            if not args.watch or exc.status != 404:
+                raise
+            print("coordinator restarting (campaign not re-served yet)…",
+                  file=sys.stderr)
+            time.sleep(max(0.05, args.interval))
+            continue
+        except TransportError:
+            if not args.watch:
+                raise
+            print("coordinator unreachable; reconnecting…", file=sys.stderr)
+            time.sleep(max(0.05, args.interval))
+            continue
         if args.json:
             print(json.dumps(data, sort_keys=True))
         else:
@@ -480,7 +502,7 @@ def cmd_campaign_serve(args: argparse.Namespace) -> int:
         spec = CampaignSpec.from_dict(json.load(handle))
 
     api = build_campaign_api(campaign_root=args.root)
-    server = RestHttpServer(api, port=args.port)
+    server = RestHttpServer(api, port=args.port, host=args.host, token=args.token)
     server.start()
     body: dict = {"spec": spec.to_dict()}
     for key, value in (
@@ -488,6 +510,7 @@ def cmd_campaign_serve(args: argparse.Namespace) -> int:
         ("heartbeat_interval_s", args.heartbeat_interval),
         ("lease_cells", args.lease_cells),
         ("max_transient_retries", args.max_retries),
+        ("journal_compact_every", args.journal_compact_every),
     ):
         if value is not None:
             body[key] = value
@@ -514,7 +537,7 @@ def cmd_campaign_serve(args: argparse.Namespace) -> int:
                 ctx.Process(
                     target=worker_main,
                     args=(server.url, spec.campaign_id),
-                    kwargs={"name": f"local{i}"},
+                    kwargs={"name": f"local{i}", "token": args.token},
                     daemon=True,
                 )
                 for i in range(args.local_workers)
@@ -550,12 +573,14 @@ def cmd_campaign_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign_work(args: argparse.Namespace) -> int:
-    from repro.campaign.fabric import FabricWorker, HttpFabricClient
+    from repro.campaign.fabric import worker_main
     from repro.rest.http_binding import HttpClient
 
     campaign_id = args.campaign
     if campaign_id is None:
-        served = HttpClient(args.url).get("/campaigns/fabric")["campaigns"]
+        served = HttpClient(args.url, token=args.token).get(
+            "/campaigns/fabric"
+        )["campaigns"]
         if len(served) != 1:
             print(
                 f"error: coordinator serves {len(served)} campaigns "
@@ -564,17 +589,27 @@ def cmd_campaign_work(args: argparse.Namespace) -> int:
             )
             return 2
         campaign_id = served[0]
-    worker = FabricWorker(
-        HttpFabricClient(args.url, campaign_id),
+    # worker_main installs SIGTERM/SIGINT drain handlers: finish the
+    # in-flight cell, hand the rest of the lease back, deregister
+    summary = worker_main(
+        args.url,
+        campaign_id,
         name=args.name,
         max_lease_cells=args.cells,
+        max_offline_s=args.max_offline_s,
+        token=args.token,
     )
-    summary = worker.run()
     if args.json:
         print(json.dumps(summary, sort_keys=True))
     else:
-        print(f"{summary['worker_id']}: {summary['cells_done']} cells done")
-    return 0
+        tags = "".join(
+            f" ({tag})"
+            for tag in ("drained", "gave_up_offline")
+            if summary.get(tag)
+        )
+        print(f"{summary['worker_id']}: {summary['cells_done']} cells done"
+              + tags)
+    return 0 if not summary.get("gave_up_offline") else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -702,6 +737,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory holding campaign run directories")
     p_cserve.add_argument("--port", type=int, default=0,
                           help="HTTP port for the fabric endpoints (0 = ephemeral)")
+    p_cserve.add_argument("--host", default="127.0.0.1",
+                          help="bind address; beyond loopback requires --token")
+    p_cserve.add_argument("--token", default=None, metavar="SECRET",
+                          help="shared secret workers must send as X-Repro-Auth")
+    p_cserve.add_argument("--journal-compact-every", type=int, default=None,
+                          metavar="N",
+                          help="compact the fabric write-ahead journal into a "
+                               "snapshot every N records")
     p_cserve.add_argument("--local-workers", type=int, default=0, metavar="N",
                           help="also spawn N worker processes against this server")
     p_cserve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -727,6 +770,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker name shown in coordinator status")
     p_work.add_argument("--cells", type=int, default=None, metavar="N",
                         help="max cells to lease at a time")
+    p_work.add_argument("--token", default=None, metavar="SECRET",
+                        help="shared secret matching the coordinator's --token")
+    p_work.add_argument("--max-offline-s", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="how long to wait out a coordinator outage "
+                             "(reconnect backoff budget) before giving up")
     p_work.add_argument("--json", action="store_true")
     p_work.set_defaults(func=cmd_campaign_work)
 
@@ -738,7 +787,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "instead of reading the run directory")
     p_status.add_argument("--watch", action="store_true",
                           help="with --url: keep polling until the campaign "
-                               "finishes, printing a per-worker table")
+                               "finishes, printing a per-worker table; rides "
+                               "out coordinator restarts")
+    p_status.add_argument("--token", default=None, metavar="SECRET",
+                          help="shared secret matching the coordinator's --token")
     p_status.add_argument("--interval", type=float, default=1.0,
                           metavar="SECONDS", help="--watch poll period")
     p_status.add_argument("--json", action="store_true")

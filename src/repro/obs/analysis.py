@@ -117,6 +117,10 @@ class CellLifecycle:
     accepted_submits: int = 0
     duplicate_submits: int = 0
     stale_submits: int = 0
+    #: journal-backed re-admissions by a restarted coordinator; when the
+    #: accept's ack (and its span) died with the old process, this event
+    #: is the only trace of the settlement
+    recovered: int = 0
     #: terminal status of each completed run span (``campaign.cell``)
     run_statuses: list = field(default_factory=list)
     #: trace ids of the run spans, for phase lookups
@@ -127,7 +131,11 @@ class CellLifecycle:
     @property
     def complete(self) -> bool:
         """Leased at least once and folded exactly one terminal outcome."""
-        settled = self.accepted_submits == 1 or self.terminal_errors == 1
+        settled = (
+            self.accepted_submits == 1
+            or self.terminal_errors == 1
+            or (self.accepted_submits == 0 and self.recovered > 0)
+        )
         return self.leases >= 1 and settled
 
 
@@ -164,6 +172,8 @@ def reconstruct_cell_lifecycles(
             state.transient_failures += 1
         elif name == "fabric.terminal_error":
             state.terminal_errors += 1
+        elif name == "fabric.recovered_cell":
+            state.recovered += 1
         elif name == "fabric.submit":
             outcome = attrs.get("outcome")
             if outcome == "accepted":
@@ -191,7 +201,9 @@ def verify_lifecycles(
 
     * every expected cell was leased at least once and settled exactly
       once -- one accepted submit (duplicates and stales are fine, they
-      are flagged no-ops) or one terminal give-up record;
+      are flagged no-ops), one terminal give-up record, or a
+      journal-backed recovery (``fabric.recovered_cell``: the accept was
+      durable but its span died unwritten with a crashed coordinator);
     * every settled-by-submit cell has at least one completed run span,
       and runs that ended ``ok`` contain schedule phases
       (``api.execute_request``) in their trace;
@@ -222,7 +234,10 @@ def verify_lifecycles(
             continue
         if state.leases < 1:
             problems.append(f"{cell_id}: never leased")
-        if state.accepted_submits + state.terminal_errors == 0:
+        if (
+            state.accepted_submits + state.terminal_errors == 0
+            and state.recovered == 0
+        ):
             problems.append(f"{cell_id}: never settled (no accepted submit)")
         elif state.accepted_submits > 1:
             problems.append(

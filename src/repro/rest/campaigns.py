@@ -15,9 +15,10 @@ at-least-once delivery:
 
 * ``POST /campaigns/serve`` -- ``{"spec": {...}, ...options}``; stand up
   a :class:`~repro.campaign.fabric.Coordinator` for the spec (resuming
-  its run directory) and return its status.  Cells are *not* executed
-  server-side; pull workers do that.
-* ``POST /campaigns/<campaign_id>/fabric/register|heartbeat|lease|submit|fail``
+  its run directory -- including crash recovery from the fabric journal)
+  and return its status.  Cells are *not* executed server-side; pull
+  workers do that.
+* ``POST /campaigns/<campaign_id>/fabric/register|heartbeat|lease|submit|fail|deregister``
   -- the worker protocol (see :mod:`repro.campaign.fabric.transport`).
   Duplicate shard submissions are counted no-ops.
 * ``GET /campaigns/<campaign_id>/fabric`` -- coordinator status with
@@ -51,6 +52,7 @@ FABRIC_OPTIONS = (
     "lease_cells",
     "max_transient_retries",
     "escalation_factor",
+    "journal_compact_every",
 )
 
 
@@ -124,7 +126,7 @@ class CampaignService:
             raise BadRequestError(
                 "fabric serve body must be {'spec': {...}, ...options}"
             )
-        unknown = set(body) - {"spec"} - set(FABRIC_OPTIONS)
+        unknown = set(body) - {"spec", "chaos"} - set(FABRIC_OPTIONS)
         if unknown:
             raise BadRequestError(f"unknown serve keys: {sorted(unknown)}")
         options: dict[str, Any] = {}
@@ -134,6 +136,19 @@ class CampaignService:
                 if not isinstance(value, (int, float)) or value < 0:
                     raise BadRequestError(f"{key!r} must be a number >= 0")
                 options[key] = value
+        if "chaos" in body:
+            # coordinator fault injection (the crash smoke's kill hook);
+            # deterministic, so accepting it over REST is test-only sugar
+            if not isinstance(body["chaos"], Mapping):
+                raise BadRequestError("'chaos' must be an object")
+            from repro.campaign.fabric import (
+                CoordinatorChaos,
+                CoordinatorChaosConfig,
+            )
+
+            options["chaos"] = CoordinatorChaos(
+                CoordinatorChaosConfig.from_dict(body["chaos"])
+            )
         try:
             spec = CampaignSpec.from_dict(body["spec"])
         except CampaignSpecError as exc:
@@ -210,7 +225,10 @@ class CampaignService:
                     body["lease_id"],
                     body["cell_id"],
                     str(body.get("detail", "")),
+                    requeue=bool(body.get("requeue", False)),
                 )
+            if verb == "deregister":
+                return coordinator.deregister(worker_id)
         except CampaignError as exc:
             raise BadRequestError(str(exc)) from None
         raise NotFoundError(f"unknown fabric verb {verb!r}")

@@ -1,16 +1,21 @@
 """HTTP bindings: serve a router over localhost, and a retrying client.
 
 The server side is how the original demo is driven (curl against the Ryu
-WSGI app): :class:`RestHttpServer` binds 127.0.0.1 with only the standard
-library and runs requests against the in-process router.  It also fronts
-the campaign fabric coordinator (``repro campaign serve``).
+WSGI app): :class:`RestHttpServer` binds 127.0.0.1 by default with only
+the standard library and runs requests against the in-process router.
+It also fronts the campaign fabric coordinator (``repro campaign
+serve``).  Binding beyond localhost (``host="0.0.0.0"`` for
+multi-machine fleets) requires a shared-secret ``token``: every request
+must then carry it in the ``X-Repro-Auth`` header or is refused with a
+401 before reaching the router.
 
 The client side, :class:`HttpClient`, is what fabric workers (and any
 other library-internal caller) use to talk to a server: connection errors
 and 5xx responses get bounded exponential backoff with jitter -- the
 server may be restarting, the network blipping -- while 4xx responses
-fail fast with :class:`~repro.errors.HttpStatusError`, because a
-malformed request will not get better by retrying.
+(including an auth mismatch's 401) fail fast with
+:class:`~repro.errors.HttpStatusError`, because a malformed request will
+not get better by retrying.
 """
 
 from __future__ import annotations
@@ -32,14 +37,23 @@ from repro.rest.api import RestApi
 #: Headers carrying the trace context across the HTTP boundary.
 TRACE_HEADER = "X-Repro-Trace"
 SPAN_HEADER = "X-Repro-Span"
+#: Shared-secret header checked when the server was given a token.
+AUTH_HEADER = "X-Repro-Auth"
 
 
-def _make_handler(api: RestApi) -> type[BaseHTTPRequestHandler]:
+def _make_handler(
+    api: RestApi, token: str | None = None
+) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         # one simulated network is not thread-safe; serialize requests
         _lock = threading.Lock()
 
         def _respond(self, method: str) -> None:
+            if token is not None and self.headers.get(AUTH_HEADER) != token:
+                # 401 is a 4xx: clients fast-fail instead of retrying --
+                # a wrong secret will not get better with backoff
+                self._write(401, {"error": "missing or bad X-Repro-Auth"})
+                return
             length = int(self.headers.get("Content-Length", 0))
             raw = self.rfile.read(length) if length else b""
             body = None
@@ -59,12 +73,12 @@ def _make_handler(api: RestApi) -> type[BaseHTTPRequestHandler]:
                     "trace": trace_id,
                     "parent": self.headers.get(SPAN_HEADER),
                 }
-            token = obs.attach_context(context)
+            ctx_token = obs.attach_context(context)
             try:
                 with self._lock:
                     response = api.handle(method, self.path, body)
             finally:
-                obs.detach_context(token)
+                obs.detach_context(ctx_token)
             self._write(
                 response.status, response.body, response.content_type
             )
@@ -96,11 +110,32 @@ def _make_handler(api: RestApi) -> type[BaseHTTPRequestHandler]:
 
 
 class RestHttpServer:
-    """A localhost HTTP front-end for one RestApi."""
+    """An HTTP front-end for one RestApi (localhost by default).
 
-    def __init__(self, api: RestApi, port: int = 8080) -> None:
+    ``host`` widens the bind for multi-machine fleets; anything beyond
+    loopback demands a shared-secret ``token`` so a campaign coordinator
+    is never exposed unauthenticated.  ``allow_reuse_address`` is on (the
+    http.server default), so a restarted coordinator can re-bind its old
+    port while TIME_WAIT sockets linger -- crash recovery depends on it.
+    """
+
+    def __init__(
+        self,
+        api: RestApi,
+        port: int = 8080,
+        *,
+        host: str = "127.0.0.1",
+        token: str | None = None,
+    ) -> None:
+        if token is None and host not in ("127.0.0.1", "localhost", "::1"):
+            raise ValueError(
+                f"refusing to bind {host!r} without a --token shared secret"
+            )
         self.api = api
-        self.server = ThreadingHTTPServer(("127.0.0.1", port), _make_handler(api))
+        self.host = host
+        self.server = ThreadingHTTPServer(
+            (host, port), _make_handler(api, token)
+        )
         self.port = self.server.server_address[1]
         self._thread: threading.Thread | None = None
 
@@ -117,7 +152,10 @@ class RestHttpServer:
 
     @property
     def url(self) -> str:
-        return f"http://127.0.0.1:{self.port}"
+        # 0.0.0.0 is a bind address, not a destination; loopback reaches
+        # the server from this host either way
+        host = "127.0.0.1" if self.host in ("0.0.0.0", "::") else self.host
+        return f"http://{host}:{self.port}"
 
 
 class HttpClient:
@@ -142,6 +180,7 @@ class HttpClient:
         backoff_cap_s: float = 2.0,
         timeout_s: float = 10.0,
         jitter_seed: int | None = None,
+        token: str | None = None,
         sleep=time.sleep,
     ) -> None:
         self.base_url = base_url.rstrip("/")
@@ -149,6 +188,7 @@ class HttpClient:
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_cap_s = float(backoff_cap_s)
         self.timeout_s = float(timeout_s)
+        self.token = token
         self._rng = random.Random(jitter_seed)
         self._sleep = sleep
 
@@ -162,6 +202,8 @@ class HttpClient:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers[AUTH_HEADER] = self.token
         if body is not None:
             data = json.dumps(body, sort_keys=True).encode("utf-8")
             headers["Content-Type"] = "application/json"

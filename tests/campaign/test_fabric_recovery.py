@@ -1,0 +1,490 @@
+"""Crash-recovery tests for the fabric coordinator and its journal.
+
+The write-ahead journal's contract: any coordinator state transition
+that was acknowledged survives a SIGKILL -- buffered out-of-order
+shards are re-admitted (completed work is never re-run), retry and
+escalation budgets carry over, pre-crash leases expire -- and a
+recovered run stays byte-identical to an uncrashed one.  A "crash" here
+is abandoning one Coordinator mid-flight and constructing a second over
+the same run directory, exactly what a restarted ``repro campaign
+serve`` does.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.campaign.fabric import (
+    Coordinator,
+    FabricWorker,
+    LocalClient,
+    run_local_fleet,
+)
+from repro.campaign.fabric.journal import JOURNAL, SNAPSHOT, FabricJournal
+from repro.campaign.runner import run_cell
+from repro.errors import TransportError
+
+SWEEP = {
+    "name": "fabrec",
+    "seed": 3,
+    "families": [{"family": "reversal", "sizes": [4, 6], "repeats": 2}],
+    "schedulers": ["peacock", "greedy-slf"],
+}
+N_CELLS = 8
+
+#: One cell only, with a timeout budget: retry/escalation tests need the
+#: lease to keep returning the *same* cell across backoffs.
+TINY = {
+    "name": "fabrec-tiny",
+    "seed": 3,
+    "timeout_s": 30,
+    "families": [{"family": "reversal", "sizes": [4]}],
+    "schedulers": ["peacock"],
+}
+
+FAST = dict(
+    lease_ttl_s=0.25,
+    lease_hard_ttl_factor=3.0,
+    heartbeat_interval_s=0.05,
+    backoff_base_s=0.01,
+    backoff_cap_s=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The pool runner's byte-exact output for SWEEP (the ground truth)."""
+    root = tmp_path_factory.mktemp("baseline")
+    spec = CampaignSpec.from_dict(SWEEP)
+    runner = CampaignRunner(spec, root=str(root), workers=1)
+    runner.run()
+    return runner.store.results_bytes()
+
+
+def _coordinator(tmp_path, spec_dict=SWEEP, **options):
+    merged = {**FAST, **options}
+    return Coordinator(
+        CampaignSpec.from_dict(spec_dict), root=str(tmp_path), **merged
+    )
+
+
+def _crash(coordinator):
+    """Abandon a coordinator the way a SIGKILL would: release the file
+    handles (so the test can reopen the directory) but flush nothing."""
+    coordinator.store.close()
+    coordinator._journal.close()
+
+
+def _compute_all(coordinator, worker_id, n=N_CELLS):
+    reply = coordinator.lease(worker_id, n)
+    shards = [
+        (payload["cell_id"], *run_cell(payload)) for payload in reply["cells"]
+    ]
+    return reply["lease_id"], shards
+
+
+class TestJournalRecovery:
+    def test_buffered_shards_survive_crash_byte_identical(
+        self, tmp_path, baseline
+    ):
+        # submit cells 7..1 in reverse order: all seven accepts are
+        # journaled but none can flush (cell 0 is missing), the worst
+        # possible crash exposure
+        first = _coordinator(tmp_path, lease_cells=N_CELLS)
+        worker_id = first.register({"name": "doomed"})["worker_id"]
+        lease_id, shards = _compute_all(first, worker_id)
+        for cell_id, record, timing in reversed(shards[1:]):
+            first.submit(worker_id, lease_id, cell_id, record, timing)
+        assert first.store.status()["done"] == 0  # nothing flushed
+        _crash(first)
+
+        second = _coordinator(tmp_path, lease_cells=N_CELLS)
+        assert second.counters["recovered_buffered"] == N_CELLS - 1
+        assert second.counters["recovered_leases_expired"] == 1
+        worker_id = second.register({"name": "finisher"})["worker_id"]
+        reply = second.lease(worker_id, N_CELLS)
+        assert len(reply["cells"]) == 1  # only cell 0 is still open
+        cell_id, record, timing = (
+            reply["cells"][0]["cell_id"],
+            *run_cell(reply["cells"][0]),
+        )
+        second.submit(worker_id, reply["lease_id"], cell_id, record, timing)
+        second.close()
+        assert second.finished
+        assert second.store.results_bytes() == baseline
+
+    def test_recovered_coordinator_finishes_with_fleet(
+        self, tmp_path, baseline
+    ):
+        first = _coordinator(tmp_path, lease_cells=4)
+        worker_id = first.register({"name": "doomed"})["worker_id"]
+        lease_id, shards = _compute_all(first, worker_id, n=4)
+        for cell_id, record, timing in reversed(shards[1:]):
+            first.submit(worker_id, lease_id, cell_id, record, timing)
+        _crash(first)
+
+        second = _coordinator(tmp_path, lease_cells=2)
+        assert second.counters["recovered_buffered"] == 3
+        run_local_fleet(second, 2)
+        second.close()
+        assert second.finished
+        assert second.store.results_bytes() == baseline
+
+    def test_retry_budget_carries_over(self, tmp_path):
+        first = _coordinator(
+            tmp_path, TINY, lease_cells=1, max_transient_retries=2
+        )
+        worker_id = first.register({"name": "w"})["worker_id"]
+        reply = first.lease(worker_id, 1)
+        cell_id = reply["cells"][0]["cell_id"]
+        assert first.fail(worker_id, reply["lease_id"], cell_id, "boom")[
+            "retried"
+        ]
+        _crash(first)
+
+        second = _coordinator(
+            tmp_path, TINY, lease_cells=1, max_transient_retries=2
+        )
+        assert second.counters["recovered_retries"] >= 1
+        worker_id = second.register({"name": "w2"})["worker_id"]
+        # attempt 1 happened before the crash; two more exhaust the budget
+        for expect_retry in (True, False):
+            reply = second.lease(worker_id, 1)
+            while not reply["cells"]:  # backoff may not have elapsed yet
+                time.sleep(0.02)
+                reply = second.lease(worker_id, 1)
+            assert reply["cells"][0]["cell_id"] == cell_id
+            outcome = second.fail(
+                worker_id, reply["lease_id"], cell_id, "boom"
+            )
+            assert outcome["retried"] is expect_retry
+        record = next(
+            r for r in second.store.records() if r["id"] == cell_id
+        )
+        assert record["status"] == "error"
+        assert "gave up after 3 attempts" in record["detail"]
+        second.close()
+
+    def test_escalation_carries_over(self, tmp_path):
+        first = _coordinator(
+            tmp_path, TINY, lease_cells=1, escalation_factor=4.0
+        )
+        worker_id = first.register({"name": "w"})["worker_id"]
+        reply = first.lease(worker_id, 1)
+        payload = reply["cells"][0]
+        old_timeout = payload["timeout_s"]
+        record, timing = run_cell(payload)
+        record["status"] = "timeout"
+        out = first.submit(
+            worker_id, reply["lease_id"], payload["cell_id"], record, timing
+        )
+        assert out.get("escalated")
+        _crash(first)
+
+        second = _coordinator(
+            tmp_path, TINY, lease_cells=1, escalation_factor=4.0
+        )
+        assert second.counters["recovered_escalations"] == 1
+        worker_id = second.register({"name": "w2"})["worker_id"]
+        reply = second.lease(worker_id, 1)
+        assert reply["cells"][0]["cell_id"] == payload["cell_id"]
+        assert reply["cells"][0]["timeout_s"] == pytest.approx(
+            old_timeout * 4.0
+        )
+        # a second timeout must not escalate again (the flag carried over)
+        record2, timing2 = run_cell(reply["cells"][0])
+        record2["status"] = "timeout"
+        out = second.submit(
+            worker_id,
+            reply["lease_id"],
+            payload["cell_id"],
+            record2,
+            timing2,
+        )
+        assert out["accepted"] and not out.get("escalated")
+        second.close()
+
+    def test_torn_tail_drops_only_last_record_and_releases_cell(
+        self, tmp_path
+    ):
+        first = _coordinator(tmp_path, lease_cells=N_CELLS)
+        worker_id = first.register({"name": "doomed"})["worker_id"]
+        lease_id, shards = _compute_all(first, worker_id)
+        for cell_id, record, timing in reversed(shards[5:]):
+            first.submit(worker_id, lease_id, cell_id, record, timing)
+        _crash(first)
+
+        # tear the journal mid-record, as a death inside append() would:
+        # the last accept loses its tail and must be dropped on recovery
+        journal_path = first.store.directory / JOURNAL
+        data = journal_path.read_bytes()
+        lines = data.splitlines(keepends=True)
+        assert len(lines) >= 2
+        torn = lines[-1][: len(lines[-1]) // 2].rstrip(b"\n")
+        journal_path.write_bytes(b"".join(lines[:-1]) + torn)
+
+        second = _coordinator(tmp_path, lease_cells=N_CELLS)
+        # three accepts journaled (cells 7,6,5 reversed -> last line was
+        # cell 5's accept); the torn one is gone, the rest survive
+        assert second.counters["recovered_buffered"] == 2
+        worker_id = second.register({"name": "w"})["worker_id"]
+        reply = second.lease(worker_id, N_CELLS)
+        leased = {cell["cell_id"] for cell in reply["cells"]}
+        assert shards[5][0] in leased  # the torn accept's cell re-leases
+        assert len(leased) == N_CELLS - 2
+        second.close()
+
+    def test_compaction_bounds_journal_and_restart_is_clean(
+        self, tmp_path, baseline
+    ):
+        coordinator = _coordinator(tmp_path, journal_compact_every=4)
+        run_local_fleet(coordinator, 2)
+        coordinator.close()
+        assert coordinator.store.results_bytes() == baseline
+        assert coordinator.counters["journal_compactions"] >= 1
+        journal_path = coordinator.store.directory / JOURNAL
+        tail = [
+            line
+            for line in journal_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(tail) <= 4
+        assert (coordinator.store.directory / SNAPSHOT).is_file()
+
+        # a restart over the finished directory recovers nothing and is
+        # immediately done
+        again = _coordinator(tmp_path)
+        assert again.finished
+        assert again.counters["recovered_buffered"] == 0
+        again.close()
+        assert again.store.results_bytes() == baseline
+
+    def test_snapshot_plus_journal_replay_skips_covered_seqs(self, tmp_path):
+        journal = FabricJournal(tmp_path, compact_every=100)
+        journal.append("retry", index=0, attempts=1)
+        journal.append("retry", index=1, attempts=1)
+        journal.compact({"cells": {"0": {"attempts": 1}}})
+        journal.append("retry", index=2, attempts=2)
+        journal.close()
+
+        # crash between snapshot write and truncation: stuff pre-snapshot
+        # records back into the journal; replay must skip them by seq
+        journal_path = tmp_path / JOURNAL
+        stale = json.dumps({"seq": 1, "kind": "retry", "index": 0,
+                            "attempts": 9}) + "\n"
+        journal_path.write_text(stale + journal_path.read_text())
+
+        reopened = FabricJournal(tmp_path, compact_every=100)
+        snapshot, records = reopened.load()
+        assert snapshot == {"cells": {"0": {"attempts": 1}}}
+        assert [r["seq"] for r in records] == [3]
+        assert reopened.append("retry", index=3, attempts=1) == 4
+        reopened.close()
+
+
+class _OutageClient:
+    """LocalClient wrapper with a switchable 'coordinator down' mode."""
+
+    def __init__(self, coordinator):
+        self._inner = LocalClient(coordinator)
+        self.down = threading.Event()
+
+    def _guard(self):
+        if self.down.is_set():
+            raise TransportError("coordinator is down")
+
+    def __getattr__(self, verb):
+        inner = getattr(self._inner, verb)
+
+        def call(*args, **kwargs):
+            self._guard()
+            return inner(*args, **kwargs)
+
+        return call
+
+
+class TestWorkerReconnect:
+    def test_worker_rides_out_outage_and_resubmits(self, tmp_path, baseline):
+        coordinator = _coordinator(tmp_path, lease_cells=1)
+        client = _OutageClient(coordinator)
+        seen = []
+
+        def run_and_kill_link(payload):
+            result = run_cell(payload)
+            seen.append(payload["cell_id"])
+            if len(seen) == 2:
+                client.down.set()  # outage lands between compute and submit
+            return result
+
+        worker = FabricWorker(
+            client,
+            name="rider",
+            max_lease_cells=1,
+            reconnect_base_s=0.02,
+            reconnect_cap_s=0.05,
+            max_offline_s=30.0,
+            run_cell_fn=run_and_kill_link,
+        )
+        lifter = threading.Timer(0.4, client.down.clear)
+        lifter.start()
+        try:
+            summary = worker.run()
+        finally:
+            lifter.cancel()
+        coordinator.close()
+        assert summary["reconnects"] >= 1
+        assert not summary["gave_up_offline"]
+        assert coordinator.finished
+        assert coordinator.store.results_bytes() == baseline
+        # the in-flight record was resubmitted, not recomputed
+        assert seen.count(seen[1]) == 1
+
+    def test_max_offline_budget_gives_up(self, tmp_path):
+        coordinator = _coordinator(tmp_path, lease_cells=1)
+        client = _OutageClient(coordinator)
+
+        def lease_then_die(*args, **kwargs):
+            # the coordinator goes down -- for good -- on the first pull
+            client.down.set()
+            raise TransportError("coordinator is down")
+
+        client._inner.lease = lease_then_die
+        worker = FabricWorker(
+            client,
+            name="quitter",
+            max_lease_cells=1,
+            reconnect_base_s=0.02,
+            reconnect_cap_s=0.05,
+            max_offline_s=0.3,
+        )
+        summary = worker.run()
+        coordinator.close()
+        assert summary["gave_up_offline"] is True
+        assert summary["reconnects"] == 0
+        assert not coordinator.finished
+
+
+class TestDrainAndDeregister:
+    def test_drain_finishes_inflight_requeues_rest_and_deregisters(
+        self, tmp_path, baseline
+    ):
+        coordinator = _coordinator(tmp_path, lease_cells=N_CELLS)
+        worker = None
+
+        def run_and_drain(payload):
+            worker.request_drain()  # SIGTERM arrives mid-cell
+            return run_cell(payload)
+
+        worker = FabricWorker(
+            LocalClient(coordinator),
+            name="drainer",
+            max_lease_cells=N_CELLS,
+            run_cell_fn=run_and_drain,
+        )
+        summary = worker.run()
+        assert summary["drained"] is True
+        assert summary["cells_done"] == 1  # finished the in-flight cell
+        assert coordinator.counters["deregisters"] == 1
+        # handing cells back burns no retry budget and leaves no leases
+        assert coordinator.counters["transient_failures"] == 0
+        assert coordinator.counters["retries"] == 0
+        assert not coordinator._table.leases()
+
+        run_local_fleet(coordinator, 2)
+        coordinator.close()
+        assert coordinator.finished
+        assert coordinator.store.results_bytes() == baseline
+
+    def test_deregister_requeues_leased_cells(self, tmp_path):
+        coordinator = _coordinator(tmp_path, lease_cells=4)
+        worker_id = coordinator.register({"name": "w"})["worker_id"]
+        reply = coordinator.lease(worker_id, 4)
+        assert len(reply["cells"]) == 4
+        out = coordinator.deregister(worker_id)
+        assert out["ok"] and out["requeued"] == 4
+        # the cells are immediately leasable by someone else
+        other = coordinator.register({"name": "other"})["worker_id"]
+        assert len(coordinator.lease(other, N_CELLS)["cells"]) == N_CELLS
+        coordinator.close()
+
+
+def _free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestHttpRestartEndToEnd:
+    def test_worker_survives_coordinator_restart_over_http(
+        self, tmp_path, baseline
+    ):
+        from repro.campaign.fabric import HttpFabricClient
+        from repro.rest.api import build_campaign_api
+        from repro.rest.http_binding import HttpClient, RestHttpServer
+
+        spec = CampaignSpec.from_dict(SWEEP)
+        root = str(tmp_path)
+        port = _free_port()
+        url = f"http://127.0.0.1:{port}"
+        serve_body = {
+            "spec": spec.to_dict(),
+            "lease_ttl_s": 0.25,
+            "heartbeat_interval_s": 0.05,
+            "lease_cells": 1,
+        }
+
+        api1 = build_campaign_api(campaign_root=root)
+        api1.campaigns.serve(serve_body)
+        first = api1.campaigns.fabric(spec.campaign_id)
+        server1 = RestHttpServer(api1, port=port)
+        server1.start()
+
+        worker = FabricWorker(
+            HttpFabricClient(
+                url,
+                spec.campaign_id,
+                http=HttpClient(
+                    url,
+                    max_attempts=2,
+                    backoff_base_s=0.01,
+                    backoff_cap_s=0.02,
+                ),
+            ),
+            name="rider",
+            max_lease_cells=1,
+            reconnect_base_s=0.05,
+            reconnect_cap_s=0.2,
+            max_offline_s=30.0,
+        )
+        summaries = []
+        thread = threading.Thread(
+            target=lambda: summaries.append(worker.run()), daemon=True
+        )
+        thread.start()
+
+        deadline = time.monotonic() + 30
+        while first.status()["done"] < 2:
+            assert time.monotonic() < deadline, "fleet never progressed"
+            time.sleep(0.02)
+        server1.stop()  # SIGKILL stand-in: mid-campaign, no goodbye
+        api1.campaigns.close()
+
+        time.sleep(0.2)
+        api2 = build_campaign_api(campaign_root=root)
+        api2.campaigns.serve(serve_body)  # recovery happens here
+        second = api2.campaigns.fabric(spec.campaign_id)
+        server2 = RestHttpServer(api2, port=port)
+        server2.start()
+        try:
+            assert second.wait(timeout_s=60)
+            thread.join(timeout=30)
+        finally:
+            server2.stop()
+            api2.campaigns.close()
+        assert summaries and summaries[0]["reconnects"] >= 1
+        assert not summaries[0]["gave_up_offline"]
+        assert second.store.results_bytes() == baseline
