@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke fabric-smoke crash-smoke help
+.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke fabric-smoke crash-smoke churn-smoke help
 
 help:
 	@echo "test           - tier-1 test suite (pytest -x -q)"
@@ -13,6 +13,7 @@ help:
 	@echo "campaign-smoke - ~20s tiny campaign (260 cells, 7 family entries, 5 schedulers)"
 	@echo "fabric-smoke   - ~15s faulty 3-worker fleet (one SIGKILLed, one frozen) vs 1-worker baseline"
 	@echo "crash-smoke    - ~30s coordinator SIGKILLed twice mid-campaign; journal recovery vs 1-worker baseline"
+	@echo "churn-smoke    - ~5s online-churn grid: quiescence, zero violations, same-seed determinism"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,3 +41,6 @@ fabric-smoke:
 
 crash-smoke:
 	$(PYTHON) benchmarks/run_crash_smoke.py
+
+churn-smoke:
+	$(PYTHON) benchmarks/run_churn_smoke.py

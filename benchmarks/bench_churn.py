@@ -1,0 +1,118 @@
+"""Churn benchmark: online scheduling across an arrival-rate grid.
+
+Sweeps the online churn controller over a rate × duration grid on both
+trace shapes (fat-tree and WAN), in scheduled and unscheduled mode, and
+emits ``BENCH_churn.json``: per-cell quiescence, rounds, flips,
+re-plans, restorations, transient violations, and wall-clock, plus the
+machine/git provenance every BENCH artifact carries.
+
+The grid is deliberately modest -- the artifact tracks the *shape* of
+the scheduled-vs-unscheduled gap (zero vs nonzero violations, rounds
+overhead, time to quiescence) across PRs, not absolute throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_churn.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from _provenance import provenance
+from repro.churn import ChurnPolicy, generate_trace, run_churn
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_churn.json"
+
+#: (kind, size, rate_per_s, duration_ms) grid cells.
+FULL_GRID = [
+    ("fat-tree", 4, 25.0, 400.0),
+    ("fat-tree", 4, 50.0, 400.0),
+    ("fat-tree", 4, 100.0, 400.0),
+    ("fat-tree", 4, 50.0, 800.0),
+    ("fat-tree", 6, 50.0, 400.0),
+    ("wan", 24, 25.0, 400.0),
+    ("wan", 24, 50.0, 400.0),
+    ("wan", 24, 100.0, 400.0),
+    ("wan", 48, 50.0, 400.0),
+]
+QUICK_GRID = [
+    ("fat-tree", 4, 50.0, 400.0),
+    ("wan", 24, 50.0, 400.0),
+]
+
+SEED = 7
+
+
+def run_cell(kind: str, size: int, rate: float, duration: float, scheduled: bool) -> dict:
+    trace = generate_trace(
+        kind, size, SEED, rate_per_s=rate, duration_ms=duration
+    )
+    policy = ChurnPolicy(scheduled=scheduled)
+    started = time.perf_counter()
+    metrics = run_churn(trace, policy)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    summary = metrics.to_dict()
+    summary.pop("lifecycles")  # per-request records would dwarf the artifact
+    return {
+        "kind": kind,
+        "size": size,
+        "rate_per_s": rate,
+        "duration_ms": duration,
+        "scheduled": scheduled,
+        "wall_ms": round(wall_ms, 3),
+        "metrics": summary,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="two-cell grid (CI smoke budget)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    cells = []
+    for kind, size, rate, duration in grid:
+        for scheduled in (True, False):
+            cell = run_cell(kind, size, rate, duration, scheduled)
+            cells.append(cell)
+            metrics = cell["metrics"]
+            print(
+                f"{kind}/{size} rate={rate:g}/s dur={duration:g}ms "
+                f"{'sched' if scheduled else 'oneshot'}: "
+                f"arrivals={metrics['arrivals']} rounds={metrics['rounds_issued']} "
+                f"violations={metrics['transient_violations']} "
+                f"ttq={metrics['time_to_quiescence_ms']:.1f}ms "
+                f"wall={cell['wall_ms']:.0f}ms"
+            )
+
+    payload = {
+        "benchmark": "churn",
+        "seed": SEED,
+        "quick": args.quick,
+        "provenance": provenance(),
+        "cells": cells,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    # sanity gates: every scheduled cell is clean, every run went quiet
+    bad = [
+        cell for cell in cells
+        if not cell["metrics"]["quiescent"]
+        or (cell["scheduled"] and cell["metrics"]["transient_violations"])
+    ]
+    for cell in bad:
+        print(f"FAIL: {cell['kind']}/{cell['size']} scheduled={cell['scheduled']}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

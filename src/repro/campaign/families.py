@@ -25,6 +25,12 @@ Families
     policies (node ids shifted so flows never share rules), every
     ``params.waypoint_every``-th policy waypointed -- the DSN'16
     multi-policy regime at campaign scale.
+``churn-fat-tree`` / ``churn-wan``
+    Online families: the unit carries a seeded
+    :class:`~repro.churn.traces.ChurnTrace` (arrivals, cancellations,
+    link failures over simulated time) instead of problems; the runner
+    drives it through the online churn controller, with the scheduler
+    column selecting scheduled-vs-unscheduled mode.
 """
 
 from __future__ import annotations
@@ -56,10 +62,15 @@ _POLICY_STRIDE = 100_000
 
 @dataclass(frozen=True)
 class WorkUnit:
-    """What one cell schedules: a single problem or an isolated batch."""
+    """What one cell schedules: problems, an isolated batch, or a trace.
+
+    A churn unit has ``problems == ()`` and carries the trace instead;
+    the runner dispatches on ``trace`` before looking at the problems.
+    """
 
     problems: tuple[UpdateProblem, ...]
     batch: bool = False
+    trace: Any = None
 
 
 def _reversal(size: int, params: Mapping[str, Any], seed: int) -> WorkUnit:
@@ -135,6 +146,34 @@ def _multipolicy(size: int, params: Mapping[str, Any], seed: int) -> WorkUnit:
     return WorkUnit(tuple(problems), batch=True)
 
 
+#: Trace-generator knobs accepted by the churn families.
+_CHURN_PARAMS = frozenset(
+    {
+        "rate_per_s",
+        "duration_ms",
+        "flows",
+        "cancel_prob",
+        "link_failures",
+        "waypoint_prob",
+    }
+)
+
+
+def _churn_unit(kind: str, size: int, params: Mapping[str, Any], seed: int) -> WorkUnit:
+    from repro.churn.traces import generate_trace, trace_params
+
+    trace = generate_trace(kind, size, seed, **trace_params(params))
+    return WorkUnit((), trace=trace)
+
+
+def _churn_fat_tree(size: int, params: Mapping[str, Any], seed: int) -> WorkUnit:
+    return _churn_unit("fat-tree", size, params, seed)
+
+
+def _churn_wan(size: int, params: Mapping[str, Any], seed: int) -> WorkUnit:
+    return _churn_unit("wan", size, params, seed)
+
+
 @dataclass(frozen=True)
 class FamilyDef:
     name: str
@@ -163,6 +202,8 @@ _FAMILIES: dict[str, FamilyDef] = {
             3,
             frozenset({"policies", "overlap", "waypoint_every"}),
         ),
+        FamilyDef("churn-fat-tree", _churn_fat_tree, 2, _CHURN_PARAMS),
+        FamilyDef("churn-wan", _churn_wan, 8, _CHURN_PARAMS),
     )
 }
 
@@ -195,7 +236,7 @@ def validate_family(
             raise CampaignSpecError(
                 f"family {family!r} needs sizes >= {definition.min_size}, got {bad}"
             )
-    if family == "fat-tree":
+    if family in ("fat-tree", "churn-fat-tree"):
         odd = [size for size in sizes if size % 2]
         if odd:
             raise CampaignSpecError(f"fat-tree arity must be even, got {odd}")
@@ -218,8 +259,8 @@ def single_problem(
 ) -> UpdateProblem:
     """The one problem of a non-batch family (CLI convenience)."""
     unit = build_unit(family, size, params, seed)
-    if unit.batch:
+    if unit.batch or unit.trace is not None:
         raise CampaignSpecError(
-            f"family {family!r} produces a policy batch, not a single problem"
+            f"family {family!r} does not produce a single problem"
         )
     return unit.problems[0]

@@ -78,6 +78,31 @@ def _truncate(text: str, limit: int = 300) -> str:
     return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
+def _run_churn_cell(record, unit, scheduler, payload) -> None:
+    """Drive a churn-trace unit through the online controller.
+
+    The scheduler column selects the mode: a guarantee-free baseline
+    (oneshot) runs unscheduled, everything else runs oracle-scheduled.
+    ``rounds`` / ``touches`` map onto rounds issued / rule flips, and
+    ``verified`` is the dataplane audit -- quiescent with zero transient
+    violations (``None`` for the baseline, which promises nothing).
+    """
+    from repro.churn.controller import policy_for_scheduler, run_churn
+
+    metrics = run_churn(unit.trace, policy_for_scheduler(scheduler))
+    record["rounds"] = metrics.rounds_issued
+    record["touches"] = metrics.flips
+    if payload["verify"] and scheduler.guarantee:
+        record["verified"] = (
+            metrics.quiescent and metrics.transient_violations == 0
+        )
+    record["detail"] = _truncate(
+        f"arrivals={metrics.arrivals} restorations={metrics.restorations} "
+        f"replans={metrics.replans} violations={metrics.transient_violations} "
+        f"peak_in_flight={metrics.peak_in_flight}"
+    )
+
+
 def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
     """Execute one cell; returns ``(record, timing)``, never raises.
 
@@ -117,7 +142,9 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
                 payload["seed"],
             )
             active = [p for p in unit.problems if p.required_updates]
-            if scheduler.requires_waypoint and any(
+            if unit.trace is not None:
+                _run_churn_cell(record, unit, scheduler, payload)
+            elif scheduler.requires_waypoint and any(
                 p.waypoint is None for p in active
             ):
                 record["status"] = "unsupported"

@@ -1,0 +1,283 @@
+"""Deterministic seeded churn-trace generators.
+
+A :class:`ChurnTrace` bundles a topology, a set of long-lived flows with
+installed initial paths, and a time-ordered event sequence (arrivals,
+cancellations, link failures).  Two topology shapes are provided:
+
+``fat-tree``
+    A k-ary fat-tree (``size`` = k, even) -- the data-center shape whose
+    pod/core structure produces realistic partial-overlap reroutes.
+``wan``
+    A connected Waxman random graph (``size`` = node count) -- the
+    classic ISP-like wide-area shape.
+
+Generation is a pure function of ``(kind, size, params, seed)``: one
+``random.Random(seed)`` drives every sample in a fixed order, so the
+same inputs reproduce the byte-identical trace on every run, machine,
+and worker -- the campaign determinism contract extended to churn.
+
+Arrival times follow a Poisson process at ``rate_per_s`` over
+``duration_ms``; each arrival targets a uniformly chosen flow with a
+freshly sampled simple path between the flow's fixed endpoints.  Each
+arrival is independently cancelled with probability ``cancel_prob`` at a
+uniform later instant, and ``link_failures`` random links fail at
+uniform instants over the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.churn.events import (
+    ChurnError,
+    ChurnEvent,
+    LinkFailure,
+    UpdateArrival,
+    UpdateCancel,
+    event_sort_key,
+)
+from repro.topology import builders
+from repro.topology.graph import Topology
+from repro.topology.random_graphs import waxman
+
+#: Trace-generator defaults, shared by the CLI and campaign families.
+DEFAULT_RATE_PER_S = 50.0
+DEFAULT_DURATION_MS = 400.0
+DEFAULT_FLOWS = 6
+DEFAULT_CANCEL_PROB = 0.1
+DEFAULT_LINK_FAILURES = 1
+DEFAULT_WAYPOINT_PROB = 0.5
+
+TRACE_KINDS = ("fat-tree", "wan")
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One long-lived flow: fixed endpoints, an installed initial path."""
+
+    flow_id: str
+    path: tuple
+
+    @property
+    def source(self):
+        return self.path[0]
+
+    @property
+    def destination(self):
+        return self.path[-1]
+
+
+@dataclass
+class ChurnTrace:
+    """A topology, its flows, and the timed churn events against them."""
+
+    name: str
+    kind: str
+    size: int
+    seed: int
+    topology: Topology
+    flows: tuple
+    events: tuple
+    duration_ms: float
+    params: dict = field(default_factory=dict)
+
+    @property
+    def arrivals(self) -> tuple:
+        return tuple(e for e in self.events if isinstance(e, UpdateArrival))
+
+    def summary(self) -> dict:
+        """JSON-compatible shape record (no topology dump)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "size": self.size,
+            "seed": self.seed,
+            "switches": len(self.topology.switches()),
+            "links": len(self.topology.links()),
+            "flows": len(self.flows),
+            "arrivals": sum(
+                1 for e in self.events if isinstance(e, UpdateArrival)
+            ),
+            "cancels": sum(
+                1 for e in self.events if isinstance(e, UpdateCancel)
+            ),
+            "link_failures": sum(
+                1 for e in self.events if isinstance(e, LinkFailure)
+            ),
+            "duration_ms": self.duration_ms,
+            "params": dict(self.params),
+        }
+
+
+def sample_simple_path(
+    topo: Topology,
+    source,
+    destination,
+    rng: random.Random,
+    avoid_links: Iterable[tuple] = (),
+    max_tries: int = 200,
+):
+    """Randomized-DFS simple path avoiding dead links; None when stuck.
+
+    The shared sampler of the trace generator (pristine topology) and the
+    online controller's re-planner (``avoid_links`` = failed links).
+    Link avoidance is direction-insensitive.
+    """
+    dead = set()
+    for u, v in avoid_links:
+        dead.add((u, v))
+        dead.add((v, u))
+    for _ in range(max_tries):
+        path = [source]
+        seen = {source}
+        node = source
+        while node != destination:
+            options = [
+                n
+                for n in topo.neighbors(node)
+                if n not in seen and (node, n) not in dead
+            ]
+            if not options:
+                break
+            node = rng.choice(options)
+            path.append(node)
+            seen.add(node)
+        if node == destination:
+            return tuple(path)
+    return None
+
+
+def _sample_flows(
+    topo: Topology, n_flows: int, rng: random.Random
+) -> tuple:
+    switches = topo.switches()
+    if len(switches) < 2:
+        raise ChurnError("churn traces need at least two switches")
+    flows = []
+    for index in range(n_flows):
+        for _ in range(200):
+            source, destination = rng.sample(switches, 2)
+            path = sample_simple_path(topo, source, destination, rng)
+            if path is not None and len(path) >= 3:
+                flows.append(FlowSpec(flow_id=f"f{index}", path=path))
+                break
+        else:
+            raise ChurnError(
+                f"could not sample an initial path for flow {index}"
+            )
+    return tuple(flows)
+
+
+def _build_topology(kind: str, size: int, seed: int) -> Topology:
+    if kind == "fat-tree":
+        return builders.fat_tree(size)
+    if kind == "wan":
+        return waxman(size, seed=random.Random(seed))
+    raise ChurnError(f"unknown churn topology kind {kind!r}; known: {TRACE_KINDS}")
+
+
+def generate_trace(
+    kind: str,
+    size: int,
+    seed: int,
+    rate_per_s: float = DEFAULT_RATE_PER_S,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    flows: int = DEFAULT_FLOWS,
+    cancel_prob: float = DEFAULT_CANCEL_PROB,
+    link_failures: int = DEFAULT_LINK_FAILURES,
+    waypoint_prob: float = DEFAULT_WAYPOINT_PROB,
+) -> ChurnTrace:
+    """Generate one deterministic churn trace (see module docstring)."""
+    if rate_per_s <= 0:
+        raise ChurnError(f"need a positive arrival rate, got {rate_per_s}")
+    if duration_ms <= 0:
+        raise ChurnError(f"need a positive duration, got {duration_ms}")
+    rng = random.Random(seed)
+    topo = _build_topology(kind, size, seed)
+    flow_specs = _sample_flows(topo, flows, rng)
+
+    events: list[ChurnEvent] = []
+    clock_ms = 0.0
+    request_index = 0
+    rate_per_ms = rate_per_s / 1000.0
+    while True:
+        clock_ms += rng.expovariate(rate_per_ms)
+        if clock_ms >= duration_ms:
+            break
+        flow = rng.choice(flow_specs)
+        target = sample_simple_path(topo, flow.source, flow.destination, rng)
+        if target is None:  # pragma: no cover - connected generators
+            continue
+        arrival = UpdateArrival(
+            time_ms=round(clock_ms, 6),
+            request_id=f"r{request_index}",
+            flow_id=flow.flow_id,
+            target_path=target,
+            waypointed=rng.random() < waypoint_prob,
+        )
+        request_index += 1
+        events.append(arrival)
+        if rng.random() < cancel_prob:
+            cancel_at = rng.uniform(arrival.time_ms, duration_ms)
+            events.append(
+                UpdateCancel(
+                    time_ms=round(cancel_at, 6), request_id=arrival.request_id
+                )
+            )
+    switches = set(topo.switches())
+    fabric_links = [
+        link
+        for link in topo.links()
+        if link.a in switches and link.b in switches
+    ]
+    for _ in range(max(0, int(link_failures))):
+        if not fabric_links:
+            break
+        link = rng.choice(fabric_links)
+        events.append(
+            LinkFailure(
+                time_ms=round(rng.uniform(0.0, duration_ms), 6),
+                link=tuple(sorted(link.endpoints(), key=repr)),
+            )
+        )
+    events.sort(key=event_sort_key)
+    params = {
+        "rate_per_s": rate_per_s,
+        "duration_ms": duration_ms,
+        "flows": flows,
+        "cancel_prob": cancel_prob,
+        "link_failures": link_failures,
+        "waypoint_prob": waypoint_prob,
+    }
+    return ChurnTrace(
+        name=f"churn-{kind}-{size}-s{seed}",
+        kind=kind,
+        size=size,
+        seed=seed,
+        topology=topo,
+        flows=flow_specs,
+        events=tuple(events),
+        duration_ms=duration_ms,
+        params=params,
+    )
+
+
+def trace_params(params: Mapping) -> dict:
+    """Coerce campaign-style params into :func:`generate_trace` kwargs."""
+    known = {
+        "rate_per_s": float,
+        "duration_ms": float,
+        "flows": int,
+        "cancel_prob": float,
+        "link_failures": int,
+        "waypoint_prob": float,
+    }
+    unknown = set(params) - set(known)
+    if unknown:
+        raise ChurnError(
+            f"unknown churn trace params {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    return {name: cast(params[name]) for name, cast in known.items() if name in params}

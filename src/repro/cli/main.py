@@ -8,6 +8,7 @@ Subcommands::
     repro topo      -- generate a topology JSON file
     repro serve     -- expose the demo over the REST HTTP binding
     repro campaign  -- run / inspect / report declarative scenario campaigns
+    repro churn     -- online scheduling under topology churn
     repro trace     -- summarize structured traces (repro.obs)
 
 Each prints human-readable tables; ``--json`` switches to machine output
@@ -304,6 +305,67 @@ def cmd_topo(args: argparse.Namespace) -> int:
     save_topology(topo, args.out)
     print(f"wrote {topo.name}: {len(topo)} nodes, {len(topo.links())} links -> {args.out}")
     return 0
+
+
+def cmd_churn_run(args: argparse.Namespace) -> int:
+    from repro.churn import ChurnPolicy, generate_trace, run_churn
+
+    trace = generate_trace(
+        args.kind,
+        args.size,
+        args.seed,
+        rate_per_s=args.rate,
+        duration_ms=args.duration,
+        flows=args.flows,
+        cancel_prob=args.cancel_prob,
+        link_failures=args.link_failures,
+        waypoint_prob=args.waypoint_prob,
+    )
+    policy = ChurnPolicy(
+        scheduled=not args.unscheduled,
+        preempt=not args.defer,
+        replan_budget=args.replan_budget,
+    )
+    metrics = run_churn(trace, policy)
+    data = {
+        "trace": trace.summary(),
+        "policy": {
+            "scheduled": policy.scheduled,
+            "preempt": policy.preempt,
+            "replan_budget": policy.replan_budget,
+        },
+        "metrics": metrics.to_dict(),
+    }
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        summary = metrics.to_dict()
+        rows = [
+            [key, summary[key]]
+            for key in (
+                "arrivals",
+                "completed",
+                "cancelled",
+                "superseded",
+                "aborted",
+                "noops",
+                "restorations",
+                "replans",
+                "rounds_issued",
+                "flips",
+                "peak_in_flight",
+                "failed_link_crossings",
+                "transient_violations",
+                "time_to_quiescence_ms",
+                "quiescent",
+            )
+        ]
+        mode = "scheduled" if policy.scheduled else "unscheduled"
+        print(ascii_table(["metric", "value"], rows, title=f"churn / {trace.name} / {mode}"))
+    clean = metrics.quiescent and (
+        not policy.scheduled or metrics.transient_violations == 0
+    )
+    return 0 if clean else 1
 
 
 def _open_campaign_store(args: argparse.Namespace):
@@ -816,6 +878,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tsum.add_argument("--json", action="store_true")
     p_tsum.set_defaults(func=cmd_trace_summarize)
+
+    p_churn = sub.add_parser(
+        "churn", help="online scheduling under topology churn"
+    )
+    churn_sub = p_churn.add_subparsers(dest="churn_command", required=True)
+    p_crun = churn_sub.add_parser(
+        "run", help="drive a seeded churn trace to quiescence"
+    )
+    p_crun.add_argument("--kind", default="fat-tree", choices=["fat-tree", "wan"])
+    p_crun.add_argument("--size", type=int, default=4,
+                        help="fat-tree arity (even) or WAN node count")
+    p_crun.add_argument("--seed", type=int, default=0)
+    p_crun.add_argument("--rate", type=float, default=50.0,
+                        help="arrival rate per simulated second")
+    p_crun.add_argument("--duration", type=float, default=400.0,
+                        help="trace duration in simulated ms")
+    p_crun.add_argument("--flows", type=int, default=6)
+    p_crun.add_argument("--cancel-prob", type=float, default=0.1)
+    p_crun.add_argument("--link-failures", type=int, default=1)
+    p_crun.add_argument("--waypoint-prob", type=float, default=0.5)
+    p_crun.add_argument("--unscheduled", action="store_true",
+                        help="one-shot baseline (no safety oracle)")
+    p_crun.add_argument("--defer", action="store_true",
+                        help="queue mid-update arrivals instead of preempting")
+    p_crun.add_argument("--replan-budget", type=int, default=2,
+                        help="immediate re-plans per link-failure event")
+    p_crun.add_argument("--json", action="store_true")
+    p_crun.set_defaults(func=cmd_churn_run)
 
     p_topo = sub.add_parser("topo", help="generate a topology JSON")
     p_topo.add_argument("--kind", default="figure1",

@@ -21,29 +21,62 @@ class ScheduledEvent:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
+    _queue: "EventQueue | None" = field(compare=False, default=None, repr=False)
 
-    def cancel(self) -> None:
-        """Mark the event so the simulator skips it."""
+    def cancel(self) -> bool:
+        """Retract the event (heap-lazy: the entry stays until popped).
+
+        Returns ``True`` when this call retracted a still-pending event,
+        ``False`` when the event already fired or was already cancelled --
+        so callers retracting obsolete re-plan callbacks (the churn
+        controller) can account exactly once per retraction.
+        """
+        if self.fired or self.cancelled:
+            return False
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+        return True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.fired or self.cancelled)
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`ScheduledEvent`."""
+    """A deterministic min-heap of :class:`ScheduledEvent`.
+
+    Cancellation is *lazy*: a cancelled event keeps its heap slot and is
+    skipped (and physically dropped) when it surfaces in :meth:`pop` /
+    :meth:`peek_time`.  A live-entry counter keeps ``len()`` O(1) even
+    with many retracted entries still buried in the heap.
+    """
 
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[..., None], *args: Any) -> ScheduledEvent:
-        event = ScheduledEvent(time=time, seq=next(self._counter), callback=callback, args=args)
+        event = ScheduledEvent(
+            time=time, seq=next(self._counter), callback=callback, args=args,
+            _queue=self,
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
 
     def pop(self) -> ScheduledEvent | None:
         """Pop the earliest non-cancelled event, or None when drained."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event.fired = True
+                self._live -= 1
                 return event
         return None
 
@@ -54,7 +87,7 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None

@@ -54,8 +54,9 @@ class Simulator:
             )
         return self._queue.push(time, callback, *args)
 
-    def cancel(self, event: ScheduledEvent) -> None:
-        event.cancel()
+    def cancel(self, event: ScheduledEvent) -> bool:
+        """Retract a scheduled event; True iff this call retracted it."""
+        return event.cancel()
 
     # ------------------------------------------------------------------
     # execution

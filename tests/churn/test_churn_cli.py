@@ -1,0 +1,54 @@
+"""Tests for the ``repro churn run`` CLI verb."""
+
+import json
+
+from repro.cli.main import build_parser, main
+
+FAST = ["--duration", "150", "--rate", "40", "--seed", "7"]
+
+
+class TestParser:
+    def test_churn_run_registered(self):
+        args = build_parser().parse_args(["churn", "run", "--size", "6"])
+        assert args.command == "churn"
+        assert args.churn_command == "run"
+        assert args.size == 6
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["churn", "run"])
+        assert args.kind == "fat-tree"
+        assert not args.unscheduled and not args.defer
+        assert args.replan_budget == 2
+
+
+class TestRun:
+    def test_scheduled_run_exits_clean(self, capsys):
+        code = main(["churn", "run", *FAST])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "churn /" in out
+        assert "transient_violations" in out
+        assert "quiescent" in out
+
+    def test_json_output_shape(self, capsys):
+        code = main(["churn", "run", *FAST, "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["policy"]["scheduled"] is True
+        assert data["metrics"]["quiescent"] is True
+        assert data["metrics"]["transient_violations"] == 0
+        assert data["trace"]["kind"] == "fat-tree"
+        assert data["metrics"]["lifecycles"]
+
+    def test_unscheduled_baseline_still_exits_zero(self, capsys):
+        code = main(["churn", "run", *FAST, "--unscheduled", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0  # the baseline is allowed its violations
+        assert data["policy"]["scheduled"] is False
+        assert data["metrics"]["transient_violations"] > 0
+
+    def test_defer_knob_reaches_policy(self, capsys):
+        code = main(["churn", "run", *FAST, "--defer", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["policy"]["preempt"] is False

@@ -186,3 +186,40 @@ class TestUpdateQueueFSM:
         network, queue = self._network()
         with pytest.raises(Exception):
             queue.find_completed("nope")
+
+
+class TestRoundTimingDump:
+    def test_finished_round_dumps_fully(self):
+        from repro.controller.update_queue import RoundTiming
+
+        timing = RoundTiming(index=2, started_ms=10.0, finished_ms=16.5)
+        assert timing.to_dict() == {
+            "index": 2,
+            "started_ms": 10.0,
+            "finished_ms": 16.5,
+            "duration_ms": 6.5,
+            "running": False,
+        }
+
+    def test_running_round_dumps_partially(self):
+        from repro.controller.update_queue import RoundTiming
+        from repro.errors import ControllerError
+
+        timing = RoundTiming(index=0, started_ms=3.0)
+        assert timing.running
+        dump = timing.to_dict()
+        assert dump["finished_ms"] is None
+        assert dump["duration_ms"] is None  # no ControllerError mid-round
+        assert dump["running"] is True
+        with pytest.raises(ControllerError):
+            _ = timing.duration_ms  # the strict accessor still refuses
+
+    def test_dump_is_json_serializable(self):
+        import json
+
+        from repro.controller.update_queue import RoundTiming
+
+        running = RoundTiming(index=1, started_ms=0.5)
+        finished = RoundTiming(index=1, started_ms=0.5, finished_ms=2.0)
+        text = json.dumps([running.to_dict(), finished.to_dict()])
+        assert json.loads(text)[1]["duration_ms"] == 1.5

@@ -1,0 +1,131 @@
+"""Property test: incremental oracle deltas vs the from-scratch reference.
+
+The online churn controller keeps one long-lived :class:`SafetyOracle`
+per update and mutates it through ``apply`` / ``revert`` / ``commit`` /
+``commit_round`` / ``try_apply`` / ``reset`` as arrivals, cancellations
+and link failures interleave.  This test hammers random interleavings of
+exactly those deltas on random instances and, after every operation,
+cross-checks the oracle's incremental verdict and node bookkeeping
+against :func:`round_is_safe_reference`, which rebuilds the union graph
+from scratch.  A divergence here means the incremental maintenance lost
+track of the graph somewhere along a delta sequence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import SafetyOracle
+from repro.core.optimal import round_is_safe_reference
+from repro.core.problem import UpdateProblem
+from repro.core.verify import Property
+from repro.topology.random_graphs import random_update_instance
+
+_RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_OPS = ("apply", "revert", "commit", "try_apply", "commit_round", "reset", "query")
+
+
+@st.composite
+def oracle_scripts(draw):
+    """A random instance plus a random delta/checkpoint script over it."""
+    with_waypoint = draw(st.booleans())
+    n = draw(st.integers(min_value=4, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    overlap = draw(st.floats(min_value=0.0, max_value=1.0))
+    old, new, waypoint = random_update_instance(
+        n, seed=seed, overlap=overlap, with_waypoint=with_waypoint
+    )
+    problem = UpdateProblem(old, new, waypoint=waypoint if with_waypoint else None)
+    nodes = sorted(problem.all_updates, key=repr)
+    if not nodes:
+        problem = UpdateProblem([1, 2, 3], [1, 4, 3])
+        nodes = sorted(problem.all_updates, key=repr)
+    properties = (Property.BLACKHOLE, draw(st.sampled_from((Property.RLF, Property.SLF))))
+    if problem.waypoint is not None:
+        properties += (Property.WPE,)
+    width = len(nodes)
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(_OPS),
+                st.integers(min_value=0, max_value=2**width - 1),
+                st.integers(min_value=0, max_value=2**width - 1),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return problem, nodes, properties, ops
+
+
+def _subset(nodes, mask):
+    return {node for bit, node in enumerate(nodes) if mask & (1 << bit)}
+
+
+class TestOracleInterleaving:
+    @_RELAXED
+    @given(oracle_scripts())
+    def test_random_delta_sequences_match_reference(self, script):
+        problem, nodes, properties, ops = script
+        oracle = SafetyOracle(problem, properties)
+        updated: set = set()
+        in_flight: set = set()
+
+        for name, a, b in ops:
+            node = nodes[a % len(nodes)]
+            if name == "apply":
+                oracle.apply(node)
+                updated.discard(node)
+                in_flight.add(node)
+            elif name == "revert":
+                oracle.revert(node)
+                updated.discard(node)
+                in_flight.discard(node)
+            elif name == "commit":
+                oracle.commit(node)
+                in_flight.discard(node)
+                updated.add(node)
+            elif name == "commit_round":
+                oracle.commit_round()
+                updated |= in_flight
+                in_flight.clear()
+            elif name == "try_apply":
+                # with no learned nogoods this is apply + check (+ revert)
+                expect = round_is_safe_reference(
+                    problem,
+                    updated - {node},
+                    in_flight | {node},
+                    properties,
+                )
+                verdict = oracle.try_apply(node)
+                assert verdict == expect
+                updated.discard(node)
+                if verdict:
+                    in_flight.add(node)
+                else:
+                    in_flight.discard(node)
+            elif name == "reset":
+                updated = _subset(nodes, a)
+                in_flight = _subset(nodes, b) - updated
+                oracle.reset(updated, in_flight)
+            elif name == "query":
+                query_updated = _subset(nodes, a)
+                query_round = _subset(nodes, b) - query_updated
+                verdict = oracle.round_is_safe(query_updated, query_round)
+                assert verdict == round_is_safe_reference(
+                    problem, query_updated, query_round, properties
+                )
+                # round_is_safe morphs the live graph; put the round back
+                oracle.reset(updated, in_flight)
+
+            assert oracle.updated_nodes() == frozenset(updated)
+            assert oracle.in_flight_nodes() == frozenset(in_flight)
+            assert oracle.current_round_safe() == round_is_safe_reference(
+                problem, updated, in_flight, properties
+            )

@@ -150,3 +150,78 @@ class TestRandomStreams:
         assert derive_seed(1, "a") == derive_seed(1, "a")
         assert derive_seed(1, "a") != derive_seed(2, "a")
         assert derive_seed(1, "a") != derive_seed(1, "b")
+
+
+class TestEventCancellation:
+    def test_cancel_returns_true_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert event.pending
+        assert event.cancel() is True
+        assert event.cancel() is False  # second retraction is a no-op
+        assert not event.pending
+
+    def test_cancel_after_fire_returns_false(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event and event.fired
+        assert event.cancel() is False
+
+    def test_len_is_live_count(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[1].cancel()
+        events[3].cancel()
+        assert len(queue) == 3  # counted at cancel time, not at pop time
+        assert [queue.pop().time for _ in range(3)] == [0.0, 2.0, 4.0]
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_simulator_cancel_returns_retraction_verdict(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5.0, fired.append, "x")
+        assert sim.cancel(event) is True
+        assert sim.cancel(event) is False
+        sim.run()
+        assert fired == [] and sim.pending_events == 0
+
+    def test_cancelled_event_never_fires(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, fired.append, "keep")
+        drop = sim.schedule(1.0, fired.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.fired and not drop.fired
+
+    def test_cancellation_preserves_same_instant_order(self):
+        # retracting one of several same-instant events must not disturb
+        # the deterministic (time, seq) order of the survivors
+        def run(cancel_index):
+            sim = Simulator()
+            fired = []
+            events = [
+                sim.schedule(2.0, fired.append, tag) for tag in "abcde"
+            ]
+            events[cancel_index].cancel()
+            sim.run()
+            return fired
+
+        assert run(2) == ["a", "b", "d", "e"]
+        assert run(2) == ["a", "b", "d", "e"]  # identical across runs
+        assert run(0) == ["b", "c", "d", "e"]
+        assert run(4) == ["a", "b", "c", "d"]
+
+    def test_cancel_from_within_callback(self):
+        # a callback retracting a later event beats the heap to it
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(3.0, fired.append, "later")
+        sim.schedule(1.0, lambda: later.cancel())
+        sim.run()
+        assert fired == []
+        assert sim.now == 1.0  # the cancelled tail never advanced the clock
