@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke fabric-smoke crash-smoke churn-smoke help
+.PHONY: test api-surface bench-smoke bench-oracle bench-exact bench campaign-smoke fabric-smoke crash-smoke churn-smoke integrity-smoke help
 
 help:
 	@echo "test           - tier-1 test suite (pytest -x -q)"
@@ -14,6 +14,7 @@ help:
 	@echo "fabric-smoke   - ~15s faulty 3-worker fleet (one SIGKILLed, one frozen) vs 1-worker baseline"
 	@echo "crash-smoke    - ~30s coordinator SIGKILLed twice mid-campaign; journal recovery vs 1-worker baseline"
 	@echo "churn-smoke    - ~5s online-churn grid: quiescence, zero violations, same-seed determinism"
+	@echo "integrity-smoke - ~30s hostile fleet (liar + corruptor + OOM cell + poison cell) vs 1-worker baseline"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,3 +45,6 @@ crash-smoke:
 
 churn-smoke:
 	$(PYTHON) benchmarks/run_churn_smoke.py
+
+integrity-smoke:
+	$(PYTHON) benchmarks/run_integrity_smoke.py

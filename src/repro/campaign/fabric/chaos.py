@@ -16,6 +16,14 @@ The fabric's robustness claims are exactly the ones this module attacks:
 * a duplicated or delayed (possibly post-reclaim) submission is absorbed
   by the coordinator's idempotent at-least-once accept path.
 
+PR 10 adds the *integrity* adversaries: ``corrupt_submits`` damages a
+record after its checksum is computed (wire corruption -- the
+coordinator's checksum validation must reject it), ``lie_after_cells``
+falsifies records *before* checksumming (a plausible lie only audit
+re-execution can catch), and ``die_on_cells`` kills the worker whenever
+it draws a named cell (the poison-cell scenario: every fresh worker that
+leases the cell dies the same way).
+
 PR 8 extends the attack to the *coordinator* tier:
 :class:`CoordinatorChaosConfig` kills the serving process right after the
 Nth accept is journaled but before it is acknowledged or flushed -- the
@@ -59,6 +67,17 @@ class ChaosConfig:
     drop_submits: tuple[int, ...] = ()
     duplicate_submits: tuple[int, ...] = ()
     delay_submits: Mapping[int, float] = field(default_factory=dict)
+    #: 0-based submission ordinals whose record is bit-flipped *after*
+    #: the integrity checksum is computed -- wire corruption, caught by
+    #: the coordinator's checksum validation.
+    corrupt_submits: tuple[int, ...] = ()
+    #: After this many honest cells the worker *lies*: it mutates the
+    #: record plausibly before checksumming, so the checksum matches and
+    #: only audit re-execution can catch it.  ``0`` lies from the start.
+    lie_after_cells: int | None = None
+    #: Cell ids the worker dies on (before computing them) -- the
+    #: poison-cell scenario: same cell, fresh worker, same death.
+    die_on_cells: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """Plain-JSON form (process workers receive their plan as args)."""
@@ -69,6 +88,9 @@ class ChaosConfig:
             "drop_submits": list(self.drop_submits),
             "duplicate_submits": list(self.duplicate_submits),
             "delay_submits": {str(k): v for k, v in self.delay_submits.items()},
+            "corrupt_submits": list(self.corrupt_submits),
+            "lie_after_cells": self.lie_after_cells,
+            "die_on_cells": list(self.die_on_cells),
         }
 
     @classmethod
@@ -83,6 +105,9 @@ class ChaosConfig:
                 int(k): float(v)
                 for k, v in dict(data.get("delay_submits", {})).items()
             },
+            corrupt_submits=tuple(data.get("corrupt_submits", ())),
+            lie_after_cells=data.get("lie_after_cells"),
+            die_on_cells=tuple(data.get("die_on_cells", ())),
         )
 
 
@@ -93,6 +118,7 @@ class SubmitPlan:
     drop: bool = False
     duplicate: bool = False
     delay_s: float = 0.0
+    corrupt: bool = False
 
 
 class Chaos:
@@ -124,7 +150,46 @@ class Chaos:
             drop=ordinal in self.config.drop_submits,
             duplicate=ordinal in self.config.duplicate_submits,
             delay_s=float(self.config.delay_submits.get(ordinal, 0.0)),
+            corrupt=ordinal in self.config.corrupt_submits,
         )
+
+    def maybe_die_on(self, cell_id: str) -> None:
+        """Die before computing a configured poison cell."""
+        if cell_id not in self.config.die_on_cells:
+            return
+        if self.config.kill_mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise ChaosKill(f"worker killed on poison cell {cell_id}")
+
+    def lying(self) -> bool:
+        """Whether the *current* cell's record should be falsified.
+
+        Keyed on cells computed so far (``on_cell_computed`` has already
+        counted the current cell when this is consulted), so
+        ``lie_after_cells=k`` means the first ``k`` records are honest.
+        """
+        lie_after = self.config.lie_after_cells
+        return lie_after is not None and self.cells_computed > lie_after
+
+    @staticmethod
+    def lie(record: Mapping) -> dict:
+        """A *plausible* falsification: well-formed, correctly
+        checksummed, only byte-comparison against an honest re-run can
+        expose it."""
+        lied = dict(record)
+        if isinstance(lied.get("rounds"), int):
+            lied["rounds"] = lied["rounds"] + 1
+        else:
+            lied["detail"] = f"{lied.get('detail') or ''}~"
+        return lied
+
+    @staticmethod
+    def corrupt(record: Mapping) -> dict:
+        """Post-checksum bit damage (wire corruption): the checksum the
+        worker attached no longer matches what arrives."""
+        damaged = dict(record)
+        damaged["seed"] = int(damaged.get("seed") or 0) ^ 1
+        return damaged
 
     def heartbeat_allowed(self) -> bool:
         frozen_after = self.config.freeze_heartbeats_after

@@ -29,6 +29,21 @@ buffered shards are re-admitted (completed work is never re-run), retry
 and escalation budgets carry over, and every pre-crash lease is expired
 so open cells re-lease cleanly.  A recovered run stays byte-identical to
 an uncrashed one.
+
+Result integrity (PR 10): the coordinator stops *trusting* well-formed
+payloads.  Submissions carry a canonical-JSON sha256 over the record plus
+the cell payload's identity hash, validated before anything is journaled;
+a configurable ``audit_fraction`` of accepted cells is deterministically
+sampled (seeded on the cell id) and held back until a *different* worker
+re-executes them and the folds match byte-for-byte (any two matching
+candidates win -- a lying auditor cannot outvote two honest runs).
+Workers that fail validation or audits are *quarantined* by name: no new
+leases, in-flight leases requeued, their unflushed unaudited accepts
+retracted and re-run.  A cell whose worker dies while computing it is
+charged a *kill*; ``poison_kill_threshold`` distinct dead workers mark
+the cell poisoned and terminally recorded instead of looping through the
+retry budget.  All of it -- rejects, candidates, quarantines, kills,
+poisonings -- is journaled, so the verdicts survive coordinator crashes.
 """
 
 from __future__ import annotations
@@ -45,8 +60,13 @@ from repro.campaign.fabric.journal import FabricJournal
 from repro.campaign.fabric.leases import LeaseTable
 from repro.campaign.runner import _truncate
 from repro.campaign.schedulers import resolve
-from repro.campaign.spec import Cell, CampaignSpec
-from repro.campaign.store import RunStore
+from repro.campaign.spec import (
+    Cell,
+    CampaignSpec,
+    derive_seed,
+    payload_identity_hash,
+)
+from repro.campaign.store import RunStore, encode_record, record_checksum
 from repro.metrics import global_collector
 
 #: Fabric counter names (exposed via ``repro.metrics`` and ``status()``).
@@ -62,10 +82,19 @@ COUNTERS = (
     "deregisters",
     "journal_records",
     "journal_compactions",
+    "batch_submits",
+    "integrity_rejects",
+    "audits_run",
+    "audit_mismatches",
+    "quarantines",
+    "kills",
+    "poisoned_cells",
     "recovered_buffered",
     "recovered_retries",
     "recovered_escalations",
     "recovered_leases_expired",
+    "recovered_quarantines",
+    "recovered_audit_candidates",
 )
 
 
@@ -75,11 +104,19 @@ class _CellState:
 
     cell: Cell
     payload: dict
-    status: str = "pending"  # pending | leased | done
+    status: str = "pending"  # pending | leased | audit | audit_leased | done
     attempts: int = 0
     escalated: bool = False
     eligible_at: float = 0.0
     on_disk: bool = False  # completed by a previous run; already in results
+    #: worker *name* whose record is buffered (None for coordinator-made
+    #: terminal records); quarantining that name retracts the record
+    accepted_by: str | None = None
+    #: the buffered record was confirmed byte-for-byte by a second worker
+    audited: bool = False
+    #: distinct worker names that died while computing this cell
+    killers: set[str] = field(default_factory=set)
+    poisoned: bool = False
 
 
 class Coordinator:
@@ -102,6 +139,9 @@ class Coordinator:
         escalation_factor: float = 4.0,
         journal_fsync: bool = True,
         journal_compact_every: int = 256,
+        audit_fraction: float = 0.0,
+        audit_seed: int = 0,
+        poison_kill_threshold: int = 3,
         chaos=None,
         clock=time.monotonic,
         jitter_seed: int = 0,
@@ -121,6 +161,12 @@ class Coordinator:
         self.backoff_cap_s = float(backoff_cap_s)
         #: ``0`` disables timeout escalation entirely.
         self.escalation_factor = float(escalation_factor)
+        #: Fraction of accepted cells held back for audit re-execution by
+        #: a different worker (``0`` disables auditing; ``1`` audits all).
+        self.audit_fraction = max(0.0, min(1.0, float(audit_fraction)))
+        self.audit_seed = int(audit_seed)
+        #: Distinct dead workers before a cell is declared poisoned.
+        self.poison_kill_threshold = max(1, int(poison_kill_threshold))
         #: Optional :class:`~repro.campaign.fabric.chaos.CoordinatorChaos`
         #: (crash smoke / tests): fires right after an accept is
         #: journaled, the nastiest deterministic crash point.
@@ -157,6 +203,12 @@ class Coordinator:
             )
         self._next_flush = done_prefix
         self._buffer: dict[int, tuple[dict, dict]] = {}
+        #: Audit candidates per cell index: ``{"worker", "record",
+        #: "timing", "encoded"}`` -- resolution needs byte comparison.
+        self._audit: dict[int, list[dict]] = {}
+        #: Quarantined worker *names* (ids are per-epoch; a re-registered
+        #: bad worker must stay quarantined).
+        self._quarantined: set[str] = set()
         self._started_at = self._clock()
         #: Per-worker telemetry.  Keyed by worker id and kept *forever*
         #: (the lease table forgets dead workers; the telemetry endpoint
@@ -196,6 +248,19 @@ class Coordinator:
             open_leases: dict[str, tuple[str, set[int]]] = {}
             for record in records:
                 self._replay_locked(record, open_leases)
+            # a crash can land between a journaled kill (reaching the
+            # poison threshold) and the poison record itself, or between
+            # a matching audit candidate and its accept -- settle both
+            for index, state in enumerate(self._states):
+                if (
+                    state.status != "done"
+                    and len(state.killers) >= self.poison_kill_threshold
+                ):
+                    self._poison_locked(index, 0.0)
+            for index in list(self._audit):
+                state = self._states[index]
+                if state.status != "done":
+                    self._resolve_audit_locked(index, state, 0.0)
             for lease_id, (worker_id, indices) in open_leases.items():
                 if not any(
                     self._states[i].status != "done" for i in indices
@@ -222,6 +287,8 @@ class Coordinator:
                 "recovered_retries",
                 "recovered_escalations",
                 "recovered_leases_expired",
+                "recovered_quarantines",
+                "recovered_audit_candidates",
             ):
                 if self.counters[name]:
                     global_collector().increment(
@@ -238,6 +305,10 @@ class Coordinator:
             self._compact_locked()
 
     def _apply_snapshot_locked(self, snapshot: Mapping[str, Any]) -> None:
+        for name in snapshot.get("quarantined", ()):
+            if str(name) not in self._quarantined:
+                self._quarantined.add(str(name))
+                self.counters["recovered_quarantines"] += 1
         for key, entry in dict(snapshot.get("cells", {})).items():
             index = int(key)
             if not 0 <= index < len(self._states):
@@ -255,6 +326,23 @@ class Coordinator:
                         entry["scheduler_params"]
                     )
                 self.counters["recovered_escalations"] += 1
+            if entry.get("killers"):
+                state.killers.update(str(k) for k in entry["killers"])
+            if entry.get("poisoned"):
+                state.poisoned = True
+            if entry.get("audit") and not entry.get("done"):
+                candidates = self._audit.setdefault(index, [])
+                for candidate in entry["audit"]:
+                    rec = dict(candidate["record"])
+                    candidates.append({
+                        "worker": str(candidate["worker"]),
+                        "record": rec,
+                        "timing": dict(candidate["timing"]),
+                        "encoded": encode_record(rec),
+                    })
+                    self.counters["recovered_audit_candidates"] += 1
+                if candidates and state.status != "done":
+                    state.status = "audit"
             if entry.get("done") and not state.on_disk and (
                 state.status != "done"
             ):
@@ -262,6 +350,8 @@ class Coordinator:
                     dict(entry["record"]), dict(entry["timing"])
                 )
                 state.status = "done"
+                state.accepted_by = entry.get("accepted_by")
+                state.audited = bool(entry.get("audited"))
                 self.counters["recovered_buffered"] += 1
                 # the accept's span may have died unwritten with the old
                 # coordinator; this event is the durable trace of the
@@ -287,24 +377,63 @@ class Coordinator:
                     {int(i) for i in record.get("cells", ())},
                 )
             return
+        if kind == "quarantine":
+            name = str(record.get("worker", ""))
+            if name and name not in self._quarantined:
+                self._quarantined.add(name)
+                self.counters["recovered_quarantines"] += 1
+                # the pre-crash coordinator retracted this worker's
+                # buffered accepts when it quarantined them; replaying
+                # the same retraction keeps both histories identical
+                self._retract_accepts_locked(name, 0.0)
+            return
         index = record.get("index")
         if not isinstance(index, int) or not 0 <= index < len(self._states):
             return
         state = self._states[index]
-        if kind in ("accept", "terminal"):
+        if kind in ("accept", "terminal", "poison"):
             lease_id = record.get("lease_id")
             if lease_id in open_leases:
                 open_leases[lease_id][1].discard(index)
+            if kind == "poison":
+                state.poisoned = True
+                state.killers.update(
+                    str(k) for k in record.get("killers", ())
+                )
             if state.on_disk or state.status == "done":
                 return  # already flushed by a previous incarnation
+            self._audit.pop(index, None)  # settled: candidates obsolete
             self._buffer[index] = (
                 dict(record["record"]), dict(record["timing"])
             )
             state.status = "done"
+            state.accepted_by = record.get("worker")
+            state.audited = bool(record.get("audited"))
             self.counters["recovered_buffered"] += 1
             obs.event(
                 "fabric.recovered_cell", cell_id=state.cell.cell_id
             )
+        elif kind == "audit_candidate":
+            if state.on_disk or state.status == "done":
+                return
+            name = str(record.get("worker", ""))
+            if name in self._quarantined:
+                return  # verdict already reached on this worker
+            candidates = self._audit.setdefault(index, [])
+            if any(c["worker"] == name for c in candidates):
+                return
+            rec = dict(record["record"])
+            candidates.append({
+                "worker": name,
+                "record": rec,
+                "timing": dict(record["timing"]),
+                "encoded": encode_record(rec),
+            })
+            state.status = "audit"
+            self.counters["recovered_audit_candidates"] += 1
+        elif kind == "kill":
+            if state.status != "done":
+                state.killers.add(str(record.get("worker", "")))
         elif kind == "retry":
             if state.status != "done":
                 state.attempts = max(
@@ -342,14 +471,35 @@ class Coordinator:
                 entry["scheduler_params"] = state.payload.get(
                     "scheduler_params"
                 )
+            if state.killers:
+                entry["killers"] = sorted(state.killers)
+            if state.poisoned:
+                entry["poisoned"] = True
+            candidates = self._audit.get(index)
+            if candidates and state.status != "done":
+                entry["audit"] = [
+                    {
+                        "worker": c["worker"],
+                        "record": c["record"],
+                        "timing": c["timing"],
+                    }
+                    for c in candidates
+                ]
             if state.status == "done" and not state.on_disk:
                 buffered = self._buffer.get(index)
                 if buffered is not None:
                     entry["done"] = True
                     entry["record"], entry["timing"] = buffered
+                    if state.accepted_by:
+                        entry["accepted_by"] = state.accepted_by
+                    if state.audited:
+                        entry["audited"] = True
             if entry:
                 cells[str(index)] = entry
-        return {"cells": cells}
+        snapshot: dict[str, Any] = {"cells": cells}
+        if self._quarantined:
+            snapshot["quarantined"] = sorted(self._quarantined)
+        return snapshot
 
     def _compact_locked(self) -> None:
         with obs.span(
@@ -386,18 +536,20 @@ class Coordinator:
                 "transient_failures": 0,
                 "stale_submits": 0,
                 "duplicate_submits": 0,
+                "integrity_rejects": 0,
             }
             obs.event(
                 "fabric.register",
                 worker_id=state.worker_id,
                 worker=state.name,
             )
-        return {
-            "worker_id": state.worker_id,
-            "lease_ttl_s": self.lease_ttl_s,
-            "heartbeat_interval_s": self.heartbeat_interval_s,
-            "lease_cells": self.lease_cells,
-        }
+            return {
+                "worker_id": state.worker_id,
+                "lease_ttl_s": self.lease_ttl_s,
+                "heartbeat_interval_s": self.heartbeat_interval_s,
+                "lease_cells": self.lease_cells,
+                "quarantined": state.name in self._quarantined,
+            }
 
     def heartbeat(self, worker_id: str) -> dict:
         with self._lock:
@@ -419,10 +571,26 @@ class Coordinator:
             self._reap(now)
             if self._finished_locked():
                 return {"cells": [], "done": True}
-            indices = [
-                i for i, state in enumerate(self._states)
-                if state.status == "pending" and state.eligible_at <= now
-            ][:limit]
+            name = self._worker_name(worker_id)
+            if name in self._quarantined:
+                return {
+                    "cells": [],
+                    "done": False,
+                    "quarantined": True,
+                    "retry_after_s": self.heartbeat_interval_s,
+                }
+            indices = []
+            for i, state in enumerate(self._states):
+                if len(indices) >= limit:
+                    break
+                if state.status == "pending" and state.eligible_at <= now:
+                    indices.append(i)
+                elif state.status == "audit" and not any(
+                    c["worker"] == name for c in self._audit.get(i, ())
+                ):
+                    # audit re-execution must come from a worker that has
+                    # not already answered for this cell
+                    indices.append(i)
             if not indices:
                 return {
                     "cells": [],
@@ -439,10 +607,13 @@ class Coordinator:
                 cells=list(indices),
             )
             for i in indices:
-                self._states[i].status = "leased"
+                state = self._states[i]
+                state.status = (
+                    "audit_leased" if state.status == "audit" else "leased"
+                )
                 obs.event(
                     "fabric.lease_cell",
-                    cell_id=self._states[i].cell.cell_id,
+                    cell_id=state.cell.cell_id,
                     worker_id=worker_id,
                     lease_id=lease.lease_id,
                 )
@@ -465,18 +636,103 @@ class Coordinator:
         cell_id: str,
         record: Mapping[str, Any],
         timing: Mapping[str, Any],
+        integrity: Mapping[str, Any] | None = None,
     ) -> dict:
-        """Fold one finished cell; idempotent under at-least-once delivery."""
-        with self._lock, obs.span(
-            "fabric.submit", cell_id=cell_id, worker_id=worker_id
-        ) as submit_span:
+        """Fold one finished cell; idempotent under at-least-once delivery.
+
+        ``integrity`` (optional, attached by current workers) carries
+        ``record_sha256`` -- the canonical-JSON checksum of the record --
+        and ``cell_hash`` -- the leased payload's identity hash; a
+        mismatch rejects the submission *before* journaling and
+        quarantines the submitter.  Legacy submissions without it are
+        folded unvalidated.
+        """
+        with self._lock:
             now = self._clock()
             self._table.touch(worker_id, now)
+            reply = self._submit_one_locked(
+                worker_id, lease_id, cell_id, record, timing, integrity, now
+            )
+            self._reap(now)
+            self._maybe_compact_locked()
+            reply["done"] = self._finished_locked()
+            return reply
+
+    def submit_batch(
+        self,
+        worker_id: str,
+        lease_id: str,
+        entries: list,
+    ) -> dict:
+        """Fold several finished cells in one round-trip.
+
+        Each entry is ``{"cell_id", "record", "timing", "integrity"?}``
+        and is validated, checked for duplication, and journaled exactly
+        as an individual ``submit`` would -- idempotent per record, so a
+        replayed batch (a worker resubmitting after an outage) is a batch
+        of counted no-ops.  Returns per-entry ``results`` in order.
+        """
+        with self._lock:
+            now = self._clock()
+            self._table.touch(worker_id, now)
+            results = []
+            for entry in entries:
+                results.append(self._submit_one_locked(
+                    worker_id,
+                    lease_id,
+                    str(entry["cell_id"]),
+                    entry["record"],
+                    entry["timing"],
+                    entry.get("integrity"),
+                    now,
+                ))
+            self._count("batch_submits", worker_id=worker_id)
+            self._reap(now)
+            self._maybe_compact_locked()
+            return {"results": results, "done": self._finished_locked()}
+
+    def _submit_one_locked(
+        self,
+        worker_id: str,
+        lease_id: str,
+        cell_id: str,
+        record: Mapping[str, Any],
+        timing: Mapping[str, Any],
+        integrity: Mapping[str, Any] | None,
+        now: float,
+    ) -> dict:
+        with obs.span(
+            "fabric.submit", cell_id=cell_id, worker_id=worker_id
+        ) as submit_span:
             index = self._by_id.get(cell_id)
             if index is None:
                 raise CampaignError(f"unknown cell {cell_id!r}")
             state = self._states[index]
             stats = self._wstats.get(worker_id)
+            name = self._worker_name(worker_id)
+            if name in self._quarantined:
+                # a quarantined worker's results are suspect by verdict;
+                # nothing it delivers is folded
+                submit_span.set_attrs(outcome="quarantined")
+                return {"accepted": False, "rejected": True,
+                        "reason": "quarantined", "quarantined": True}
+            if integrity is not None and not self._integrity_ok_locked(
+                state, cell_id, record, integrity
+            ):
+                self._count("integrity_rejects", worker_id=worker_id)
+                if stats is not None:
+                    stats["integrity_rejects"] += 1
+                submit_span.set_attrs(outcome="rejected")
+                obs.event(
+                    "fabric.integrity_reject",
+                    cell_id=cell_id,
+                    worker_id=worker_id,
+                )
+                self._quarantine_locked(
+                    name, f"integrity reject on {cell_id}", now
+                )
+                return {"accepted": False, "rejected": True,
+                        "reason": "integrity", "quarantined": True}
             fresh_lease = self._table.release_cell(lease_id, index)
             submit_span.set_attrs(stale=not fresh_lease)
             if not fresh_lease:
@@ -488,12 +744,15 @@ class Coordinator:
                 if stats is not None:
                     stats["duplicate_submits"] += 1
                 submit_span.set_attrs(outcome="duplicate")
-                self._reap(now)
-                return {"accepted": False, "duplicate": True,
-                        "done": self._finished_locked()}
+                return {"accepted": False, "duplicate": True}
             record = dict(record)
             if stats is not None and record.get("status") == "timeout":
                 stats["timeouts"] += 1
+            if state.status in ("audit", "audit_leased"):
+                return self._audit_submit_locked(
+                    submit_span, index, state, worker_id, name,
+                    record, dict(timing), now,
+                )
             if (
                 record.get("status") == "timeout"
                 and self.escalation_factor > 1.0
@@ -504,8 +763,17 @@ class Coordinator:
                 if stats is not None:
                     stats["escalations"] += 1
                 submit_span.set_attrs(outcome="escalated")
-                self._maybe_compact_locked()
-                return {"accepted": True, "escalated": True, "done": False}
+                return {"accepted": True, "escalated": True}
+            if record.get("status") != "timeout" and self._audit_selected(
+                cell_id
+            ):
+                # deterministically sampled for audit: the record becomes
+                # the first candidate and the cell waits for a different
+                # worker's byte-identical confirmation
+                return self._audit_submit_locked(
+                    submit_span, index, state, worker_id, name,
+                    record, dict(timing), now,
+                )
             # write-ahead: the accept is durable before the worker hears
             # "accepted", so a crash after this line can never re-run the
             # cell -- recovery re-admits the journaled record instead
@@ -514,11 +782,13 @@ class Coordinator:
                 index=index,
                 cell_id=cell_id,
                 lease_id=lease_id,
+                worker=name,
                 record=record,
                 timing=dict(timing),
             )
             if self.chaos is not None:
                 self.chaos.on_accept()
+            state.accepted_by = name
             self._complete_locked(index, record, dict(timing))
             if stats is not None:
                 stats["cells_done"] += 1
@@ -526,10 +796,7 @@ class Coordinator:
             global_collector().observe(
                 "fabric.cell_wall_ms", float(timing.get("wall_ms") or 0.0)
             )
-            self._reap(now)
-            self._maybe_compact_locked()
-            return {"accepted": True, "duplicate": False,
-                    "done": self._finished_locked()}
+            return {"accepted": True, "duplicate": False}
 
     def fail(
         self,
@@ -589,6 +856,10 @@ class Coordinator:
             for lease in self._table.deregister_worker(worker_id):
                 for index in lease.cell_indices:
                     state = self._states[index]
+                    if state.status == "audit_leased":
+                        state.status = "audit"
+                        requeued += 1
+                        continue
                     if state.status != "leased":
                         continue
                     self._requeue_locked(index, now)
@@ -651,6 +922,8 @@ class Coordinator:
                 "pending": sum(
                     1 for s in self._states if s.status != "done"
                 ),
+                "audits_pending": len(self._audit),
+                "quarantined_workers": sorted(self._quarantined),
             }
             return data
 
@@ -700,6 +973,8 @@ class Coordinator:
                     "transient_failures": stats["transient_failures"],
                     "stale_submits": stats["stale_submits"],
                     "duplicate_submits": stats["duplicate_submits"],
+                    "integrity_rejects": stats.get("integrity_rejects", 0),
+                    "quarantined": stats["name"] in self._quarantined,
                 })
             workers.sort(key=lambda w: w["worker_id"])
             total = len(self._states)
@@ -712,6 +987,8 @@ class Coordinator:
                 "finished": self._finished_locked(),
                 "uptime_s": round(now - self._started_at, 3),
                 "counters": dict(self.counters),
+                "audits_pending": len(self._audit),
+                "quarantined_workers": sorted(self._quarantined),
                 "workers": workers,
             }
 
@@ -872,10 +1149,46 @@ class Coordinator:
             self._next_flush += 1
 
     def _reap(self, now: float) -> None:
-        """Reclaim expired leases and the leases of dead workers."""
+        """Reclaim expired leases and the leases of dead workers.
+
+        A worker-dead reclaim also charges a *kill* to the suspect cell
+        (the first one still leased, in canonical order -- workers run
+        their lease in that order, so it is the cell the worker was most
+        plausibly computing when it died).  The first death of each
+        distinct worker name requeues the cell without burning retry
+        budget -- the poison counter is its bound; repeat deaths of the
+        same name fall through to the retry path so a respawning worker
+        looping on one cell stays bounded either way.
+        """
         for lease, reason in self._table.reap(now):
+            suspect = None
+            charged = False
+            if reason == "worker-dead":
+                suspect = next(
+                    (
+                        i for i in lease.cell_indices
+                        if self._states[i].status in ("leased", "audit_leased")
+                    ),
+                    None,
+                )
+                if suspect is not None:
+                    charged = self._record_kill_locked(
+                        suspect, self._worker_name(lease.worker_id), now
+                    )
             for index in lease.cell_indices:
                 state = self._states[index]
+                if state.status == "audit_leased":
+                    # the re-execution never arrived; the cell goes back
+                    # to waiting for a different worker (no retry charge)
+                    state.status = "audit"
+                    self._count("reclaims", worker_id=lease.worker_id)
+                    obs.event(
+                        "fabric.reclaim_cell",
+                        cell_id=state.cell.cell_id,
+                        worker_id=lease.worker_id,
+                        reason=reason,
+                    )
+                    continue
                 if state.status != "leased":
                     continue
                 self._count("reclaims", worker_id=lease.worker_id)
@@ -885,6 +1198,341 @@ class Coordinator:
                     worker_id=lease.worker_id,
                     reason=reason,
                 )
+                if charged and index == suspect:
+                    self._requeue_locked(index, now)
+                    continue
                 self._retry_locked(
                     index, now, f"lease {lease.lease_id} reclaimed ({reason})"
                 )
+
+    # ------------------------------------------------------------------
+    # integrity, audit, quarantine, poison (call with the lock held)
+    # ------------------------------------------------------------------
+    def _worker_name(self, worker_id: str) -> str:
+        """The stable name behind a per-epoch worker id (``w{n}-{name}``)."""
+        stats = self._wstats.get(worker_id)
+        if stats is not None:
+            return stats["name"]
+        return worker_id.split("-", 1)[1] if "-" in worker_id else worker_id
+
+    def _integrity_ok_locked(
+        self,
+        state: _CellState,
+        cell_id: str,
+        record: Mapping[str, Any],
+        integrity: Mapping[str, Any],
+    ) -> bool:
+        """Validate a submission's checksum + cell identity claims."""
+        try:
+            claimed = str(integrity.get("record_sha256", ""))
+            cell_hash = str(integrity.get("cell_hash", ""))
+        except AttributeError:
+            return False
+        if claimed != record_checksum(record):
+            return False
+        return cell_hash == payload_identity_hash(state.payload)
+
+    def _audit_selected(self, cell_id: str) -> bool:
+        """Deterministic audit sampling: seeded on the cell id, so the
+        same cells are audited however many times the campaign restarts."""
+        if self.audit_fraction <= 0.0:
+            return False
+        if self.audit_fraction >= 1.0:
+            return True
+        draw = derive_seed("fabric-audit", self.audit_seed, cell_id)
+        return (draw % 1_000_000) < self.audit_fraction * 1_000_000
+
+    def _credit_locked(self, name: str) -> None:
+        """Bump ``cells_done`` for the newest worker epoch of ``name``."""
+        for stats in reversed(list(self._wstats.values())):
+            if stats["name"] == name:
+                stats["cells_done"] += 1
+                return
+
+    def _audit_submit_locked(
+        self,
+        span,
+        index: int,
+        state: _CellState,
+        worker_id: str,
+        name: str,
+        record: dict,
+        timing: dict,
+        now: float,
+    ) -> dict:
+        """Fold one submission into the cell's audit candidate set."""
+        cell_id = state.cell.cell_id
+        if record.get("status") == "timeout":
+            # a timed-out (re-)execution is no evidence either way; the
+            # cell keeps waiting for a conclusive run
+            if state.status in ("leased", "audit_leased"):
+                state.status = "audit" if index in self._audit else "pending"
+            span.set_attrs(outcome="audit_inconclusive")
+            return {"accepted": True, "audit_pending": True}
+        candidates = self._audit.setdefault(index, [])
+        encoded = encode_record(record)
+        mine = next((c for c in candidates if c["worker"] == name), None)
+        if mine is not None:
+            if mine["encoded"] == encoded:
+                # duplicate delivery of an already-held candidate
+                self._count("duplicate_submits", worker_id=worker_id)
+                span.set_attrs(outcome="duplicate")
+                return {"accepted": False, "duplicate": True,
+                        "audit_pending": True}
+            # the worker contradicted its own earlier answer: whichever
+            # copy is right, the worker is not trustworthy
+            self._count("audit_mismatches", worker_id=worker_id)
+            self._quarantine_locked(
+                name, f"self-contradictory candidates on {cell_id}", now
+            )
+            span.set_attrs(outcome="quarantined")
+            return {"accepted": False, "rejected": True,
+                    "reason": "audit", "quarantined": True}
+        # journaled before the candidate counts: a restarted coordinator
+        # re-derives the same verdict from the same candidate set
+        self._journal_locked(
+            "audit_candidate",
+            index=index,
+            cell_id=cell_id,
+            worker=name,
+            record=record,
+            timing=timing,
+        )
+        candidates.append({
+            "worker": name,
+            "record": record,
+            "timing": timing,
+            "encoded": encoded,
+        })
+        state.status = "audit"
+        obs.event(
+            "fabric.audit_candidate",
+            cell_id=cell_id,
+            worker=name,
+            candidates=len(candidates),
+        )
+        verdict = self._resolve_audit_locked(index, state, now)
+        if verdict is None:
+            span.set_attrs(outcome="audit_pending")
+            return {"accepted": True, "audit_pending": True}
+        if name in verdict["losers"]:
+            span.set_attrs(outcome="quarantined")
+            return {"accepted": False, "rejected": True,
+                    "reason": "audit", "quarantined": True}
+        span.set_attrs(outcome="accepted")
+        return {"accepted": True, "audited": True}
+
+    def _resolve_audit_locked(
+        self, index: int, state: _CellState, now: float
+    ) -> dict | None:
+        """Settle a cell's audit once the candidate set is conclusive.
+
+        Any two byte-identical candidates win -- a lying worker cannot
+        outvote two honest runs of deterministic work -- and every
+        non-matching candidate's worker is quarantined.  Three mutually
+        distinct candidates mean nothing is corroborated: all three
+        claimants are quarantined and the cell recomputes from scratch.
+        Returns ``None`` while the set is still inconclusive.
+        """
+        if state.status == "done":
+            self._audit.pop(index, None)
+            return None
+        candidates = self._audit.get(index) or []
+        cell_id = state.cell.cell_id
+        winner = None
+        for i, first in enumerate(candidates):
+            if any(
+                other["encoded"] == first["encoded"]
+                for other in candidates[i + 1:]
+            ):
+                winner = first
+                break
+        if winner is not None:
+            losers = [
+                c["worker"] for c in candidates
+                if c["encoded"] != winner["encoded"]
+            ]
+            self._count("audits_run")
+            self._journal_locked(
+                "accept",
+                index=index,
+                cell_id=cell_id,
+                lease_id=None,
+                worker=winner["worker"],
+                audited=True,
+                record=winner["record"],
+                timing=winner["timing"],
+            )
+            if self.chaos is not None:
+                self.chaos.on_accept()
+            state.accepted_by = winner["worker"]
+            state.audited = True
+            self._audit.pop(index, None)
+            for candidate in candidates:
+                if candidate["encoded"] == winner["encoded"]:
+                    self._credit_locked(candidate["worker"])
+            self._complete_locked(
+                index, dict(winner["record"]), dict(winner["timing"])
+            )
+            global_collector().observe(
+                "fabric.cell_wall_ms",
+                float(winner["timing"].get("wall_ms") or 0.0),
+            )
+            obs.event(
+                "fabric.audit_confirmed",
+                cell_id=cell_id,
+                mismatches=len(losers),
+            )
+            for loser in losers:
+                self._count("audit_mismatches")
+                self._quarantine_locked(
+                    loser, f"audit mismatch on {cell_id}", now
+                )
+            return {"winner": winner["worker"], "losers": losers}
+        if len(candidates) >= 3:
+            losers = [c["worker"] for c in candidates]
+            self._count("audits_run")
+            self._audit.pop(index, None)
+            state.status = "pending"
+            state.eligible_at = now
+            obs.event("fabric.audit_deadlock", cell_id=cell_id)
+            for loser in losers:
+                self._count("audit_mismatches")
+                self._quarantine_locked(
+                    loser, f"three-way audit disagreement on {cell_id}", now
+                )
+            return {"winner": None, "losers": losers}
+        return None
+
+    def _quarantine_locked(self, name: str, reason: str, now: float) -> None:
+        """Stop trusting a worker *name*: journal the verdict, requeue
+        its in-flight leases, drop its audit candidates, and retract its
+        buffered unaudited accepts so the cells re-run elsewhere."""
+        if name in self._quarantined:
+            return
+        self._quarantined.add(name)
+        self._count("quarantines")
+        self._journal_locked("quarantine", worker=name, reason=reason)
+        obs.event(
+            "fabric.quarantine",
+            worker=name,
+            reason=_truncate(reason, 120),
+        )
+        for worker in list(self._table.workers()):
+            if worker.name != name:
+                continue
+            for lease in self._table.release_worker_leases(worker.worker_id):
+                for index in lease.cell_indices:
+                    state = self._states[index]
+                    if state.status == "audit_leased":
+                        state.status = "audit"
+                    elif state.status == "leased":
+                        self._requeue_locked(index, now)
+        self._retract_accepts_locked(name, now)
+
+    def _retract_accepts_locked(self, name: str, now: float) -> None:
+        """Withdraw a quarantined worker's unconfirmed contributions.
+
+        Audit candidates it holds are dropped (a cell left with none
+        goes back to pending), and its buffered unaudited accepts are
+        pulled out of the flush buffer and re-run.  Audited accepts and
+        anything already flushed to ``results.jsonl`` stay: those were
+        byte-confirmed by an independent worker or are immutably on disk.
+        """
+        for index in list(self._audit):
+            state = self._states[index]
+            kept = [
+                c for c in self._audit[index] if c["worker"] != name
+            ]
+            if len(kept) == len(self._audit[index]):
+                continue
+            if kept:
+                self._audit[index] = kept
+            else:
+                del self._audit[index]
+                if state.status == "audit":
+                    state.status = "pending"
+                    state.eligible_at = now
+        for index, state in enumerate(self._states):
+            if (
+                state.status == "done"
+                and not state.on_disk
+                and not state.audited
+                and state.accepted_by == name
+                and index in self._buffer
+            ):
+                del self._buffer[index]
+                state.status = "pending"
+                state.eligible_at = now
+                state.accepted_by = None
+                obs.event(
+                    "fabric.retract_cell",
+                    cell_id=state.cell.cell_id,
+                    worker=name,
+                )
+
+    def _record_kill_locked(self, index: int, name: str, now: float) -> bool:
+        """Charge a worker death against the cell it was computing.
+
+        True when ``name`` is a *new* distinct killer for this cell (the
+        caller then requeues without a retry charge); reaching
+        ``poison_kill_threshold`` distinct killers poisons the cell.
+        """
+        state = self._states[index]
+        if state.status == "done" or name in state.killers:
+            return False
+        state.killers.add(name)
+        self._journal_locked("kill", index=index, worker=name)
+        self._count("kills")
+        obs.event(
+            "fabric.kill",
+            cell_id=state.cell.cell_id,
+            worker=name,
+            distinct_killers=len(state.killers),
+        )
+        if len(state.killers) >= self.poison_kill_threshold:
+            self._poison_locked(index, now)
+        return True
+
+    def _poison_locked(self, index: int, now: float) -> None:
+        """Terminally record a cell that keeps killing fresh workers."""
+        state = self._states[index]
+        if state.status == "done":
+            return
+        state.poisoned = True
+        cell = state.cell
+        killers = sorted(state.killers)
+        record = {
+            "cell": cell.index,
+            "id": cell.cell_id,
+            "family": cell.family,
+            "size": cell.size,
+            "repeat": cell.repeat,
+            "seed": cell.seed,
+            "scheduler": cell.scheduler,
+            "status": "error",
+            "rounds": None,
+            "touches": None,
+            "verified": None,
+            "detail": _truncate(
+                f"poisoned: killed {len(killers)} distinct workers "
+                f"({', '.join(killers)})"
+            ),
+        }
+        timing = {"id": cell.cell_id, "wall_ms": 0.0}
+        self._journal_locked(
+            "poison",
+            index=index,
+            cell_id=cell.cell_id,
+            killers=killers,
+            record=record,
+            timing=timing,
+        )
+        self._audit.pop(index, None)
+        self._complete_locked(index, record, timing)
+        self._count("poisoned_cells")
+        obs.event(
+            "fabric.poison_cell",
+            cell_id=cell.cell_id,
+            killers=len(killers),
+        )

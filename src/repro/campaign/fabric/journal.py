@@ -45,7 +45,17 @@ JOURNAL = "fabric-journal.jsonl"
 SNAPSHOT = "fabric-snapshot.json"
 
 #: Journal record kinds (every coordinator state transition).
-KINDS = ("lease", "accept", "terminal", "retry", "escalate")
+KINDS = (
+    "lease",
+    "accept",
+    "terminal",
+    "retry",
+    "escalate",
+    "audit_candidate",
+    "quarantine",
+    "kill",
+    "poison",
+)
 
 
 class FabricJournal:

@@ -111,6 +111,21 @@ class LeaseTable:
             del self._leases[lease.lease_id]
         return released
 
+    def release_worker_leases(self, worker_id: str) -> list[Lease]:
+        """Remove and return a worker's leases, keeping it registered.
+
+        Quarantine path: the worker stays known (its heartbeats remain
+        answerable, its lease requests get the quarantined reply) but its
+        in-flight cells go back to the pool immediately."""
+        released = [
+            lease
+            for lease in self._leases.values()
+            if lease.worker_id == worker_id
+        ]
+        for lease in released:
+            del self._leases[lease.lease_id]
+        return released
+
     def worker_alive(self, worker_id: str, now: float) -> bool:
         state = self._workers.get(worker_id)
         return (

@@ -1,7 +1,8 @@
 """Worker-side transports to a campaign coordinator.
 
-Workers speak a six-verb protocol -- register, heartbeat, lease, submit,
-fail, deregister -- with JSON-compatible payloads on both transports:
+Workers speak a seven-verb protocol -- register, heartbeat, lease,
+submit, submit_batch, fail, deregister -- with JSON-compatible payloads
+on both transports:
 
 * :class:`LocalClient` calls an in-process :class:`Coordinator` directly
   (tests, single-host fleets, the thread-based smoke paths);
@@ -42,8 +43,19 @@ class LocalClient:
         cell_id: str,
         record: Mapping[str, Any],
         timing: Mapping[str, Any],
+        integrity: Mapping[str, Any] | None = None,
     ) -> dict:
-        return self.coordinator.submit(worker_id, lease_id, cell_id, record, timing)
+        return self.coordinator.submit(
+            worker_id, lease_id, cell_id, record, timing, integrity
+        )
+
+    def submit_batch(
+        self,
+        worker_id: str,
+        lease_id: str,
+        entries: list,
+    ) -> dict:
+        return self.coordinator.submit_batch(worker_id, lease_id, entries)
 
     def fail(
         self,
@@ -62,7 +74,7 @@ class LocalClient:
 
 
 class HttpFabricClient:
-    """The same six verbs over ``POST /campaigns/<id>/fabric/<verb>``."""
+    """The same seven verbs over ``POST /campaigns/<id>/fabric/<verb>``."""
 
     def __init__(
         self,
@@ -103,13 +115,29 @@ class HttpFabricClient:
         cell_id: str,
         record: Mapping[str, Any],
         timing: Mapping[str, Any],
+        integrity: Mapping[str, Any] | None = None,
     ) -> dict:
-        return self._post("submit", {
+        body = {
             "worker_id": worker_id,
             "lease_id": lease_id,
             "cell_id": cell_id,
             "record": dict(record),
             "timing": dict(timing),
+        }
+        if integrity is not None:
+            body["integrity"] = dict(integrity)
+        return self._post("submit", body)
+
+    def submit_batch(
+        self,
+        worker_id: str,
+        lease_id: str,
+        entries: list,
+    ) -> dict:
+        return self._post("submit", {
+            "worker_id": worker_id,
+            "lease_id": lease_id,
+            "records": [dict(entry) for entry in entries],
         })
 
     def fail(

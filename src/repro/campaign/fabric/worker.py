@@ -25,6 +25,17 @@ bounds how long a worker waits for the coordinator to come back before
 giving up.  4xx answers (:class:`~repro.errors.HttpStatusError` -- auth
 mismatch, malformed request) always fail fast instead of retrying.
 
+Result integrity (PR 10): every shard carries an ``integrity`` sidecar --
+the canonical-JSON sha256 of the record plus the leased payload's
+identity hash -- so the coordinator can reject wire corruption and
+wrong-cell submissions before journaling them.  ``batch_cells > 1``
+switches the worker from streaming one shard per cell to flushing
+batches through ``submit_batch``; per-record idempotence on the
+coordinator makes a redelivered batch a row of counted no-ops.  A worker
+the coordinator has *quarantined* (failed validation or a re-execution
+audit) learns it from the reply, stops pulling, and exits: its results
+are no longer wanted.
+
 Graceful drain: ``request_drain()`` (wired to SIGTERM/SIGINT in
 :func:`worker_main`) lets the worker finish its in-flight cell, hand the
 rest of its lease back (``fail`` with ``requeue=True`` -- no retry
@@ -48,6 +59,8 @@ from repro.errors import HttpStatusError, TransportError
 from repro.obs import trace as obs
 from repro.campaign.fabric.chaos import Chaos, ChaosConfig, ChaosKill
 from repro.campaign.runner import run_cell
+from repro.campaign.spec import payload_identity_hash
+from repro.campaign.store import record_checksum
 
 
 class FabricWorker:
@@ -59,6 +72,7 @@ class FabricWorker:
         *,
         name: str = "worker",
         max_lease_cells: int | None = None,
+        batch_cells: int = 1,
         chaos: ChaosConfig | None = None,
         reconnect_base_s: float = 0.2,
         reconnect_cap_s: float = 5.0,
@@ -71,6 +85,7 @@ class FabricWorker:
         self.client = client
         self.name = name
         self.max_lease_cells = max_lease_cells
+        self.batch_cells = max(1, int(batch_cells))
         self.chaos = Chaos(chaos) if chaos is not None else None
         self.reconnect_base_s = float(reconnect_base_s)
         self.reconnect_cap_s = float(reconnect_cap_s)
@@ -83,6 +98,9 @@ class FabricWorker:
         self.cells_done = 0
         self.reconnects = 0
         self.gave_up_offline = False
+        self.quarantined = False
+        self.rejected_submits = 0
+        self._pending: list[dict] = []  # computed, not yet batch-flushed
         self._epoch = 0
         self._draining = threading.Event()
         self._hb_stop = threading.Event()
@@ -123,6 +141,8 @@ class FabricWorker:
             "drained": self._draining.is_set(),
             "reconnects": self.reconnects,
             "gave_up_offline": self.gave_up_offline,
+            "quarantined": self.quarantined,
+            "rejected_submits": self.rejected_submits,
         }
 
     # ------------------------------------------------------------------
@@ -242,6 +262,14 @@ class FabricWorker:
                 continue
             if reply.get("done"):
                 return
+            if reply.get("quarantined"):
+                # the coordinator no longer wants this worker's results;
+                # pulling harder will not change the verdict
+                self.quarantined = True
+                obs.event(
+                    "fabric.worker_quarantined", worker_id=self.worker_id
+                )
+                return
             cells = reply.get("cells", [])
             if not cells:
                 self._sleep(float(reply.get("retry_after_s", 0.05)))
@@ -249,6 +277,7 @@ class FabricWorker:
             lease_id = reply["lease_id"]
             for i, payload in enumerate(cells):
                 if self._draining.is_set():
+                    self._flush_batch(lease_id)
                     self._hand_back(lease_id, cells[i:])
                     return
                 if not self._execute(lease_id, payload):
@@ -256,13 +285,19 @@ class FabricWorker:
                     # coordinator (or the worker gave up) -- abandon the
                     # rest of the batch and pull a fresh lease
                     break
-            if self.gave_up_offline:
+            else:
+                # lease exhausted cleanly: deliver whatever batching held
+                self._flush_batch(lease_id)
+            if self.gave_up_offline or self.quarantined:
                 return
 
     def _execute(self, lease_id: str, payload: dict) -> bool:
         """Run + deliver one cell; False when the batch should be
-        abandoned (the coordinator restarted, or the worker gave up)."""
+        abandoned (the coordinator restarted, the worker gave up, or it
+        was quarantined)."""
         cell_id = payload["cell_id"]
+        if self.chaos is not None:
+            self.chaos.maybe_die_on(cell_id)  # the poison-cell scenario
         # one fresh trace per cell attempt: run + submit stitch together,
         # and the coordinator's accept span joins via the propagated
         # context (contextvars in-process, HTTP headers across the wire)
@@ -282,26 +317,54 @@ class FabricWorker:
                     lease_id, cell_id, f"{type(exc).__name__}: {exc}"
                 )
                 return True
+            duplicate = False
             if self.chaos is not None:
                 self.chaos.on_cell_computed()  # the configured death point
+                if self.chaos.lying():
+                    # pre-checksum falsification: the integrity sidecar
+                    # will match, only an audit re-execution catches it
+                    record = Chaos.lie(record)
+            integrity = {
+                "record_sha256": record_checksum(record),
+                "cell_hash": payload_identity_hash(payload),
+            }
+            if self.chaos is not None:
                 plan = self.chaos.submit_plan()
                 if plan.delay_s:
                     self._sleep(plan.delay_s)
                 if plan.drop:
                     return True  # shard lost on the wire; lease expiry re-runs it
-                outcome = self._submit(lease_id, cell_id, record, timing)
-                if plan.duplicate and outcome == "ok":
-                    self._submit(lease_id, cell_id, record, timing)
-            else:
-                outcome = self._submit(lease_id, cell_id, record, timing)
-            if outcome != "offline":
+                if plan.corrupt:
+                    # post-checksum damage: the attached checksum no
+                    # longer matches what arrives
+                    record = Chaos.corrupt(record)
+                duplicate = plan.duplicate
+            entry = {
+                "cell_id": cell_id,
+                "record": record,
+                "timing": timing,
+                "integrity": integrity,
+            }
+            if self.batch_cells > 1:
+                self._pending.append(entry)
+                if duplicate:
+                    self._pending.append(dict(entry))
+                if len(self._pending) >= self.batch_cells:
+                    return self._flush_batch(lease_id)
+                return True
+            outcome = self._submit(lease_id, entry)
+            if duplicate and outcome == "ok":
+                self._submit(lease_id, entry)
+            if outcome in ("ok", "resubmitted"):
                 self.cells_done += 1
             return outcome == "ok"
 
-    def _submit(self, lease_id: str, cell_id: str, record, timing) -> str:
+    def _submit(self, lease_id: str, entry: dict) -> str:
         """Deliver one shard: ``"ok"``, ``"resubmitted"`` (delivered
-        after riding out an outage), or ``"offline"`` (gave up)."""
+        after riding out an outage), ``"offline"`` (gave up), or
+        ``"quarantined"`` / ``"rejected"`` (the coordinator refused it)."""
         outcome = "ok"
+        cell_id = entry["cell_id"]
         while True:
             try:
                 with obs.span(
@@ -309,9 +372,26 @@ class FabricWorker:
                     cell_id=cell_id,
                     worker_id=self.worker_id,
                 ):
-                    self.client.submit(
-                        self.worker_id, lease_id, cell_id, record, timing
+                    reply = self.client.submit(
+                        self.worker_id,
+                        lease_id,
+                        cell_id,
+                        entry["record"],
+                        entry["timing"],
+                        entry.get("integrity"),
                     )
+                if reply.get("rejected"):
+                    self.rejected_submits += 1
+                if reply.get("quarantined"):
+                    self.quarantined = True
+                    obs.event(
+                        "fabric.worker_quarantined",
+                        worker_id=self.worker_id,
+                        cell_id=cell_id,
+                    )
+                    return "quarantined"
+                if reply.get("rejected"):
+                    return "rejected"
                 return outcome
             except HttpStatusError:
                 raise
@@ -324,6 +404,46 @@ class FabricWorker:
                 if not self._ride_out_outage("submit"):
                     return "offline"
                 outcome = "resubmitted"
+
+    def _flush_batch(self, lease_id: str) -> bool:
+        """Deliver the pending batch through ``submit_batch``.
+
+        A redelivered batch (after riding out an outage) is safe: the
+        coordinator folds each record idempotently, so already-accepted
+        entries come back as counted duplicates.  False when the worker
+        went offline for good or was quarantined mid-batch.
+        """
+        while self._pending:
+            entries = list(self._pending)
+            try:
+                with obs.span(
+                    "fabric.rpc.submit_batch",
+                    worker_id=self.worker_id,
+                    entries=len(entries),
+                ):
+                    reply = self.client.submit_batch(
+                        self.worker_id, lease_id, entries
+                    )
+            except HttpStatusError:
+                raise
+            except TransportError:
+                if not self._ride_out_outage("submit"):
+                    return False
+                continue
+            self._pending.clear()
+            for result in reply.get("results", []):
+                if result.get("rejected"):
+                    self.rejected_submits += 1
+                if result.get("quarantined"):
+                    self.quarantined = True
+                if result.get("accepted") or result.get("duplicate"):
+                    self.cells_done += 1
+            if self.quarantined:
+                obs.event(
+                    "fabric.worker_quarantined", worker_id=self.worker_id
+                )
+                return False
+        return True
 
     def _report_fail(self, lease_id: str, cell_id: str, detail: str) -> None:
         try:
@@ -372,6 +492,7 @@ def worker_main(
     *,
     name: str = "worker",
     max_lease_cells: int | None = None,
+    batch_cells: int = 1,
     chaos: dict | None = None,
     max_offline_s: float = 120.0,
     token: str | None = None,
@@ -389,6 +510,7 @@ def worker_main(
         HttpFabricClient(url, campaign_id, token=token),
         name=name,
         max_lease_cells=max_lease_cells,
+        batch_cells=batch_cells,
         max_offline_s=max_offline_s,
         chaos=ChaosConfig.from_dict(chaos) if chaos is not None else None,
     )
@@ -404,6 +526,7 @@ def run_local_fleet(
     *,
     chaos: dict[int, ChaosConfig] | None = None,
     max_lease_cells: int | None = None,
+    batch_cells: int = 1,
     max_offline_s: float = 120.0,
 ) -> list[dict]:
     """Run an in-process thread fleet to completion (tests, smoke paths).
@@ -419,6 +542,7 @@ def run_local_fleet(
             LocalClient(coordinator),
             name=f"local{i}",
             max_lease_cells=max_lease_cells,
+            batch_cells=batch_cells,
             max_offline_s=max_offline_s,
             chaos=(chaos or {}).get(i),
         )

@@ -25,6 +25,10 @@ Families
     policies (node ids shifted so flows never share rules), every
     ``params.waypoint_every``-th policy waypointed -- the DSN'16
     multi-policy regime at campaign scale.
+``memhog``
+    A resource-guard probe: allocates ``size`` MiB before scheduling a
+    trivial instance, so a campaign ``mem_limit_mb`` below ``size`` turns
+    the cell into a deterministic ``MemoryError`` record.
 ``churn-fat-tree`` / ``churn-wan``
     Online families: the unit carries a seeded
     :class:`~repro.churn.traces.ChurnTrace` (arrivals, cancellations,
@@ -166,6 +170,22 @@ def _churn_unit(kind: str, size: int, params: Mapping[str, Any], seed: int) -> W
     return WorkUnit((), trace=trace)
 
 
+def _memhog(size: int, params: Mapping[str, Any], seed: int) -> WorkUnit:
+    """Allocate ``size`` MiB up front, then solve a trivial instance.
+
+    Exists to exercise the per-cell resource guards: under a campaign
+    ``mem_limit_mb`` below ``size`` the allocation raises ``MemoryError``
+    deterministically (the guard caps the address space, so the failure
+    is identical in a 1-worker pool baseline and any fabric fleet);
+    without a limit the memory is allocated, touched page-wise, and
+    released before scheduling.
+    """
+    hog = bytearray(size << 20)
+    hog[:: 1 << 12] = b"\x01" * len(hog[:: 1 << 12])
+    del hog
+    return WorkUnit((reversal_instance(4),))
+
+
 def _churn_fat_tree(size: int, params: Mapping[str, Any], seed: int) -> WorkUnit:
     return _churn_unit("fat-tree", size, params, seed)
 
@@ -202,6 +222,7 @@ _FAMILIES: dict[str, FamilyDef] = {
             3,
             frozenset({"policies", "overlap", "waypoint_every"}),
         ),
+        FamilyDef("memhog", _memhog, 1, frozenset()),
         FamilyDef("churn-fat-tree", _churn_fat_tree, 2, _CHURN_PARAMS),
         FamilyDef("churn-wan", _churn_wan, 8, _CHURN_PARAMS),
     )

@@ -19,12 +19,20 @@ combinations, and per-cell timeouts (SIGALRM-based, worker-local) become
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
+import os
 import signal
+import sys
 import threading
 import time
 from typing import Any, Callable, Mapping
+
+try:  # POSIX-only; Windows runs cells unguarded
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _resource = None
 
 from repro.errors import (
     InfeasibleUpdateError,
@@ -76,6 +84,89 @@ def _cached_unit(family: str, size: int, params, seed: int):
 
 def _truncate(text: str, limit: int = 300) -> str:
     return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _vm_size_bytes() -> int | None:
+    """Current virtual-memory size of this process (linux procfs)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            pages = int(handle.read().split()[0])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def peak_rss_kb() -> int | None:
+    """Process-lifetime peak resident set size in KiB (None off-POSIX)."""
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on linux
+        peak //= 1024
+    return int(peak)
+
+
+@contextlib.contextmanager
+def resource_guard(
+    mem_limit_mb: float | None = None, cpu_limit_s: float | None = None
+):
+    """Cap one cell's address-space growth and CPU time via ``setrlimit``.
+
+    The memory cap is *relative*: current VM size + ``mem_limit_mb``, so
+    an oversized allocation raises a catchable, deterministic
+    ``MemoryError`` inside the cell instead of inviting the host OOM
+    killer -- the same failure whether the cell runs in the pool baseline
+    or on any fabric worker.  The CPU cap arms ``SIGXCPU`` to raise
+    :class:`~repro.errors.ScheduleTimeoutError` (main thread only; signal
+    handlers cannot be installed elsewhere).  Both limits are restored on
+    exit, and each guard degrades to a no-op where the platform refuses
+    it (no procfs, no ``resource`` module, non-main thread).
+    """
+    restores: list[tuple[int, tuple[int, int]]] = []
+    old_handler = None
+    if _resource is not None and mem_limit_mb:
+        current = _vm_size_bytes()
+        if current is not None:
+            soft, hard = _resource.getrlimit(_resource.RLIMIT_AS)
+            budget = current + int(float(mem_limit_mb) * (1 << 20))
+            if hard != _resource.RLIM_INFINITY:
+                budget = min(budget, hard)
+            try:
+                _resource.setrlimit(_resource.RLIMIT_AS, (budget, hard))
+                restores.append((_resource.RLIMIT_AS, (soft, hard)))
+            except (ValueError, OSError):
+                pass
+    if (
+        _resource is not None
+        and cpu_limit_s
+        and hasattr(signal, "SIGXCPU")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        soft, hard = _resource.getrlimit(_resource.RLIMIT_CPU)
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        budget = int(usage.ru_utime + usage.ru_stime + float(cpu_limit_s)) + 1
+        if hard != _resource.RLIM_INFINITY:
+            budget = min(budget, hard)
+
+        def _on_xcpu(signum, frame):
+            raise ScheduleTimeoutError(f"cpu limit exceeded ({cpu_limit_s}s)")
+
+        try:
+            _resource.setrlimit(_resource.RLIMIT_CPU, (budget, hard))
+            restores.append((_resource.RLIMIT_CPU, (soft, hard)))
+            old_handler = signal.signal(signal.SIGXCPU, _on_xcpu)
+        except (ValueError, OSError):
+            pass
+    try:
+        yield
+    finally:
+        if old_handler is not None:
+            signal.signal(signal.SIGXCPU, old_handler)
+        for which, limits in restores:
+            try:
+                _resource.setrlimit(which, limits)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
 
 
 def _run_churn_cell(record, unit, scheduler, payload) -> None:
@@ -134,7 +225,9 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
     cell_span.__enter__()
     try:
         scheduler = resolve(payload["scheduler"])
-        with time_limit(payload.get("timeout_s")):
+        with time_limit(payload.get("timeout_s")), resource_guard(
+            payload.get("mem_limit_mb"), payload.get("cpu_limit_s")
+        ):
             unit = _cached_unit(
                 payload["family"],
                 payload["size"],
@@ -197,9 +290,13 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
                 record["verified"] = verified
                 if details:
                     record["detail"] = _truncate("; ".join(details))
-    except ScheduleTimeoutError:
+    except ScheduleTimeoutError as exc:
         record["status"] = "timeout"
-        record["detail"] = f"exceeded {payload.get('timeout_s')}s"
+        # str(exc) distinguishes the wall-clock alarm from the CPU rlimit
+        # (both deterministic given the same limits)
+        record["detail"] = _truncate(
+            str(exc) or f"exceeded {payload.get('timeout_s')}s"
+        )
         record["rounds"] = record["touches"] = record["verified"] = None
         # the alarm can interrupt an oracle mid-delta; drop the cached
         # problems so no later cell sees a half-morphed union graph, and
@@ -227,6 +324,9 @@ def run_cell(payload: Mapping[str, Any]) -> tuple[dict, dict]:
         # the envelope's own numbers, so pool timing sidecars and fabric
         # telemetry report identical per-cell figures
         "api_wall_ms": round(api_wall_ms, 3),
+        # process-lifetime high-water mark at cell end; wall-clock-free
+        # but machine-dependent, so it stays in the sidecar
+        "peak_rss_kb": peak_rss_kb(),
         "oracle": oracle_totals,
     }
     return record, timing

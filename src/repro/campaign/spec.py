@@ -53,6 +53,28 @@ def derive_seed(*parts: Any) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+#: Payload fields the coordinator may legitimately rewrite while a cell is
+#: open (timeout escalation bumps ``timeout_s`` and injects search-budget
+#: ``scheduler_params``); everything else pins the cell's identity.
+_MUTABLE_PAYLOAD_KEYS = frozenset({"timeout_s", "scheduler_params"})
+
+
+def payload_identity_hash(payload: Mapping[str, Any]) -> str:
+    """Stable sha256 identity of one cell payload.
+
+    Workers echo this hash with every submission so the coordinator can
+    reject a record computed against the wrong cell (or a stale payload).
+    Mutable execution knobs are excluded: an escalated re-lease must still
+    hash to the same identity.
+    """
+    identity = {
+        key: value
+        for key, value in dict(payload).items()
+        if key not in _MUTABLE_PAYLOAD_KEYS
+    }
+    return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
+
+
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise CampaignSpecError(message)
@@ -74,6 +96,8 @@ class Cell:
     verify: bool
     cleanup: bool
     timeout_s: float | None
+    mem_limit_mb: float | None = None
+    cpu_limit_s: float | None = None
 
     def payload(self) -> dict:
         """Self-contained picklable dict handed to pool workers."""
@@ -90,6 +114,8 @@ class Cell:
             "verify": self.verify,
             "cleanup": self.cleanup,
             "timeout_s": self.timeout_s,
+            "mem_limit_mb": self.mem_limit_mb,
+            "cpu_limit_s": self.cpu_limit_s,
         }
 
 
@@ -200,6 +226,8 @@ class CampaignSpec:
         verify: bool = False,
         cleanup: bool = False,
         timeout_s: float | None = None,
+        mem_limit_mb: float | None = None,
+        cpu_limit_s: float | None = None,
     ) -> None:
         _require(isinstance(name, str) and bool(name), "spec needs a 'name'")
         _require(len(families) > 0, "spec needs at least one family entry")
@@ -212,6 +240,8 @@ class CampaignSpec:
         self.verify = verify
         self.cleanup = cleanup
         self.timeout_s = timeout_s
+        self.mem_limit_mb = mem_limit_mb
+        self.cpu_limit_s = cpu_limit_s
         self._validate_names()
 
     def _validate_names(self) -> None:
@@ -243,7 +273,8 @@ class CampaignSpec:
         _require(isinstance(data, Mapping), "campaign spec must be a JSON object")
         unknown = set(data) - {
             "name", "seed", "families", "schedulers", "properties",
-            "verify", "cleanup", "timeout_s", "version",
+            "verify", "cleanup", "timeout_s", "mem_limit_mb",
+            "cpu_limit_s", "version",
         }
         _require(not unknown, f"unknown spec keys: {sorted(unknown)}")
         version = data.get("version", SPEC_VERSION)
@@ -277,6 +308,18 @@ class CampaignSpec:
             timeout_s is None or (isinstance(timeout_s, (int, float)) and timeout_s > 0),
             "'timeout_s' must be a positive number",
         )
+        mem_limit_mb = data.get("mem_limit_mb")
+        _require(
+            mem_limit_mb is None
+            or (isinstance(mem_limit_mb, (int, float)) and mem_limit_mb > 0),
+            "'mem_limit_mb' must be a positive number",
+        )
+        cpu_limit_s = data.get("cpu_limit_s")
+        _require(
+            cpu_limit_s is None
+            or (isinstance(cpu_limit_s, (int, float)) and cpu_limit_s > 0),
+            "'cpu_limit_s' must be a positive number",
+        )
         return cls(
             name=data.get("name", ""),
             families=[FamilyEntry.from_dict(entry) for entry in families_data],
@@ -286,6 +329,12 @@ class CampaignSpec:
             verify=bool(data.get("verify", False)),
             cleanup=bool(data.get("cleanup", False)),
             timeout_s=float(timeout_s) if timeout_s is not None else None,
+            mem_limit_mb=(
+                float(mem_limit_mb) if mem_limit_mb is not None else None
+            ),
+            cpu_limit_s=(
+                float(cpu_limit_s) if cpu_limit_s is not None else None
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -304,6 +353,10 @@ class CampaignSpec:
             data["cleanup"] = True
         if self.timeout_s is not None:
             data["timeout_s"] = self.timeout_s
+        if self.mem_limit_mb is not None:
+            data["mem_limit_mb"] = self.mem_limit_mb
+        if self.cpu_limit_s is not None:
+            data["cpu_limit_s"] = self.cpu_limit_s
         return data
 
     @property
@@ -359,6 +412,8 @@ class CampaignSpec:
                                     verify=self.verify,
                                     cleanup=self.cleanup,
                                     timeout_s=self.timeout_s,
+                                    mem_limit_mb=self.mem_limit_mb,
+                                    cpu_limit_s=self.cpu_limit_s,
                                 )
                             )
         seen: set[str] = set()

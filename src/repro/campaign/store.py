@@ -20,6 +20,7 @@ clean prefix.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -41,12 +42,43 @@ def encode_record(record: Mapping[str, Any]) -> str:
     return canonical_json(dict(record)) + "\n"
 
 
+def record_checksum(record: Mapping[str, Any]) -> str:
+    """sha256 over the canonical encoding of one record.
+
+    This is the submission-integrity primitive: a worker computes it over
+    the record it is about to submit, and the coordinator recomputes it
+    over the record it received -- any bit-flip on the wire (or a worker
+    checksumming one record and sending another) mismatches.
+    """
+    return hashlib.sha256(
+        canonical_json(dict(record)).encode("utf-8")
+    ).hexdigest()
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Flush a directory entry (a just-landed rename) to stable storage."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return  # platform refuses directory opens; nothing more we can do
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems reject directory fsync; best effort
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: pathlib.Path, text: str) -> None:
     """Crash-atomic whole-file write: temp file + fsync + atomic rename.
 
     A SIGKILL at any point leaves either the old file or the new one --
     never a half-written mix.  The temp file lives in the target's
-    directory so the final ``os.replace`` stays on one filesystem.
+    directory so the final ``os.replace`` stays on one filesystem, and the
+    parent directory is fsynced after the rename so the rename itself
+    survives power loss (file data alone is not enough: the directory
+    entry pointing at it must also reach the disk).
     """
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
@@ -54,6 +86,7 @@ def atomic_write_text(path: pathlib.Path, text: str) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_directory(path.parent)
 
 
 class RunStore:

@@ -423,9 +423,15 @@ def _render_telemetry(data: dict) -> str:
     rows = []
     for worker in data["workers"]:
         beat = worker["last_seen_age_s"]
+        if worker.get("quarantined"):
+            state = "quarantined"
+        elif worker["alive"]:
+            state = "up"
+        else:
+            state = "dead"
         rows.append([
             worker["worker_id"],
-            "up" if worker["alive"] else "dead",
+            state,
             worker["cells_done"],
             worker["cells_per_s"],
             worker["in_flight"],
@@ -447,8 +453,12 @@ def _render_telemetry(data: dict) -> str:
         ),
     )
     tail = ", ".join(
-        f"{name}={counters[name]}"
-        for name in ("leases_granted", "reclaims", "retries", "escalations")
+        f"{name}={counters.get(name, 0)}"
+        for name in (
+            "leases_granted", "reclaims", "retries", "escalations",
+            "integrity_rejects", "audits_run", "audit_mismatches",
+            "quarantines", "poisoned_cells",
+        )
     )
     return f"{table}\nfabric: {tail}"
 
@@ -573,6 +583,9 @@ def cmd_campaign_serve(args: argparse.Namespace) -> int:
         ("lease_cells", args.lease_cells),
         ("max_transient_retries", args.max_retries),
         ("journal_compact_every", args.journal_compact_every),
+        ("audit_fraction", args.audit_fraction),
+        ("audit_seed", args.audit_seed),
+        ("poison_kill_threshold", args.poison_kill_threshold),
     ):
         if value is not None:
             body[key] = value
@@ -658,6 +671,7 @@ def cmd_campaign_work(args: argparse.Namespace) -> int:
         campaign_id,
         name=args.name,
         max_lease_cells=args.cells,
+        batch_cells=args.batch_cells,
         max_offline_s=args.max_offline_s,
         token=args.token,
     )
@@ -666,11 +680,13 @@ def cmd_campaign_work(args: argparse.Namespace) -> int:
     else:
         tags = "".join(
             f" ({tag})"
-            for tag in ("drained", "gave_up_offline")
+            for tag in ("drained", "gave_up_offline", "quarantined")
             if summary.get(tag)
         )
         print(f"{summary['worker_id']}: {summary['cells_done']} cells done"
               + tags)
+    if summary.get("quarantined"):
+        return 1
     return 0 if not summary.get("gave_up_offline") else 1
 
 
@@ -819,6 +835,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="cells handed out per lease")
     p_cserve.add_argument("--max-retries", type=int, default=None, metavar="N",
                           help="transient-failure retries before a cell errors out")
+    p_cserve.add_argument("--audit-fraction", type=float, default=None,
+                          metavar="F",
+                          help="fraction of accepted cells re-executed by a "
+                               "different worker and byte-compared (0 disables)")
+    p_cserve.add_argument("--audit-seed", type=int, default=None, metavar="N",
+                          help="seed for the deterministic audit sample")
+    p_cserve.add_argument("--poison-kill-threshold", type=int, default=None,
+                          metavar="N",
+                          help="distinct worker deaths before a cell is "
+                               "declared poisoned and terminally recorded")
     p_cserve.add_argument("--json", action="store_true")
     p_cserve.set_defaults(func=cmd_campaign_serve)
 
@@ -832,6 +858,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker name shown in coordinator status")
     p_work.add_argument("--cells", type=int, default=None, metavar="N",
                         help="max cells to lease at a time")
+    p_work.add_argument("--batch-cells", type=int, default=1, metavar="N",
+                        help="buffer N finished cells per submit round-trip "
+                             "(1 streams each shard immediately)")
     p_work.add_argument("--token", default=None, metavar="SECRET",
                         help="shared secret matching the coordinator's --token")
     p_work.add_argument("--max-offline-s", type=float, default=120.0,

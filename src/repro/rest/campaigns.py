@@ -20,7 +20,10 @@ at-least-once delivery:
   workers do that.
 * ``POST /campaigns/<campaign_id>/fabric/register|heartbeat|lease|submit|fail|deregister``
   -- the worker protocol (see :mod:`repro.campaign.fabric.transport`).
-  Duplicate shard submissions are counted no-ops.
+  Duplicate shard submissions are counted no-ops.  A ``submit`` body with
+  a ``records`` list is the batched form; each entry may carry an
+  ``integrity`` sidecar (record checksum + cell identity hash) that the
+  coordinator validates before folding.
 * ``GET /campaigns/<campaign_id>/fabric`` -- coordinator status with
   lease/reclaim/retry/escalation counters.
 
@@ -53,6 +56,9 @@ FABRIC_OPTIONS = (
     "max_transient_retries",
     "escalation_factor",
     "journal_compact_every",
+    "audit_fraction",
+    "audit_seed",
+    "poison_kill_threshold",
 )
 
 
@@ -204,17 +210,34 @@ class CampaignService:
                     raise BadRequestError("'max_cells' must be an int >= 1")
                 return coordinator.lease(worker_id, max_cells)
             if verb == "submit":
-                for key in ("lease_id", "cell_id"):
-                    if not isinstance(body.get(key), str):
-                        raise BadRequestError(f"fabric submit needs {key!r}")
-                record = body.get("record")
-                timing = body.get("timing")
-                if not isinstance(record, Mapping) or not isinstance(timing, Mapping):
-                    raise BadRequestError(
-                        "fabric submit needs 'record' and 'timing' objects"
+                if not isinstance(body.get("lease_id"), str):
+                    raise BadRequestError("fabric submit needs 'lease_id'")
+                if "records" in body:
+                    # batched form: a list of per-cell entries, folded
+                    # idempotently record by record
+                    entries = body["records"]
+                    if not isinstance(entries, list) or not all(
+                        isinstance(entry, Mapping) for entry in entries
+                    ):
+                        raise BadRequestError(
+                            "'records' must be a list of objects"
+                        )
+                    return coordinator.submit_batch(
+                        worker_id,
+                        body["lease_id"],
+                        [
+                            self._validated_entry(entry)
+                            for entry in entries
+                        ],
                     )
+                entry = self._validated_entry(body)
                 return coordinator.submit(
-                    worker_id, body["lease_id"], body["cell_id"], record, timing
+                    worker_id,
+                    body["lease_id"],
+                    entry["cell_id"],
+                    entry["record"],
+                    entry["timing"],
+                    entry.get("integrity"),
                 )
             if verb == "fail":
                 for key in ("lease_id", "cell_id"):
@@ -232,6 +255,28 @@ class CampaignService:
         except CampaignError as exc:
             raise BadRequestError(str(exc)) from None
         raise NotFoundError(f"unknown fabric verb {verb!r}")
+
+    @staticmethod
+    def _validated_entry(body: Mapping[str, Any]) -> dict:
+        """One submit entry: cell_id + record/timing objects + optional
+        integrity sidecar, shape-checked before they reach the engine."""
+        if not isinstance(body.get("cell_id"), str):
+            raise BadRequestError("fabric submit needs 'cell_id'")
+        record = body.get("record")
+        timing = body.get("timing")
+        if not isinstance(record, Mapping) or not isinstance(timing, Mapping):
+            raise BadRequestError(
+                "fabric submit needs 'record' and 'timing' objects"
+            )
+        integrity = body.get("integrity")
+        if integrity is not None and not isinstance(integrity, Mapping):
+            raise BadRequestError("'integrity' must be an object")
+        return {
+            "cell_id": body["cell_id"],
+            "record": record,
+            "timing": timing,
+            "integrity": integrity,
+        }
 
     def close(self) -> None:
         """Flush and close every served coordinator's run store."""

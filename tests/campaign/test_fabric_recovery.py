@@ -412,6 +412,116 @@ class TestDrainAndDeregister:
         coordinator.close()
 
 
+class TestIntegrityRecovery:
+    def test_quarantine_survives_double_restart(self, tmp_path, baseline):
+        first = _coordinator(tmp_path, lease_cells=2)
+        worker_id = first.register({"name": "shady"})["worker_id"]
+        reply = first.lease(worker_id, 2)
+        payload = reply["cells"][0]
+        record, timing = run_cell(payload)
+        out = first.submit(
+            worker_id, reply["lease_id"], payload["cell_id"], record, timing,
+            {"record_sha256": "0" * 64, "cell_hash": "0" * 64},
+        )
+        assert out["rejected"] and out["quarantined"]
+        _crash(first)
+
+        second = _coordinator(tmp_path, lease_cells=2)
+        assert second.counters["recovered_quarantines"] == 1
+        again = second.register({"name": "shady"})
+        assert again["quarantined"] is True
+        assert second.lease(again["worker_id"], 1)["quarantined"] is True
+        _crash(second)
+
+        # the recovery compacts a snapshot; replaying snapshot + journal
+        # a second time must not double-count or un-quarantine anyone
+        third = _coordinator(tmp_path, lease_cells=2)
+        assert third.counters["recovered_quarantines"] == 1
+        assert third.status()["fabric"]["quarantined_workers"] == ["shady"]
+        run_local_fleet(third, 2)
+        third.close()
+        assert third.finished
+        assert third.store.results_bytes() == baseline
+
+    def test_audit_candidate_survives_restart(self, tmp_path, baseline):
+        from repro.campaign.spec import payload_identity_hash
+        from repro.campaign.store import record_checksum
+
+        options = dict(lease_cells=1, audit_fraction=1.0)
+        first = _coordinator(tmp_path, **options)
+        worker_id = first.register({"name": "first"})["worker_id"]
+        reply = first.lease(worker_id, 1)
+        payload = reply["cells"][0]
+        record, timing = run_cell(payload)
+        out = first.submit(
+            worker_id, reply["lease_id"], payload["cell_id"], record, timing,
+            {
+                "record_sha256": record_checksum(record),
+                "cell_hash": payload_identity_hash(payload),
+            },
+        )
+        assert out["accepted"] and out.get("audit_pending")
+        _crash(first)
+
+        # the lone candidate must come back and still await a second,
+        # *different* worker's byte-identical re-execution
+        second = _coordinator(tmp_path, **options)
+        assert second.counters["recovered_audit_candidates"] == 1
+        assert second.status()["fabric"]["audits_pending"] == 1
+        auditor = second.register({"name": "auditor"})["worker_id"]
+        reply = second.lease(auditor, 1)
+        assert reply["cells"][0]["cell_id"] == payload["cell_id"]
+        out = second.submit(
+            auditor, reply["lease_id"], payload["cell_id"], record, timing,
+            {
+                "record_sha256": record_checksum(record),
+                "cell_hash": payload_identity_hash(payload),
+            },
+        )
+        assert out["accepted"] and not out.get("audit_pending")
+        assert second.counters["audits_run"] == 1
+        run_local_fleet(second, 2)
+        second.close()
+        assert second.finished
+        assert second.store.results_bytes() == baseline
+        assert second.counters["audit_mismatches"] == 0
+
+    def test_poison_kills_accumulate_across_restart(self, tmp_path):
+        options = dict(
+            lease_cells=1,
+            poison_kill_threshold=2,
+            heartbeat_timeout_s=0.1,
+        )
+        first = _coordinator(tmp_path, TINY, **options)
+        killer = first.register({"name": "k1"})["worker_id"]
+        assert first.lease(killer, 1)["cells"]
+        time.sleep(0.15)  # k1 dies holding the cell
+        assert first.finished is False  # triggers the reap
+        assert first.counters["kills"] == 1
+        _crash(first)
+
+        # kill #1 must carry over: one more distinct killer -- not two --
+        # crosses the threshold after the restart
+        second = _coordinator(tmp_path, TINY, **options)
+        killer2 = second.register({"name": "k2"})["worker_id"]
+        assert second.lease(killer2, 1)["cells"]
+        time.sleep(0.15)
+        assert second.finished is True  # reap -> kill #2 -> poisoned
+        assert second.counters["poisoned_cells"] == 1
+        _crash(second)
+
+        third = _coordinator(tmp_path, TINY, **options)
+        assert third.finished
+        _crash(third)
+        fourth = _coordinator(tmp_path, TINY, **options)
+        assert fourth.finished
+        fourth.close()
+        records = fourth.store.records()
+        assert len(records) == 1
+        assert records[0]["status"] == "error"
+        assert "poisoned: killed 2 distinct workers" in records[0]["detail"]
+
+
 def _free_port():
     with socket.socket() as probe:
         probe.bind(("127.0.0.1", 0))

@@ -123,6 +123,22 @@ class TestRunStore:
         monkeypatch.undo()
         assert target.read_text() == '{"version": 1}\n'
 
+    def test_atomic_write_fsyncs_parent_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # the rename is only durable once the directory entry is synced;
+        # atomic_write_text must flush the *parent*, after the replace
+        import repro.campaign.store as store_mod
+
+        synced = []
+        monkeypatch.setattr(
+            store_mod, "_fsync_directory", lambda d: synced.append(d)
+        )
+        target = tmp_path / "manifest.json"
+        store_mod.atomic_write_text(target, '{"version": 1}\n')
+        assert synced == [tmp_path]
+        assert target.read_text() == '{"version": 1}\n'
+
     def test_initialize_leaves_no_temp_files(self, tmp_path):
         store = RunStore(str(tmp_path), SPEC.campaign_id)
         store.initialize(SPEC, n_cells=1)

@@ -78,8 +78,12 @@ class TestTimingSidecarParity:
         ]
         assert len(pool_timings) == N_CELLS
         for timing in pool_timings + fleet_timings:
-            assert set(timing) == {"id", "wall_ms", "api_wall_ms", "oracle"}
+            assert set(timing) == {
+                "id", "wall_ms", "api_wall_ms", "peak_rss_kb", "oracle"
+            }
             assert timing["wall_ms"] >= timing["api_wall_ms"] >= 0.0
+            rss = timing["peak_rss_kb"]
+            assert rss is None or (isinstance(rss, int) and rss > 0)
 
     def test_oracle_deltas_match_cell_for_cell(self, runs):
         # the deterministic half of the sidecar: same cells, same order,
